@@ -1,0 +1,288 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (default mode), or times the library's hot paths and
+   scaled-down experiments with Bechamel (--bechamel).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, full size
+     dune exec bench/main.exe -- --fast       # reduced app sets
+     dune exec bench/main.exe -- --only fig13,tab1
+     dune exec bench/main.exe -- --bechamel   # Bechamel timings *)
+
+let fermi = Gpusim.Config.fermi
+let kepler = Gpusim.Config.kepler
+
+type ctx =
+  { sensitive : Workloads.App.t list
+  ; insensitive : Workloads.App.t list
+  ; input_apps : Workloads.App.t list  (** fig18 *)
+  }
+
+let full_ctx =
+  { sensitive = Workloads.Suite.sensitive
+  ; insensitive = Workloads.Suite.insensitive
+  ; input_apps = [ Workloads.Suite.find "CFD"; Workloads.Suite.find "BLK" ]
+  }
+
+let fast_ctx =
+  { sensitive =
+      List.map Workloads.Suite.find [ "CFD"; "KMN"; "FDTD"; "STM"; "BLK" ]
+  ; insensitive = List.map Workloads.Suite.find [ "PATH"; "GAU"; "BFS" ]
+  ; input_apps = [ Workloads.Suite.find "BLK" ]
+  }
+
+let fmt = Format.std_formatter
+
+(* fig13 and its companions share one set of comparisons *)
+let comparisons = ref None
+
+let get_comparisons ctx =
+  match !comparisons with
+  | Some c -> c
+  | None ->
+    let _, comps = Crat.Experiments.fig13 fermi ctx.sensitive in
+    comparisons := Some comps;
+    comps
+
+let experiments : (string * string * (ctx -> unit)) list =
+  [ ( "tab2"
+    , "Table 2: simulated configuration"
+    , fun _ ->
+        Format.fprintf fmt "Table 2: simulated GPGPU-Sim-like configuration@.%a@."
+          Gpusim.Config.pp fermi )
+  ; ( "tab3"
+    , "Table 3: applications"
+    , fun _ -> Format.fprintf fmt "Table 3: applications@.%a@." Workloads.Suite.pp_table () )
+  ; ( "tab1"
+    , "Table 1: resource-usage parameters"
+    , fun ctx ->
+        Crat.Experiments.pp_tab1 fmt (Crat.Experiments.tab1 fermi ctx.sensitive) )
+  ; ( "fig1"
+    , "Fig 1: throttling benefit and register waste"
+    , fun ctx -> Crat.Experiments.pp_fig1 fmt (Crat.Experiments.fig1 fermi ctx.sensitive) )
+  ; ( "fig2"
+    , "Fig 2: (reg, TLP) design space for CFD"
+    , fun _ ->
+        Crat.Experiments.pp_fig2 fmt
+          (Crat.Experiments.fig2 fermi (Workloads.Suite.find "CFD")) )
+  ; ( "fig3"
+    , "Fig 3: selected design points for CFD"
+    , fun _ ->
+        Crat.Experiments.pp_fig3 fmt
+          (Crat.Experiments.fig3 fermi (Workloads.Suite.find "CFD")) )
+  ; ( "fig5"
+    , "Fig 5: throttling impact on the L1"
+    , fun ctx -> Crat.Experiments.pp_fig5 fmt (Crat.Experiments.fig5 fermi ctx.sensitive) )
+  ; ( "fig6"
+    , "Fig 6: registers vs TLP and instruction count (CFD)"
+    , fun _ ->
+        Crat.Experiments.pp_fig6 fmt
+          (Crat.Experiments.fig6 fermi (Workloads.Suite.find "CFD")) )
+  ; ( "fig7"
+    , "Fig 7: register vs shared-memory utilization"
+    , fun ctx ->
+        Crat.Experiments.pp_fig7 fmt
+          (Crat.Experiments.fig7 fermi (ctx.sensitive @ ctx.insensitive)) )
+  ; ( "fig8"
+    , "Fig 8: FDTD register/shared exploration"
+    , fun _ ->
+        Crat.Experiments.pp_fig8 fmt
+          (Crat.Experiments.fig8 fermi (Workloads.Suite.find "FDTD")) )
+  ; ( "fig11"
+    , "Fig 11: design-space staircase and pruning (CFD)"
+    , fun _ ->
+        Crat.Experiments.pp_fig11 fmt
+          (Crat.Experiments.fig11 fermi (Workloads.Suite.find "CFD")) )
+  ; ( "fig12"
+    , "Fig 12: spill-bytes validation (CFD)"
+    , fun _ ->
+        Crat.Experiments.pp_fig12 fmt
+          (Crat.Experiments.fig12 fermi (Workloads.Suite.find "CFD")) )
+  ; ( "fig13"
+    , "Fig 13: headline performance comparison"
+    , fun ctx ->
+        let rows, comps = Crat.Experiments.fig13 fermi ctx.sensitive in
+        comparisons := Some comps;
+        Crat.Experiments.pp_fig13 fmt rows )
+  ; ( "fig14"
+    , "Fig 14: selected TLP"
+    , fun ctx -> Crat.Experiments.pp_fig14 fmt (Crat.Experiments.fig14 (get_comparisons ctx)) )
+  ; ( "fig15"
+    , "Fig 15: register utilization"
+    , fun ctx ->
+        Crat.Experiments.pp_fig15 fmt
+          (Crat.Experiments.fig15 fermi (get_comparisons ctx)) )
+  ; ( "fig16"
+    , "Fig 16: local-memory access reduction"
+    , fun ctx -> Crat.Experiments.pp_fig16 fmt (Crat.Experiments.fig16 (get_comparisons ctx)) )
+  ; ( "fig17"
+    , "Fig 17: Kepler-like scalability"
+    , fun ctx ->
+        let rows, _ = Crat.Experiments.fig13 kepler ctx.sensitive in
+        Format.fprintf fmt "Fig 17: Kepler-like architecture@.";
+        Crat.Experiments.pp_fig13 fmt rows )
+  ; ( "fig18"
+    , "Fig 18: input sensitivity"
+    , fun ctx -> Crat.Experiments.pp_fig18 fmt (Crat.Experiments.fig18 fermi ctx.input_apps) )
+  ; ( "fig19"
+    , "Fig 19: resource-insensitive applications"
+    , fun ctx ->
+        let rows, _ = Crat.Experiments.fig13 fermi ctx.insensitive in
+        Format.fprintf fmt "Fig 19: resource-insensitive applications@.";
+        Crat.Experiments.pp_fig13 fmt rows )
+  ; ( "fig20"
+    , "Fig 20: CRAT-profile vs CRAT-static"
+    , fun ctx -> Crat.Experiments.pp_fig20 fmt (Crat.Experiments.fig20 fermi ctx.sensitive) )
+  ; ( "energy"
+    , "Energy: CRAT vs OptTLP"
+    , fun ctx -> Crat.Experiments.pp_energy fmt (Crat.Experiments.energy (get_comparisons ctx)) )
+  ; ( "overhead"
+    , "Overhead: profiling vs static analysis"
+    , fun ctx ->
+        Crat.Experiments.pp_overhead fmt (Crat.Experiments.overhead fermi ctx.sensitive) )
+  ; ( "dyn-tlp"
+    , "Baseline: online DynCTA-style throttling"
+    , fun _ ->
+        Crat.Experiments.pp_dynamic_tlp fmt
+          (Crat.Experiments.dynamic_tlp fermi
+             (List.map Workloads.Suite.find [ "KMN"; "STM"; "SPMV"; "CFD" ])) )
+  ; ( "ext-bypass"
+    , "Extension: CRAT + static L1 bypassing (CFD)"
+    , fun _ ->
+        Crat.Experiments.pp_extension_bypass fmt
+          (Crat.Experiments.extension_bypass fermi (Workloads.Suite.find "CFD")) )
+  ; ( "abl-sched"
+    , "Ablation: GTO vs LRR warp scheduling"
+    , fun _ ->
+        Crat.Experiments.pp_ablation_scheduler fmt
+          (Crat.Experiments.ablation_scheduler fermi
+             (List.map Workloads.Suite.find [ "CFD"; "KMN"; "STM" ])) )
+  ; ( "abl-chunk"
+    , "Ablation: Algorithm 1 sub-stack granularity"
+    , fun _ ->
+        Crat.Experiments.pp_ablation_chunk fmt
+          (Crat.Experiments.ablation_chunk fermi (Workloads.Suite.find "STE") ~reg:40) )
+  ; ( "gpu-scale"
+    , "Multi-SM scaling (KMN, shared memory system)"
+    , fun _ ->
+        Crat.Experiments.pp_gpu_scaling fmt
+          (Crat.Experiments.gpu_scaling fermi (Workloads.Suite.find "KMN") ~tlp:2) )
+  ; ( "abl-alloc"
+    , "Ablation: allocator extensions (coalescing, remat)"
+    , fun _ ->
+        Crat.Experiments.pp_ablation_allocator fmt
+          (Crat.Experiments.ablation_allocator fermi (Workloads.Suite.find "CFD") ~reg:48) )
+  ; ( "abl-type"
+    , "Ablation: type-affine colouring (register waste)"
+    , fun ctx ->
+        Crat.Experiments.pp_ablation_type_strict fmt
+          (Crat.Experiments.ablation_type_strict (ctx.sensitive @ ctx.insensitive)) )
+  ]
+
+(* ---------- Bechamel mode ---------- *)
+
+let bechamel_mode () =
+  let open Bechamel in
+  let open Toolkit in
+  let mini = List.map Workloads.Suite.find [ "PATH"; "GAU" ] in
+  let cfd = Workloads.Suite.find "CFD" in
+  let cfd_kernel = Workloads.App.kernel cfd in
+  let cfd_flow = Cfg.Flow.of_kernel cfd_kernel in
+  let cfd_live = Cfg.Liveness.compute cfd_flow in
+  let small = Workloads.Suite.find "PATH" in
+  let small_input = Workloads.App.default_input small in
+  let test name f = Test.make ~name (Staged.stage f) in
+  (* one Test.make per table/figure (scaled-down app set) plus the
+     library's hot paths *)
+  let tests =
+    [ test "tab1" (fun () ->
+        Crat.Eval.clear_cache ();
+        ignore (Crat.Experiments.tab1 fermi mini))
+    ; test "fig1" (fun () ->
+        Crat.Eval.clear_cache ();
+        ignore (Crat.Experiments.fig1 fermi mini))
+    ; test "fig5" (fun () ->
+        Crat.Eval.clear_cache ();
+        ignore (Crat.Experiments.fig5 fermi mini))
+    ; test "fig6" (fun () -> ignore (Crat.Experiments.fig6 fermi small))
+    ; test "fig12" (fun () -> ignore (Crat.Experiments.fig12 fermi small))
+    ; test "fig13" (fun () ->
+        Crat.Eval.clear_cache ();
+        ignore (Crat.Experiments.fig13 fermi mini))
+    ; test "liveness" (fun () -> ignore (Cfg.Liveness.compute cfd_flow))
+    ; test "interference" (fun () ->
+        ignore (Regalloc.Interference.build cfd_flow cfd_live))
+    ; test "allocate-cfd-r32" (fun () ->
+        ignore
+          (Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:32 cfd_kernel))
+    ; test "knapsack-64x12k" (fun () ->
+        let values = Array.init 64 (fun i -> float_of_int ((i * 37) mod 97)) in
+        let weights = Array.init 64 (fun i -> 128 + (i * 93 mod 1024)) in
+        ignore (Regalloc.Shared_spill.knapsack ~values ~weights ~capacity:12288))
+    ; test "ptx-roundtrip" (fun () ->
+        ignore (Ptx.Parser.parse_kernel_exn (Ptx.Printer.kernel_to_string cfd_kernel)))
+    ; test "static-opttlp" (fun () ->
+        ignore (Crat.Opttlp.estimate_static fermi small ~max_tlp:8 ()))
+    ; test "sim-small" (fun () ->
+        let launch =
+          Workloads.App.sm_launch small
+            ~input:{ small_input with Workloads.App.num_blocks = 2 }
+            ~tlp:2 ()
+        in
+        ignore (Gpusim.Sm.run fermi launch))
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg_b =
+    Benchmark.cfg ~limit:8 ~quota:(Time.second 3.0) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg_b instances (Test.make_grouped ~name:"crat" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+       let ns =
+         match Analyze.OLS.estimates result with
+         | Some (e :: _) -> e
+         | Some [] | None -> nan
+       in
+       Printf.printf "%-28s %14.0f ns/run\n" name ns)
+    results
+
+(* ---------- driver ---------- *)
+
+let () =
+  let bechamel = ref false in
+  let fast = ref false in
+  let only = ref [] in
+  let spec =
+    [ ("--bechamel", Arg.Set bechamel, " run Bechamel timing benchmarks")
+    ; ("--fast", Arg.Set fast, " reduced application sets")
+    ; ( "--only"
+      , Arg.String (fun s -> only := String.split_on_char ',' s)
+      , "IDS comma-separated experiment ids (e.g. fig13,tab1)" )
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/main.exe [--bechamel] [--fast] [--only ids]";
+  if !bechamel then bechamel_mode ()
+  else begin
+    let ctx = if !fast then fast_ctx else full_ctx in
+    let wanted (id, _, _) = !only = [] || List.mem id !only in
+    let t_all = Unix.gettimeofday () in
+    List.iter
+      (fun ((id, descr, run) as e) ->
+         if wanted e then begin
+           let t0 = Unix.gettimeofday () in
+           Format.fprintf fmt "==== %s: %s ====@." id descr;
+           run ctx;
+           Format.fprintf fmt "(%.1fs)@.@." (Unix.gettimeofday () -. t0)
+         end)
+      experiments;
+    let hits, misses = Crat.Eval.cache_stats () in
+    Format.fprintf fmt "total %.1fs; %d simulations (%d cache hits)@."
+      (Unix.gettimeofday () -. t_all)
+      misses hits
+  end

@@ -1,0 +1,269 @@
+(* crat — command-line driver for the CRAT framework.
+
+   Subcommands:
+     apps                         list the workload suite (Table 3)
+     config [--kepler]            show the simulated architecture (Table 2)
+     analyze APP                  resource-usage analysis (Table 1 row)
+     allocate APP -r N [...]      run the register allocator, dump PTX
+     allocate-file FILE -r N      allocate an external PTX kernel
+     simulate APP [-t TLP] [...]  one timing-simulator run with statistics
+     optimize APP [...]           the full CRAT pipeline + comparison
+     trace APP [-w N] [-n N]      per-warp execution trace
+     passes APP                   run the ptxopt cleanup pipeline *)
+
+open Cmdliner
+
+let config_of_kepler kepler =
+  if kepler then Gpusim.Config.kepler else Gpusim.Config.fermi
+
+let find_app abbr =
+  try Workloads.Suite.find abbr
+  with Not_found ->
+    Format.eprintf "unknown application %S; known: %s@." abbr
+      (String.concat " " Workloads.Suite.abbrs);
+    exit 2
+
+(* ---------- shared args ---------- *)
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
+         ~doc:"Application abbreviation from Table 3 (e.g. CFD, KMN).")
+
+let kepler_arg =
+  Arg.(value & flag & info [ "kepler" ] ~doc:"Use the Kepler-like configuration.")
+
+let regs_arg =
+  Arg.(value & opt (some int) None & info [ "r"; "regs" ] ~docv:"N"
+         ~doc:"Per-thread register limit (default: the app's default).")
+
+(* ---------- apps ---------- *)
+
+let apps_cmd =
+  let doc = "List the benchmark suite (paper Table 3)." in
+  let run () = Format.printf "%a" Workloads.Suite.pp_table () in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+(* ---------- config ---------- *)
+
+let config_cmd =
+  let doc = "Show the simulated GPU configuration (paper Table 2)." in
+  let run kepler = Format.printf "%a" Gpusim.Config.pp (config_of_kepler kepler) in
+  Cmd.v (Cmd.info "config" ~doc) Term.(const run $ kepler_arg)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let doc = "Resource-usage analysis: MaxReg/MinReg/MaxTLP/ShmSize + OptTLP." in
+  let run kepler abbr static =
+    let cfg = config_of_kepler kepler in
+    let app = find_app abbr in
+    let r = Crat.Resource.analyze cfg app in
+    Format.printf "%s: %a@." abbr Crat.Resource.pp r;
+    let opt =
+      if static then Crat.Opttlp.estimate_static cfg app ~max_tlp:r.Crat.Resource.max_tlp ()
+      else
+        (Crat.Opttlp.profile cfg app ~max_tlp:r.Crat.Resource.max_tlp ())
+          .Crat.Opttlp.opt_tlp
+    in
+    Format.printf "OptTLP (%s): %d@." (if static then "static" else "profiled") opt;
+    let stairs = Crat.Design_space.stairs cfg r in
+    Format.printf "staircase:";
+    List.iter (fun p -> Format.printf " %a" Crat.Design_space.pp_point p) stairs;
+    Format.printf "@."
+  in
+  let static =
+    Arg.(value & flag & info [ "static" ] ~doc:"Estimate OptTLP statically instead of profiling.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ kepler_arg $ app_arg $ static)
+
+(* ---------- allocate ---------- *)
+
+let do_allocate kernel ~block_size ~regs ~spare ~linear_scan ~dump =
+  let strategy =
+    if linear_scan then Regalloc.Allocator.Linear_scan
+    else Regalloc.Allocator.Chaitin_briggs
+  in
+  let shared_policy = if spare > 0 then `Spare spare else `Off in
+  let a =
+    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
+      ~reg_limit:regs kernel
+  in
+  Format.printf
+    "allocated at limit %d: %d units used, %d predicates, %d spilled@." regs
+    a.Regalloc.Allocator.units_used a.Regalloc.Allocator.pred_used
+    (List.length a.Regalloc.Allocator.spilled);
+  Format.printf
+    "spill code: %d local + %d shared accesses, %d setup instrs; %dB local/thread, %dB shared/block@."
+    a.Regalloc.Allocator.stats.Regalloc.Spill.num_local
+    a.Regalloc.Allocator.stats.Regalloc.Spill.num_shared
+    a.Regalloc.Allocator.stats.Regalloc.Spill.num_other
+    a.Regalloc.Allocator.spill_local_bytes
+    a.Regalloc.Allocator.spill_shared_bytes_per_block;
+  if dump then print_string (Ptx.Printer.kernel_to_string a.Regalloc.Allocator.kernel)
+
+let spare_arg =
+  Arg.(value & opt int 0 & info [ "shared-spare" ] ~docv:"BYTES"
+         ~doc:"Spare shared memory per block for Algorithm 1 (0 = local only).")
+
+let ls_arg =
+  Arg.(value & flag & info [ "linear-scan" ] ~doc:"Use the linear-scan reference allocator.")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Print the allocated PTX kernel.")
+
+let allocate_cmd =
+  let doc = "Allocate registers for a suite kernel at a per-thread limit." in
+  let run abbr regs spare linear_scan dump =
+    let app = find_app abbr in
+    let regs = Option.value ~default:app.Workloads.App.default_regs regs in
+    do_allocate (Workloads.App.kernel app)
+      ~block_size:app.Workloads.App.block_size ~regs ~spare ~linear_scan ~dump
+  in
+  Cmd.v (Cmd.info "allocate" ~doc)
+    Term.(const run $ app_arg $ regs_arg $ spare_arg $ ls_arg $ dump_arg)
+
+let allocate_file_cmd =
+  let doc = "Allocate registers for an external PTX kernel file." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"PTX source file.")
+  in
+  let regs =
+    Arg.(value & opt int 16 & info [ "r"; "regs" ] ~docv:"N" ~doc:"Register limit.")
+  in
+  let block =
+    Arg.(value & opt int 128 & info [ "block" ] ~docv:"N" ~doc:"Thread-block size.")
+  in
+  let run file regs block spare linear_scan dump =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Ptx.Parser.parse_kernel src with
+    | Error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      exit 1
+    | Ok kernel ->
+      do_allocate kernel ~block_size:block ~regs ~spare ~linear_scan ~dump
+  in
+  Cmd.v (Cmd.info "allocate-file" ~doc)
+    Term.(const run $ file $ regs $ block $ spare_arg $ ls_arg $ dump_arg)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let doc = "Run one configuration on the timing simulator and print statistics." in
+  let tlp_arg =
+    Arg.(value & opt (some int) None & info [ "t"; "tlp" ] ~docv:"N"
+           ~doc:"Concurrent thread blocks (default: occupancy maximum).")
+  in
+  let input_arg =
+    Arg.(value & opt string "default" & info [ "input" ] ~docv:"LABEL"
+           ~doc:"Input label (see the app's descriptor).")
+  in
+  let run kepler abbr regs tlp input_label =
+    let cfg = config_of_kepler kepler in
+    let app = find_app abbr in
+    let regs = Option.value ~default:app.Workloads.App.default_regs regs in
+    let input = Workloads.App.find_input app input_label in
+    let a =
+      Regalloc.Allocator.allocate ~block_size:app.Workloads.App.block_size
+        ~reg_limit:regs (Workloads.App.kernel app)
+    in
+    let r = Crat.Resource.analyze cfg app in
+    let occ = Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at r ~regs) in
+    let tlp = Option.value ~default:occ tlp in
+    let launch =
+      Workloads.App.sm_launch app ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp ()
+    in
+    Format.printf "%s at reg=%d TLP=%d on %s@." abbr regs tlp cfg.Gpusim.Config.name;
+    let st = Gpusim.Sm.run cfg launch in
+    Format.printf "%a" Gpusim.Stats.pp st;
+    Format.printf "energy: %a@." Energy.pp (Energy.of_stats st)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ kepler_arg $ app_arg $ regs_arg $ tlp_arg $ input_arg)
+
+(* ---------- passes ---------- *)
+
+let passes_cmd =
+  let doc = "Run the cleanup pipeline (const-fold, copy-prop, DCE) on a kernel." in
+  let run abbr dump =
+    let app = find_app abbr in
+    let k = Workloads.App.kernel app in
+    let k', report = Ptxopt.Pipeline.run k in
+    Format.printf "%s: %d -> %d instructions (%a)@." abbr
+      (Ptx.Kernel.instr_count k) (Ptx.Kernel.instr_count k')
+      Ptxopt.Pipeline.pp_report report;
+    if dump then print_string (Ptx.Printer.kernel_to_string k')
+  in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ app_arg $ dump_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let doc = "Print a per-warp execution trace from the functional interpreter." in
+  let warp_arg =
+    Arg.(value & opt int 0 & info [ "w"; "warp" ] ~docv:"N" ~doc:"Warp index within the block.")
+  in
+  let block_arg =
+    Arg.(value & opt int 0 & info [ "b"; "block" ] ~docv:"N" ~doc:"Thread-block id.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 120 & info [ "n"; "steps" ] ~docv:"N" ~doc:"Maximum steps to log.")
+  in
+  let run abbr warp block steps =
+    let app = find_app abbr in
+    let input = Workloads.App.default_input app in
+    let entries =
+      Gpusim.Trace.warp_trace ~max_steps:steps
+        ~kernel:(Workloads.App.kernel app)
+        ~block_size:app.Workloads.App.block_size
+        ~num_blocks:input.Workloads.App.num_blocks
+        ~params:(Workloads.App.params app input)
+        ~memory:(Workloads.App.memory app input)
+        ~ctaid:block ~warp ()
+    in
+    Format.printf "%a" Gpusim.Trace.pp entries
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ app_arg $ warp_arg $ block_arg $ steps_arg)
+
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let doc = "Run the full CRAT pipeline and compare against MaxTLP/OptTLP." in
+  let static_arg =
+    Arg.(value & flag & info [ "static" ] ~doc:"Use the static OptTLP estimate (CRAT-static).")
+  in
+  let no_shared_arg =
+    Arg.(value & flag & info [ "no-shared-spill" ] ~doc:"Disable Algorithm 1 (CRAT-local).")
+  in
+  let run kepler abbr static no_shared =
+    let cfg = config_of_kepler kepler in
+    let app = find_app abbr in
+    let mode = if static then `Static else `Profile in
+    let m = Crat.Baselines.max_tlp cfg app () in
+    let o = Crat.Baselines.opt_tlp cfg app () in
+    let c, plan =
+      Crat.Baselines.crat ~mode ~shared_spilling:(not no_shared) cfg app ()
+    in
+    Format.printf "%a@." Crat.Optimizer.pp_plan plan;
+    let show (e : Crat.Baselines.evaluated) =
+      Format.printf "  %-12s reg=%2d TLP=%d %9d cycles (%.3fx vs OptTLP)@."
+        e.Crat.Baselines.label e.Crat.Baselines.reg e.Crat.Baselines.tlp
+        (Crat.Baselines.cycles e)
+        (Crat.Baselines.speedup_over ~baseline:o e)
+    in
+    show m;
+    show o;
+    show c
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg)
+
+let () =
+  let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in
+  let info = Cmd.info "crat" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ apps_cmd; config_cmd; analyze_cmd; allocate_cmd; allocate_file_cmd
+      ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Format Gpusim List Ptx Regalloc

@@ -1,0 +1,1 @@
+examples/design_space_explorer.ml: Array Crat Format Gpusim List Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/multi_sm.ml: Array Format Gpusim List Regalloc Sys Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crat Format Gpusim Ptx String Sys Workloads

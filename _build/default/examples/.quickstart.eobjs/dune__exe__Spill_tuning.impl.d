@@ -1,0 +1,1 @@
+examples/spill_tuning.ml: Array Cfg Crat Format Gpusim List Ptx Regalloc Sys Workloads

@@ -1,0 +1,1 @@
+examples/spill_tuning.mli:

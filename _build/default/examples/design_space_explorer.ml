@@ -1,0 +1,71 @@
+(* Design-space exploration (the paper's Figure 2 / motivating example).
+
+     dune exec examples/design_space_explorer.exe [-- APP]
+
+   Prints the (register per-thread, TLP) surface for one application:
+   each stair register count is allocated and simulated at every
+   feasible TLP, normalised to the MaxTLP baseline. The staircase shape
+   of Figure 11 and the pruning decisions are shown alongside. *)
+
+let () =
+  let abbr = if Array.length Sys.argv > 1 then Sys.argv.(1) else "CFD" in
+  let app = Workloads.Suite.find abbr in
+  let cfg = Gpusim.Config.fermi in
+  let resource = Crat.Resource.analyze cfg app in
+  Format.printf "design space for %s on %s@." app.Workloads.App.app_name
+    cfg.Gpusim.Config.name;
+  Format.printf "%a@.@." Crat.Resource.pp resource;
+
+  (* the staircase: rightmost point of each stair (Fig. 11) *)
+  let stairs = Crat.Design_space.stairs cfg resource in
+  Format.printf "staircase:";
+  List.iter (fun p -> Format.printf " %a" Crat.Design_space.pp_point p) stairs;
+  Format.printf "@.";
+  let pr =
+    Crat.Opttlp.profile cfg app ~max_tlp:resource.Crat.Resource.max_tlp ()
+  in
+  let pruned = Crat.Design_space.prune cfg resource ~opt_tlp:pr.Crat.Opttlp.opt_tlp in
+  Format.printf "OptTLP=%d -> %d candidate(s) after pruning:@."
+    pr.Crat.Opttlp.opt_tlp (List.length pruned);
+  List.iter (fun p -> Format.printf "  %a@." Crat.Design_space.pp_point p) pruned;
+  Format.printf "@.";
+
+  (* the full surface, normalised to MaxTLP (Fig. 2) *)
+  let points = Crat.Experiments.fig2 cfg app in
+  let regs =
+    List.sort_uniq compare (List.map (fun p -> p.Crat.Experiments.reg2) points)
+  in
+  let tlps =
+    List.sort_uniq compare (List.map (fun p -> p.Crat.Experiments.tlp2) points)
+  in
+  Format.printf "speedup vs MaxTLP (rows: registers; columns: TLP)@.";
+  Format.printf "%6s" "reg";
+  List.iter (fun t -> Format.printf " %6s" (Printf.sprintf "TLP%d" t)) tlps;
+  Format.printf "@.";
+  List.iter
+    (fun reg ->
+       Format.printf "%6d" reg;
+       List.iter
+         (fun tlp ->
+            match
+              List.find_opt
+                (fun p ->
+                   p.Crat.Experiments.reg2 = reg && p.Crat.Experiments.tlp2 = tlp)
+                points
+            with
+            | Some p -> Format.printf " %6.2f" p.Crat.Experiments.speedup_vs_max
+            | None -> Format.printf " %6s" "-")
+         tlps;
+       Format.printf "@.")
+    regs;
+  let best =
+    List.fold_left
+      (fun acc p ->
+         if p.Crat.Experiments.speedup_vs_max > acc.Crat.Experiments.speedup_vs_max
+         then p
+         else acc)
+      (List.hd points) points
+  in
+  Format.printf "@.best point: reg=%d TLP=%d (%.2fx vs MaxTLP)@."
+    best.Crat.Experiments.reg2 best.Crat.Experiments.tlp2
+    best.Crat.Experiments.speedup_vs_max

@@ -1,0 +1,89 @@
+(* Register-spilling exploration (the paper's Figure 8 / Section 5.3).
+
+     dune exec examples/spill_tuning.exe [-- APP]
+
+   Demonstrates, for one register-hungry application:
+   - how the spill volume grows as the per-thread register limit shrinks
+     (Chaitin-Briggs vs the linear-scan reference, Fig. 12);
+   - what Algorithm 1 does: sub-stack split, gains, knapsack choice;
+   - the performance effect of spilling to shared memory vs local
+     memory, and of spilling high- vs low-frequency variables. *)
+
+let () =
+  let abbr = if Array.length Sys.argv > 1 then Sys.argv.(1) else "FDTD" in
+  let app = Workloads.Suite.find abbr in
+  let cfg = Gpusim.Config.fermi in
+  let kernel = Workloads.App.kernel app in
+  let block_size = app.Workloads.App.block_size in
+  Format.printf "spill tuning for %s (block=%d)@.@." app.Workloads.App.app_name
+    block_size;
+
+  (* spill volume vs register limit, two allocators *)
+  Format.printf "%5s %14s %14s %8s@." "reg" "CB spill-B" "LS spill-B" "insts";
+  List.iter
+    (fun reg ->
+       let cb = Regalloc.Allocator.allocate ~block_size ~reg_limit:reg kernel in
+       let ls =
+         Regalloc.Allocator.allocate ~strategy:Regalloc.Allocator.Linear_scan
+           ~block_size ~reg_limit:reg kernel
+       in
+       Format.printf "%5d %14d %14d %8d@." reg
+         (Regalloc.Allocator.spill_bytes cb)
+         (Regalloc.Allocator.spill_bytes ls)
+         (Ptx.Kernel.instr_count cb.Regalloc.Allocator.kernel))
+    [ 24; 32; 40; 48; 56; 63 ];
+  Format.printf "@.";
+
+  (* Algorithm 1 internals at a tight limit *)
+  let reg_limit = 32 in
+  let local = Regalloc.Allocator.allocate ~block_size ~reg_limit kernel in
+  let spilled = List.map (fun (p : Regalloc.Spill.placement) -> p.Regalloc.Spill.reg) local.Regalloc.Allocator.spilled in
+  let flow = Cfg.Flow.of_kernel kernel in
+  let du = Cfg.Defuse.compute flow in
+  let gain r =
+    match Ptx.Reg.Map.find_opt r du with
+    | Some s -> float_of_int (s.Cfg.Defuse.n_defs + s.Cfg.Defuse.n_uses)
+    | None -> 0.
+  in
+  Format.printf "at reg=%d: %d spilled variables@." reg_limit (List.length spilled);
+  let subs = Regalloc.Shared_spill.split ~gain spilled in
+  Format.printf "Algorithm 1 sub-stacks (type, regs, bytes/thread, gain):@.";
+  List.iter
+    (fun (s : Regalloc.Shared_spill.substack) ->
+       Format.printf "  %-5s %2d regs %4dB %6.0f@."
+         (Ptx.Types.scalar_to_string s.Regalloc.Shared_spill.sty)
+         (List.length s.Regalloc.Shared_spill.sregs)
+         s.Regalloc.Shared_spill.bytes_per_thread s.Regalloc.Shared_spill.gain)
+    subs;
+  Format.printf "@.";
+
+  (* performance: local-only vs Algorithm 1 vs inverted spill choice *)
+  let resource = Crat.Resource.analyze cfg app in
+  let tlp =
+    Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at resource ~regs:reg_limit)
+  in
+  let spare =
+    Gpusim.Occupancy.spare_shared_bytes cfg
+      (Crat.Resource.usage_at resource ~regs:reg_limit)
+      ~tlp
+  in
+  let input = Workloads.App.default_input app in
+  let run name shared_policy spill_preference =
+    let a =
+      Regalloc.Allocator.allocate ~shared_policy ~spill_preference ~block_size
+        ~reg_limit kernel
+    in
+    let launch =
+      Workloads.App.sm_launch app ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp ()
+    in
+    let st = Gpusim.Sm.run cfg launch in
+    Format.printf "  %-44s %9d cycles (local %d, shared %d accesses)@." name
+      st.Gpusim.Stats.cycles
+      (Gpusim.Stats.local_accesses st)
+      (st.Gpusim.Stats.shared_load_lanes + st.Gpusim.Stats.shared_store_lanes)
+  in
+  Format.printf "simulated at reg=%d, TLP=%d (spare shared: %dB/block):@."
+    reg_limit tlp spare;
+  run "spill to local memory only" `Off `Cheap_first;
+  run "Algorithm 1 (low-frequency vars to shared)" (`Spare spare) `Cheap_first;
+  run "inverted choice (high-frequency spilled)" (`Spare spare) `Expensive_first

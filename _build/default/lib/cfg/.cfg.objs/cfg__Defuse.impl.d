@@ -1,0 +1,1 @@
+lib/cfg/defuse.ml: Array Flow List Loops Option Ptx

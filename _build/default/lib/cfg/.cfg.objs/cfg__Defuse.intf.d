@@ -1,0 +1,1 @@
+lib/cfg/defuse.mli: Flow Ptx

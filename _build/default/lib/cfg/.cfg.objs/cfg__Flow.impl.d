@@ -1,0 +1,1 @@
+lib/cfg/flow.ml: Array Format List Printf Ptx String

@@ -1,0 +1,1 @@
+lib/cfg/flow.mli: Format Ptx

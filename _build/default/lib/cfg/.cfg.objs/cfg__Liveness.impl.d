@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Array Flow List Ptx

@@ -1,0 +1,1 @@
+lib/cfg/liveness.mli: Flow Ptx

@@ -1,0 +1,15 @@
+(** Def/use statistics per virtual register, optionally weighted by loop
+    depth. Drives spill-candidate selection (paper Section 2.2: variables
+    with long live ranges and low access frequency are cheap spills). *)
+
+type stats =
+  { n_defs : int
+  ; n_uses : int
+  ; weighted : float
+      (** sum over occurrences of [10^min(depth, 4)] — estimated dynamic
+          access frequency *)
+  }
+
+val compute : Flow.t -> stats Ptx.Reg.Map.t
+val access_frequency : Flow.t -> Ptx.Reg.t -> float
+(** [weighted] for one register; 0 if the register does not occur. *)

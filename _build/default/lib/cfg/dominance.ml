@@ -1,0 +1,102 @@
+(* The iterative algorithm of Cooper, Harvey & Kennedy, "A Simple, Fast
+   Dominance Algorithm". We run it on an abstract graph so the same code
+   serves dominators (forward CFG) and post-dominators (reversed CFG with
+   a virtual exit). *)
+
+type t =
+  { idoms : int array  (** index by node; root maps to itself *)
+  ; root : int
+  ; virtual_node : int option  (** hidden from queries *)
+  }
+
+let compute ~num_nodes ~root ~preds ~succs =
+  (* reverse postorder from root *)
+  let visited = Array.make num_nodes false in
+  let order = ref [] in
+  let rec dfs n =
+    if not visited.(n) then begin
+      visited.(n) <- true;
+      List.iter dfs (succs n);
+      order := n :: !order
+    end
+  in
+  dfs root;
+  let rpo = Array.of_list !order in
+  let rpo_num = Array.make num_nodes (-1) in
+  Array.iteri (fun i n -> rpo_num.(n) <- i) rpo;
+  let idoms = Array.make num_nodes (-1) in
+  idoms.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_num.(a) > rpo_num.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+         if n <> root then begin
+           let processed =
+             List.filter (fun p -> idoms.(p) <> -1 && rpo_num.(p) <> -1) (preds n)
+           in
+           match processed with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if idoms.(n) <> new_idom then begin
+               idoms.(n) <- new_idom;
+               changed := true
+             end
+         end)
+      rpo
+  done;
+  idoms
+
+let dominators (flow : Flow.t) =
+  let nb = Flow.num_blocks flow in
+  let idoms =
+    compute ~num_nodes:nb ~root:0
+      ~preds:(fun n -> flow.blocks.(n).preds)
+      ~succs:(fun n -> flow.blocks.(n).succs)
+  in
+  { idoms; root = 0; virtual_node = None }
+
+let post_dominators (flow : Flow.t) =
+  let nb = Flow.num_blocks flow in
+  let vexit = nb in
+  let exits = Flow.exit_blocks flow in
+  (* reversed graph: succ/pred swapped; virtual exit precedes all exits *)
+  let succs n =
+    if n = vexit then exits
+    else flow.blocks.(n).preds
+  in
+  let preds n =
+    if n = vexit then []
+    else
+      flow.blocks.(n).succs @ (if List.mem n exits then [ vexit ] else [])
+  in
+  let idoms = compute ~num_nodes:(nb + 1) ~root:vexit ~preds ~succs in
+  { idoms; root = vexit; virtual_node = Some vexit }
+
+let idom t n =
+  if n = t.root then None
+  else
+    let d = t.idoms.(n) in
+    if d = -1 then None
+    else
+      match t.virtual_node with
+      | Some v when d = v -> None
+      | Some _ | None -> Some d
+
+let rec dominates t a b =
+  if a = b then true
+  else if b = t.root then false
+  else
+    let d = t.idoms.(b) in
+    if d = -1 || d = b then false else dominates t a d
+
+let reconvergence_point (flow : Flow.t) t block =
+  match idom t block with
+  | None -> None
+  | Some pd -> Some flow.blocks.(pd).first

@@ -1,0 +1,23 @@
+(** Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+    algorithm). Post-dominance drives the SIMT reconvergence points used
+    by the simulator's divergence stack. *)
+
+type t
+
+val dominators : Flow.t -> t
+val post_dominators : Flow.t -> t
+(** Computed on the reversed CFG with a virtual exit joining all [Ret]
+    blocks; the virtual node is hidden from the query API. *)
+
+val idom : t -> int -> int option
+(** Immediate (post-)dominator of a block; [None] for the root or for
+    blocks whose only (post-)dominator is the virtual exit. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] (post-)dominate [b]? Reflexive. *)
+
+val reconvergence_point : Flow.t -> t -> int -> int option
+(** [reconvergence_point flow pdom block]: instruction index of the first
+    instruction of the immediate post-dominator block — where a warp
+    diverging at the end of [block] reconverges. [None] when control
+    reconverges only at kernel exit. *)

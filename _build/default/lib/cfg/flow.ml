@@ -1,0 +1,129 @@
+type block =
+  { bid : int
+  ; first : int
+  ; last : int
+  ; succs : int list
+  ; preds : int list
+  }
+
+type t =
+  { kernel : Ptx.Kernel.t
+  ; instrs : Ptx.Instr.t array
+  ; blocks : block array
+  ; block_of_instr : int array
+  ; label_index : (string * int) list
+  }
+
+let flatten (k : Ptx.Kernel.t) =
+  let instrs = ref [] in
+  let labels = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun s ->
+       match s with
+       | Ptx.Kernel.L l -> labels := (l, !count) :: !labels
+       | Ptx.Kernel.I i ->
+         instrs := i :: !instrs;
+         incr count)
+    k.Ptx.Kernel.body;
+  (Array.of_list (List.rev !instrs), List.rev !labels)
+
+let of_kernel (k : Ptx.Kernel.t) =
+  let instrs, label_index = flatten k in
+  let n = Array.length instrs in
+  let target l =
+    match List.assoc_opt l label_index with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Cfg.Flow: unknown label %s" l)
+  in
+  (* leaders *)
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun i ins ->
+       if Ptx.Instr.is_control ins then begin
+         if i + 1 < n then leader.(i + 1) <- true;
+         match Ptx.Instr.branch_target ins with
+         | Some l ->
+           let t = target l in
+           if t < n then leader.(t) <- true
+         | None -> ()
+       end)
+    instrs;
+  (* block ranges *)
+  let ranges = ref [] in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if leader.(i) then begin
+      ranges := (!start, i - 1) :: !ranges;
+      start := i
+    end
+  done;
+  if n > 0 then ranges := (!start, n - 1) :: !ranges;
+  let ranges = Array.of_list (List.rev !ranges) in
+  let nb = Array.length ranges in
+  let block_of_instr = Array.make (max n 1) 0 in
+  Array.iteri
+    (fun bid (first, last) ->
+       for i = first to last do
+         block_of_instr.(i) <- bid
+       done)
+    ranges;
+  let succs_of bid =
+    let _, last = ranges.(bid) in
+    let ins = instrs.(last) in
+    let fall = if last + 1 < n then [ block_of_instr.(last + 1) ] else [] in
+    match ins with
+    | Ptx.Instr.Ret -> []
+    | Ptx.Instr.Bra l ->
+      let t = target l in
+      if t < n then [ block_of_instr.(t) ] else []
+    | Ptx.Instr.Bra_pred (_, _, l) ->
+      let t = target l in
+      let tb = if t < n then [ block_of_instr.(t) ] else [] in
+      (* dedupe when the branch targets the fall-through block *)
+      tb @ List.filter (fun b -> not (List.mem b tb)) fall
+    | Ptx.Instr.Mov _ | Ptx.Instr.Binop _ | Ptx.Instr.Mad _ | Ptx.Instr.Unop _
+    | Ptx.Instr.Cvt _ | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.Ld _
+    | Ptx.Instr.St _ | Ptx.Instr.Bar_sync -> fall
+  in
+  let succs = Array.init nb succs_of in
+  let preds = Array.make nb [] in
+  Array.iteri
+    (fun bid ss -> List.iter (fun s -> preds.(s) <- bid :: preds.(s)) ss)
+    succs;
+  let blocks =
+    Array.init nb (fun bid ->
+      let first, last = ranges.(bid) in
+      { bid; first; last; succs = succs.(bid); preds = List.rev preds.(bid) })
+  in
+  { kernel = k; instrs; blocks; block_of_instr; label_index }
+
+let entry t = t.blocks.(0)
+let num_blocks t = Array.length t.blocks
+let num_instrs t = Array.length t.instrs
+
+let block_instrs t b =
+  let rec loop i acc = if i < b.first then acc else loop (i - 1) (t.instrs.(i) :: acc) in
+  loop b.last []
+
+let exit_blocks t =
+  Array.to_list t.blocks
+  |> List.filter_map (fun b -> if b.succs = [] then Some b.bid else None)
+
+let iter_instrs t f = Array.iteri f t.instrs
+
+let target_index t l =
+  match List.assoc_opt l t.label_index with
+  | Some i -> i
+  | None -> raise Not_found
+
+let pp fmt t =
+  Array.iter
+    (fun b ->
+       Format.fprintf fmt "B%d [%d..%d] -> %s@." b.bid b.first b.last
+         (String.concat "," (List.map string_of_int b.succs));
+       List.iter
+         (fun i -> Format.fprintf fmt "  %a@." Ptx.Instr.pp i)
+         (block_instrs t b))
+    t.blocks

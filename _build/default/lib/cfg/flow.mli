@@ -1,0 +1,37 @@
+(** Control-flow graph over a flattened kernel body.
+
+    Statements are flattened to an instruction array (labels resolved to
+    indices); basic blocks are contiguous index ranges. Block 0 is the
+    entry. A virtual exit is materialised for post-dominance queries. *)
+
+type block =
+  { bid : int
+  ; first : int  (** index of the first instruction, inclusive *)
+  ; last : int  (** index of the last instruction, inclusive *)
+  ; succs : int list
+  ; preds : int list
+  }
+
+type t =
+  { kernel : Ptx.Kernel.t
+  ; instrs : Ptx.Instr.t array  (** flattened body, labels removed *)
+  ; blocks : block array
+  ; block_of_instr : int array  (** instruction index -> block id *)
+  ; label_index : (string * int) list  (** label -> instruction index *)
+  }
+
+val of_kernel : Ptx.Kernel.t -> t
+
+val entry : t -> block
+val num_blocks : t -> int
+val num_instrs : t -> int
+val block_instrs : t -> block -> Ptx.Instr.t list
+val exit_blocks : t -> int list
+(** Blocks ending in [Ret] (or with no successor). *)
+
+val iter_instrs : t -> (int -> Ptx.Instr.t -> unit) -> unit
+val target_index : t -> string -> int
+(** Instruction index a label resolves to.
+    @raise Not_found for unknown labels. *)
+
+val pp : Format.formatter -> t -> unit

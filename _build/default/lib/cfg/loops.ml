@@ -1,0 +1,35 @@
+let back_edges (flow : Flow.t) =
+  let dom = Dominance.dominators flow in
+  Array.to_list flow.blocks
+  |> List.concat_map (fun (b : Flow.block) ->
+    List.filter_map
+      (fun s -> if Dominance.dominates dom s b.bid then Some (b.bid, s) else None)
+      b.succs)
+
+(* Natural loop of a back edge (u, v): v plus all nodes reaching u without
+   passing through v. *)
+let natural_loop (flow : Flow.t) (u, v) =
+  let in_loop = Array.make (Flow.num_blocks flow) false in
+  in_loop.(v) <- true;
+  let rec visit n =
+    if not in_loop.(n) then begin
+      in_loop.(n) <- true;
+      List.iter visit flow.blocks.(n).preds
+    end
+  in
+  visit u;
+  in_loop
+
+let depths (flow : Flow.t) =
+  let nb = Flow.num_blocks flow in
+  let d = Array.make nb 0 in
+  List.iter
+    (fun e ->
+       let in_loop = natural_loop flow e in
+       Array.iteri (fun i inl -> if inl then d.(i) <- d.(i) + 1) in_loop)
+    (back_edges flow);
+  d
+
+let instr_depths (flow : Flow.t) =
+  let bd = depths flow in
+  Array.init (Flow.num_instrs flow) (fun i -> bd.(flow.block_of_instr.(i)))

@@ -1,0 +1,12 @@
+(** Natural-loop detection from back edges; provides the loop-nesting
+    depth used to weight spill costs (a spill inside a loop is paid every
+    iteration). *)
+
+val depths : Flow.t -> int array
+(** Loop-nesting depth per block (0 = not in any loop). *)
+
+val instr_depths : Flow.t -> int array
+(** Loop-nesting depth per instruction index. *)
+
+val back_edges : Flow.t -> (int * int) list
+(** Edges (u, v) with v dominating u. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Design_space Eval Gpusim Optimizer Opttlp Printf Regalloc Resource Workloads

@@ -1,0 +1,1 @@
+lib/core/design_space.ml: Format Gpusim List Resource

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Gpusim Hashtbl Printf Regalloc Workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Baselines Cfg Design_space Energy Eval Float Format Gpusim List Optimizer Opttlp Printf Ptx Regalloc Resource Sys Workloads

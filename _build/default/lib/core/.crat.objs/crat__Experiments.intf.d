@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Baselines Design_space Format Gpusim Optimizer Resource Workloads

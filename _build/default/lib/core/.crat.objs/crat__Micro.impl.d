@@ -1,0 +1,1 @@
+lib/core/micro.ml: Gpusim Hashtbl Printf Ptx

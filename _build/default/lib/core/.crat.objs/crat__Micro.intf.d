@@ -1,0 +1,1 @@
+lib/core/micro.mli: Gpusim

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Design_space Eval Format Gpusim List Micro Opttlp Printf Regalloc Resource Tpsc Workloads

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Design_space Format Gpusim Regalloc Resource Workloads

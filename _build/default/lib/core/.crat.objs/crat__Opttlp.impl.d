@@ -1,0 +1,1 @@
+lib/core/opttlp.ml: Array Eval Float Gpusim List Printf Regalloc Segments Workloads

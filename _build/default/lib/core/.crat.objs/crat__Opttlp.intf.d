@@ -1,0 +1,1 @@
+lib/core/opttlp.mli: Gpusim Ptx Segments Workloads

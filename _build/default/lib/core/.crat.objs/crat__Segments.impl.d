@@ -1,0 +1,1 @@
+lib/core/segments.ml: Format Gpusim Hashtbl Int64 List Ptx Workloads

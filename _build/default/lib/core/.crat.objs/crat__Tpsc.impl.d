@@ -1,0 +1,1 @@
+lib/core/tpsc.ml: Gpusim Micro Regalloc

@@ -1,0 +1,1 @@
+lib/core/tpsc.mli: Gpusim Micro Regalloc

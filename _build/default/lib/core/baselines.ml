@@ -1,0 +1,92 @@
+type evaluated =
+  { label : string
+  ; reg : int
+  ; tlp : int
+  ; stats : Gpusim.Stats.t
+  ; alloc : Regalloc.Allocator.t
+  ; input : Workloads.App.input
+  }
+
+let cycles e = e.stats.Gpusim.Stats.cycles
+
+let speedup_over ~baseline e =
+  float_of_int (cycles baseline) /. float_of_int (cycles e)
+
+let default_build (app : Workloads.App.t) =
+  let a = Eval.allocate app ~reg_limit:app.Workloads.App.default_regs in
+  (Printf.sprintf "default-r%d" app.Workloads.App.default_regs, a)
+
+let resolve_input app = function
+  | Some i -> i
+  | None -> Workloads.App.default_input app
+
+let max_tlp cfg (app : Workloads.App.t) ?input () =
+  let input = resolve_input app input in
+  let variant, alloc = default_build app in
+  let r = Resource.analyze cfg app in
+  let tlp = max 1 r.Resource.max_tlp in
+  let stats =
+    Eval.run cfg app ~variant ~kernel:alloc.Regalloc.Allocator.kernel ~input ~tlp
+  in
+  { label = "MaxTLP"
+  ; reg = app.Workloads.App.default_regs
+  ; tlp
+  ; stats
+  ; alloc
+  ; input
+  }
+
+let opt_tlp cfg (app : Workloads.App.t) ?input () =
+  let input = resolve_input app input in
+  let variant, alloc = default_build app in
+  let r = Resource.analyze cfg app in
+  let pr =
+    Opttlp.profile cfg app ~input
+      ~kernel_variant:(variant, alloc.Regalloc.Allocator.kernel)
+      ~max_tlp:(max 1 r.Resource.max_tlp) ()
+  in
+  let tlp = pr.Opttlp.opt_tlp in
+  let stats =
+    Eval.run cfg app ~variant ~kernel:alloc.Regalloc.Allocator.kernel ~input ~tlp
+  in
+  { label = "OptTLP"
+  ; reg = app.Workloads.App.default_regs
+  ; tlp
+  ; stats
+  ; alloc
+  ; input
+  }
+
+let crat ?mode ?shared_spilling ?profile_input cfg (app : Workloads.App.t) ?input () =
+  let input = resolve_input app input in
+  let plan = Optimizer.plan ?mode ?shared_spilling ?profile_input cfg app in
+  let c = plan.Optimizer.chosen in
+  let stats =
+    Eval.run cfg app
+      ~variant:(Optimizer.variant_label c)
+      ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel ~input
+      ~tlp:c.Optimizer.point.Design_space.tlp
+  in
+  let label =
+    match (plan.Optimizer.mode, plan.Optimizer.shared_spilling) with
+    | `Profile, true -> "CRAT"
+    | `Profile, false -> "CRAT-local"
+    | `Static, true -> "CRAT-static"
+    | `Static, false -> "CRAT-static-local"
+  in
+  ( { label
+    ; reg = c.Optimizer.point.Design_space.reg
+    ; tlp = c.Optimizer.point.Design_space.tlp
+    ; stats
+    ; alloc = c.Optimizer.alloc
+    ; input
+    }
+  , plan )
+
+let register_utilization cfg (app : Workloads.App.t) e =
+  Gpusim.Occupancy.register_utilization cfg
+    { Gpusim.Occupancy.regs_per_thread = e.alloc.Regalloc.Allocator.units_used
+    ; block_size = app.Workloads.App.block_size
+    ; shared_per_block = Workloads.App.shared_decl_bytes app
+    }
+    ~tlp:e.tlp

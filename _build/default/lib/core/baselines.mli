@@ -1,0 +1,43 @@
+(** The techniques compared in the paper's evaluation (Section 7.2):
+
+    - [MaxTLP]: default register allocation, as many blocks as fit;
+    - [OptTLP]: default registers, block-level thread throttling with the
+      profiled best TLP (Kayiran et al.);
+    - [CRAT-local]: full CRAT but spills only to local memory;
+    - [CRAT]: coordinated register allocation + TLP with Algorithm 1;
+    - [CRAT-static]: CRAT with the statically estimated OptTLP. *)
+
+type evaluated =
+  { label : string
+  ; reg : int  (** per-thread register limit of the build *)
+  ; tlp : int  (** concurrent blocks per SM *)
+  ; stats : Gpusim.Stats.t
+  ; alloc : Regalloc.Allocator.t
+  ; input : Workloads.App.input
+  }
+
+val cycles : evaluated -> int
+val speedup_over : baseline:evaluated -> evaluated -> float
+
+val max_tlp :
+  Gpusim.Config.t -> Workloads.App.t -> ?input:Workloads.App.input -> unit -> evaluated
+
+val opt_tlp :
+  Gpusim.Config.t -> Workloads.App.t -> ?input:Workloads.App.input -> unit -> evaluated
+(** Profiling (and the returned evaluation) use [input]. *)
+
+val crat :
+  ?mode:Optimizer.mode
+  -> ?shared_spilling:bool
+  -> ?profile_input:Workloads.App.input
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> ?input:Workloads.App.input
+  -> unit
+  -> evaluated * Optimizer.plan
+(** Full CRAT by default; [~shared_spilling:false] gives CRAT-local,
+    [~mode:`Static] gives CRAT-static. [profile_input] (default: the
+    app default) drives OptTLP profiling; [input] is evaluated. *)
+
+val register_utilization : Gpusim.Config.t -> Workloads.App.t -> evaluated -> float
+(** Fraction of the register file used by the evaluated configuration. *)

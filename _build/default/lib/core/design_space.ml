@@ -1,0 +1,55 @@
+type point =
+  { reg : int
+  ; tlp : int
+  }
+
+let occupancy cfg (r : Resource.t) ~reg =
+  Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg)
+
+let reg_upper cfg (r : Resource.t) =
+  min r.Resource.max_reg cfg.Gpusim.Config.max_regs_per_thread
+
+(* On large register files MinReg can exceed a light kernel's MaxReg; the
+   space then degenerates to the single register count MaxReg. *)
+let reg_lower cfg (r : Resource.t) = min r.Resource.min_reg (reg_upper cfg r)
+
+let full cfg (r : Resource.t) =
+  let lo = reg_lower cfg r and hi = reg_upper cfg r in
+  List.concat
+    (List.init
+       (max 0 (hi - lo + 1))
+       (fun i ->
+          let reg = lo + i in
+          let t = occupancy cfg r ~reg in
+          List.init t (fun j -> { reg; tlp = j + 1 })))
+
+let max_reg_at_tlp cfg (r : Resource.t) ~tlp =
+  let lo = reg_lower cfg r and hi = reg_upper cfg r in
+  let rec scan reg best =
+    if reg > hi then best
+    else if occupancy cfg r ~reg >= tlp then scan (reg + 1) (Some reg)
+    else best
+  in
+  scan lo None
+
+(* rightmost stair points for every TLP up to [bound], keeping only the
+   highest TLP among points sharing a register cap (same registers, more
+   parallelism is never worse before the cache-contention bound) *)
+let stairs_below cfg (r : Resource.t) ~bound =
+  let rec collect tlp acc =
+    if tlp < 1 then acc
+    else
+      match max_reg_at_tlp cfg r ~tlp with
+      | Some reg ->
+        let dominated = List.exists (fun p -> p.reg = reg && p.tlp > tlp) acc in
+        collect (tlp - 1) (if dominated then acc else acc @ [ { reg; tlp } ])
+      | None -> collect (tlp - 1) acc
+  in
+  collect bound []
+
+let stairs cfg (r : Resource.t) =
+  stairs_below cfg r ~bound:(occupancy cfg r ~reg:(reg_lower cfg r))
+
+let prune cfg r ~opt_tlp = stairs_below cfg r ~bound:opt_tlp
+
+let pp_point fmt p = Format.fprintf fmt "(reg=%d, TLP=%d)" p.reg p.tlp

@@ -1,0 +1,31 @@
+(** The (register per-thread, TLP) design space and its pruning
+    (paper Section 4.2, Figure 11).
+
+    Points form a staircase: each TLP level admits a range of register
+    counts, and only the rightmost point of each stair can be optimal
+    (same TLP, more registers is never worse). Points whose TLP exceeds
+    OptTLP thrash the L1 and are discarded. *)
+
+type point =
+  { reg : int
+  ; tlp : int
+  }
+
+val full : Gpusim.Config.t -> Resource.t -> point list
+(** Every feasible point with [MinReg <= reg <= MaxReg] and
+    [1 <= TLP <= occupancy(reg)]. For plotting Figure 11. *)
+
+val stairs : Gpusim.Config.t -> Resource.t -> point list
+(** The rightmost point of each stair: for each achievable TLP, the
+    largest register count that still sustains it (clamped to
+    [MaxReg]). TLP descending. *)
+
+val prune : Gpusim.Config.t -> Resource.t -> opt_tlp:int -> point list
+(** {!stairs} restricted to [TLP <= opt_tlp] — the candidate solutions
+    handed to register allocation. *)
+
+val max_reg_at_tlp : Gpusim.Config.t -> Resource.t -> tlp:int -> int option
+(** Largest per-thread register count sustaining [tlp] concurrent
+    blocks, within [[MinReg, MaxReg]] and the hardware cap. *)
+
+val pp_point : Format.formatter -> point -> unit

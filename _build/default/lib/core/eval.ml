@@ -1,0 +1,51 @@
+let sim_cache : (string, Gpusim.Stats.t) Hashtbl.t = Hashtbl.create 256
+let alloc_cache : (string, Regalloc.Allocator.t) Hashtbl.t = Hashtbl.create 256
+let hits = ref 0
+let misses = ref 0
+
+let allocate ?(strategy = Regalloc.Allocator.Chaitin_briggs) ?(shared_spare = 0)
+    (app : Workloads.App.t) ~reg_limit =
+  let key =
+    Printf.sprintf "%s/r%d/shm%d/%s" app.Workloads.App.abbr reg_limit shared_spare
+      (match strategy with
+       | Regalloc.Allocator.Chaitin_briggs -> "cb"
+       | Regalloc.Allocator.Linear_scan -> "ls")
+  in
+  match Hashtbl.find_opt alloc_cache key with
+  | Some a -> a
+  | None ->
+    let shared_policy = if shared_spare > 0 then `Spare shared_spare else `Off in
+    let a =
+      Regalloc.Allocator.allocate ~strategy ~shared_policy
+        ~block_size:app.Workloads.App.block_size ~reg_limit
+        (Workloads.App.kernel app)
+    in
+    Hashtbl.replace alloc_cache key a;
+    a
+
+let run cfg (app : Workloads.App.t) ~variant ~kernel ~input ~tlp =
+  let key =
+    Printf.sprintf "%s/%s/%s/%s/tlp%d" cfg.Gpusim.Config.name
+      app.Workloads.App.abbr variant input.Workloads.App.ilabel tlp
+  in
+  match Hashtbl.find_opt sim_cache key with
+  | Some st ->
+    incr hits;
+    st
+  | None ->
+    incr misses;
+    let launch = Workloads.App.sm_launch app ~kernel ~input ~tlp () in
+    let st = Gpusim.Sm.run cfg launch in
+    Hashtbl.replace sim_cache key st;
+    st
+
+let cycles cfg app ~variant ~kernel ~input ~tlp =
+  (run cfg app ~variant ~kernel ~input ~tlp).Gpusim.Stats.cycles
+
+let clear_cache () =
+  Hashtbl.reset sim_cache;
+  Hashtbl.reset alloc_cache;
+  hits := 0;
+  misses := 0
+
+let cache_stats () = (!hits, !misses)

@@ -1,0 +1,36 @@
+(** Memoized simulation and allocation: the experiment drivers evaluate
+    the same (app, kernel-variant, TLP, input) points repeatedly across
+    figures, and simulations are the expensive step. *)
+
+val allocate :
+  ?strategy:Regalloc.Allocator.strategy
+  -> ?shared_spare:int
+  -> Workloads.App.t
+  -> reg_limit:int
+  -> Regalloc.Allocator.t
+(** Allocate the app's kernel at a per-thread limit; [shared_spare]
+    enables Algorithm 1 with that many spare shared bytes per block. *)
+
+val run :
+  Gpusim.Config.t
+  -> Workloads.App.t
+  -> variant:string
+  -> kernel:Ptx.Kernel.t
+  -> input:Workloads.App.input
+  -> tlp:int
+  -> Gpusim.Stats.t
+(** Simulate and memoize on (config, app, variant, input label, tlp).
+    [variant] must uniquely describe the kernel build (e.g.
+    ["default-r32"], ["crat-r50-shm512"]). *)
+
+val cycles :
+  Gpusim.Config.t
+  -> Workloads.App.t
+  -> variant:string
+  -> kernel:Ptx.Kernel.t
+  -> input:Workloads.App.input
+  -> tlp:int
+  -> int
+
+val clear_cache : unit -> unit
+val cache_stats : unit -> int * int  (** hits, misses *)

@@ -1,0 +1,46 @@
+(** The CRAT pipeline (paper Figure 9): resource analysis → design-space
+    pruning → per-candidate register allocation (with the shared-memory
+    spilling optimization) → TPSC comparison → chosen solution. *)
+
+type mode =
+  [ `Profile  (** OptTLP by exhaustive TLP profiling (CRAT-profile) *)
+  | `Static  (** OptTLP by static GTO-mimicking analysis (CRAT-static) *)
+  ]
+
+type candidate =
+  { point : Design_space.point
+  ; alloc : Regalloc.Allocator.t
+  ; tpsc : float
+  ; spare_shm : int  (** shared bytes per block Algorithm 1 could use *)
+  }
+
+type plan =
+  { app : Workloads.App.t
+  ; resource : Resource.t
+  ; opt_tlp : int
+  ; mode : mode
+  ; shared_spilling : bool
+  ; candidates : candidate list  (** TLP descending *)
+  ; chosen : candidate
+  }
+
+val plan :
+  ?mode:mode
+  -> ?shared_spilling:bool
+  -> ?metric:[ `Static_counts | `Weighted_counts ]
+      (** [`Static_counts] is the paper's TPSC exactly;
+          [`Weighted_counts] (default) weights spill accesses by loop
+          depth, fixing a misprediction of the static formula (see
+          {!Tpsc.tpsc_weighted}) *)
+  -> ?profile_input:Workloads.App.input
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> plan
+(** Defaults: [`Profile] mode with shared spilling enabled — the paper's
+    full CRAT. [profile_input] is the input used to determine OptTLP
+    (defaults to the app's default input). *)
+
+val variant_label : candidate -> string
+(** Unique kernel-build label for {!Eval.run} memoization. *)
+
+val pp_plan : Format.formatter -> plan -> unit

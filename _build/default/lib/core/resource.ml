@@ -1,0 +1,59 @@
+type t =
+  { max_reg : int
+  ; min_reg : int
+  ; block_size : int
+  ; shm_size : int
+  ; max_tlp : int
+  ; default_regs : int
+  ; max_live_units : int
+  }
+
+(* MaxReg: the smallest limit at which allocation inserts no spill code.
+   MaxLive is a lower bound; colouring (and the paper's type-sensitivity)
+   can need a little more, so probe upward from MaxLive. *)
+let probe_max_reg kernel ~block_size ~max_live ~cap =
+  let rec probe lim =
+    if lim >= cap then cap
+    else
+      let a = Regalloc.Allocator.allocate ~block_size ~reg_limit:lim kernel in
+      if a.Regalloc.Allocator.spilled = [] then lim else probe (lim + 1)
+  in
+  probe max_live
+
+let analyze (cfg : Gpusim.Config.t) (app : Workloads.App.t) =
+  let kernel = Workloads.App.kernel app in
+  let flow = Cfg.Flow.of_kernel kernel in
+  let live = Cfg.Liveness.compute flow in
+  let max_live_units = Cfg.Liveness.max_pressure live in
+  let cap = cfg.Gpusim.Config.max_regs_per_thread in
+  let max_reg =
+    probe_max_reg kernel ~block_size:app.Workloads.App.block_size
+      ~max_live:(min max_live_units cap) ~cap
+  in
+  let shm_size = Workloads.App.shared_decl_bytes app in
+  let max_tlp =
+    Gpusim.Occupancy.max_tlp cfg
+      { Gpusim.Occupancy.regs_per_thread = app.Workloads.App.default_regs
+      ; block_size = app.Workloads.App.block_size
+      ; shared_per_block = shm_size
+      }
+  in
+  { max_reg
+  ; min_reg = Gpusim.Config.min_reg cfg
+  ; block_size = app.Workloads.App.block_size
+  ; shm_size
+  ; max_tlp
+  ; default_regs = app.Workloads.App.default_regs
+  ; max_live_units
+  }
+
+let usage_at t ~regs =
+  { Gpusim.Occupancy.regs_per_thread = regs
+  ; block_size = t.block_size
+  ; shared_per_block = t.shm_size
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "MaxReg=%d MinReg=%d BlockSize=%d ShmSize=%dB MaxTLP=%d (default regs=%d)"
+    t.max_reg t.min_reg t.block_size t.shm_size t.max_tlp t.default_regs

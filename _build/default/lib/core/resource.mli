@@ -1,0 +1,29 @@
+(** Resource-usage analysis (paper Section 4.1, Table 1).
+
+    Collects, per kernel: [MaxReg]/[MinReg] (register usage range),
+    [BlockSize]/[MaxTLP] (thread-level parallelism), and [ShmSize]
+    (shared memory per block). [OptTLP] is estimated separately
+    ({!Opttlp}) by profiling or static analysis. *)
+
+type t =
+  { max_reg : int
+      (** registers per thread that hold every variable with no spills —
+          found by data-flow analysis (MaxLive) refined by a colouring
+          probe, since graph colouring can need slightly more than the
+          clique bound *)
+  ; min_reg : int  (** NumRegister / MaxThreads; fewer never helps TLP *)
+  ; block_size : int
+  ; shm_size : int  (** bytes of shared memory per block (app's own) *)
+  ; max_tlp : int
+      (** occupancy at the default register allocation — the TLP of the
+          MaxTLP baseline *)
+  ; default_regs : int
+  ; max_live_units : int  (** raw MaxLive in 32-bit units *)
+  }
+
+val analyze : Gpusim.Config.t -> Workloads.App.t -> t
+
+val usage_at : t -> regs:int -> Gpusim.Occupancy.usage
+(** Occupancy usage record for a candidate register count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type segment =
+  | Compute of int
+  | Mem of int
+
+type trace =
+  { segments : segment list
+  ; total_line_refs : int
+  ; distinct_lines : int
+  ; footprint_bytes : int
+  ; reuse_ratio : float
+  }
+
+let latency_of (c : Gpusim.Config.t) = function
+  | Ptx.Instr.Alu | Ptx.Instr.Ctrl -> c.Gpusim.Config.alu_latency
+  | Ptx.Instr.Alu_heavy -> c.Gpusim.Config.alu_heavy_latency
+  | Ptx.Instr.Sfu -> c.Gpusim.Config.sfu_latency
+  | Ptx.Instr.Mem_const_param -> c.Gpusim.Config.const_latency
+  | Ptx.Instr.Mem_global | Ptx.Instr.Mem_local | Ptx.Instr.Mem_shared
+  | Ptx.Instr.Barrier -> c.Gpusim.Config.alu_latency
+
+let trace (cfg : Gpusim.Config.t) app input =
+  let kernel = Workloads.App.kernel app in
+  let image = Gpusim.Image.prepare kernel in
+  let memory = Workloads.App.memory app input in
+  let lctx =
+    { Gpusim.Interp.image
+    ; global = memory
+    ; params = Workloads.App.params app input
+    ; block_size = app.Workloads.App.block_size
+    ; num_blocks = input.Workloads.App.num_blocks
+    }
+  in
+  let _block, warps =
+    Gpusim.Interp.make_block lctx ~ctaid:0 ~warp_size:cfg.Gpusim.Config.warp_size
+  in
+  let w =
+    match warps with
+    | w :: _ -> w
+    | [] -> invalid_arg "Segments.trace: empty block"
+  in
+  let line = cfg.Gpusim.Config.l1_line in
+  let lines = Hashtbl.create 256 in
+  let segments = ref [] in
+  let cur = ref 0 in
+  let total_refs = ref 0 in
+  let flush () =
+    if !cur > 0 then begin
+      segments := Compute !cur :: !segments;
+      cur := 0
+    end
+  in
+  let budget = ref 2_000_000 in
+  while (not (Gpusim.Interp.is_done w)) && !budget > 0 do
+    decr budget;
+    match Gpusim.Interp.step w with
+    | Gpusim.Interp.E_alu cls -> cur := !cur + latency_of cfg cls
+    | Gpusim.Interp.E_barrier -> cur := !cur + cfg.Gpusim.Config.alu_latency
+    | Gpusim.Interp.E_exit -> ()
+    | Gpusim.Interp.E_mem { space = Ptx.Types.Shared; _ } ->
+      cur := !cur + cfg.Gpusim.Config.shared_latency
+    | Gpusim.Interp.E_mem { lane_addrs; _ } ->
+      let segs =
+        List.sort_uniq compare
+          (List.map (fun (_, a) -> Int64.div a (Int64.of_int line)) lane_addrs)
+      in
+      List.iter (fun ln -> Hashtbl.replace lines ln ()) segs;
+      let n = List.length segs in
+      total_refs := !total_refs + n;
+      flush ();
+      segments := Mem n :: !segments
+  done;
+  flush ();
+  let distinct = Hashtbl.length lines in
+  let reuse =
+    if !total_refs = 0 then 0.
+    else 1. -. (float_of_int distinct /. float_of_int !total_refs)
+  in
+  { segments = List.rev !segments
+  ; total_line_refs = !total_refs
+  ; distinct_lines = distinct
+  ; footprint_bytes = distinct * line
+  ; reuse_ratio = reuse
+  }
+
+let pp fmt t =
+  let ncomp = List.length (List.filter (function Compute _ -> true | Mem _ -> false) t.segments) in
+  let nmem = List.length t.segments - ncomp in
+  Format.fprintf fmt
+    "%d compute + %d memory segments; %d line refs, %d distinct (reuse %.2f), footprint %dB"
+    ncomp nmem t.total_line_refs t.distinct_lines t.reuse_ratio t.footprint_bytes

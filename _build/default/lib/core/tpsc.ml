@@ -1,0 +1,23 @@
+let tlp_gain (cfg : Gpusim.Config.t) ~block_size ~tlp =
+  let threads = float_of_int (tlp * block_size) in
+  let max_threads = float_of_int cfg.Gpusim.Config.max_threads_per_sm in
+  1. -. (threads /. (threads +. max_threads))
+
+let spill_cost (c : Micro.costs) (s : Regalloc.Spill.stats) =
+  (float_of_int s.Regalloc.Spill.num_local *. c.Micro.cost_local)
+  +. (float_of_int s.Regalloc.Spill.num_shared *. c.Micro.cost_shm)
+  +. float_of_int (s.Regalloc.Spill.num_other + s.Regalloc.Spill.num_remat)
+
+let tpsc cfg costs ~block_size ~tlp stats =
+  (* the +1 virtual spill instruction keeps the TLP term decisive when
+     no candidate spills at all *)
+  tlp_gain cfg ~block_size ~tlp *. (1. +. spill_cost costs stats)
+
+let tpsc_weighted cfg (c : Micro.costs) ~block_size ~tlp (a : Regalloc.Allocator.t) =
+  let stats = a.Regalloc.Allocator.stats in
+  let cost =
+    (a.Regalloc.Allocator.weighted_local *. c.Micro.cost_local)
+    +. (a.Regalloc.Allocator.weighted_shared *. c.Micro.cost_shm)
+    +. float_of_int (stats.Regalloc.Spill.num_other + stats.Regalloc.Spill.num_remat)
+  in
+  tlp_gain cfg ~block_size ~tlp *. (1. +. cost)

@@ -1,0 +1,40 @@
+type breakdown =
+  { alu : float
+  ; sfu : float
+  ; regfile : float
+  ; l1 : float
+  ; l2 : float
+  ; shared : float
+  ; dram : float
+  ; leakage : float
+  }
+
+(* Event energies in arbitrary pJ-scale units, ratios follow GPUWattch:
+   a DRAM access costs ~two orders of magnitude more than an ALU op. *)
+let e_alu = 1.0
+let e_sfu = 4.0
+let e_reg = 0.35  (* per operand access, ~3 per instruction *)
+let e_l1 = 10.0
+let e_l2 = 25.0
+let e_shared = 6.0
+let e_dram_byte = 1.6
+let p_static = 18.0  (* per cycle *)
+
+let of_stats (s : Gpusim.Stats.t) =
+  let f = float_of_int in
+  { alu = f s.Gpusim.Stats.alu_instrs *. e_alu *. 32.
+  ; sfu = f s.Gpusim.Stats.sfu_instrs *. e_sfu *. 32.
+  ; regfile = f s.Gpusim.Stats.thread_instrs *. 3. *. e_reg
+  ; l1 = f (s.Gpusim.Stats.l1.Gpusim.Cache.reads + s.Gpusim.Stats.l1.Gpusim.Cache.writes) *. e_l1
+  ; l2 = f (s.Gpusim.Stats.l2.Gpusim.Cache.reads + s.Gpusim.Stats.l2.Gpusim.Cache.writes) *. e_l2
+  ; shared = f (s.Gpusim.Stats.shared_load_lanes + s.Gpusim.Stats.shared_store_lanes) *. e_shared
+  ; dram = f s.Gpusim.Stats.dram_bytes *. e_dram_byte
+  ; leakage = f s.Gpusim.Stats.cycles *. p_static
+  }
+
+let total b = b.alu +. b.sfu +. b.regfile +. b.l1 +. b.l2 +. b.shared +. b.dram +. b.leakage
+
+let pp fmt b =
+  Format.fprintf fmt
+    "total=%.3g (alu %.2g, sfu %.2g, rf %.2g, l1 %.2g, l2 %.2g, shm %.2g, dram %.2g, static %.2g)"
+    (total b) b.alu b.sfu b.regfile b.l1 b.l2 b.shared b.dram b.leakage

@@ -1,0 +1,20 @@
+(** GPUWattch-style event-based energy model: per-event energies for
+    ALU/SFU operations, register-file, cache, shared-memory and DRAM
+    accesses, plus static leakage per cycle. Absolute joules are not
+    calibrated; ratios between configurations are what the paper
+    reports (16.5% saving of CRAT vs OptTLP). *)
+
+type breakdown =
+  { alu : float
+  ; sfu : float
+  ; regfile : float
+  ; l1 : float
+  ; l2 : float
+  ; shared : float
+  ; dram : float
+  ; leakage : float
+  }
+
+val total : breakdown -> float
+val of_stats : Gpusim.Stats.t -> breakdown
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,1 @@
+lib/gpusim/cache.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/gpusim/config.mli: Format

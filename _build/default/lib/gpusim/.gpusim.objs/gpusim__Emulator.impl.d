@@ -1,0 +1,1 @@
+lib/gpusim/emulator.ml: Array Image Interp Memory Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/emulator.mli: Memory Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/gpu.ml: Array Cache Config Memory Option Ptx Sm Stats Value

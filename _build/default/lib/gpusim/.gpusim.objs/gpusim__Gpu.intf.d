@@ -1,0 +1,1 @@
+lib/gpusim/gpu.mli: Cache Config Memory Ptx Stats Value

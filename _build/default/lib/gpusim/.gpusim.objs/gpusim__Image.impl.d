@@ -1,0 +1,1 @@
+lib/gpusim/image.ml: Array Cfg Format Int64 List Printf Ptx

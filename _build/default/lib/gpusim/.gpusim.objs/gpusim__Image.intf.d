@@ -1,0 +1,1 @@
+lib/gpusim/image.mli: Cfg Format Ptx

@@ -1,0 +1,1 @@
+lib/gpusim/interp.ml: Array Cfg Hashtbl Image Int64 List Memory Printf Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/interp.mli: Image Memory Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/memory.ml: Array Hashtbl Int64 List Ptx Value

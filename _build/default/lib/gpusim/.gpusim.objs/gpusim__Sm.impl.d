@@ -1,0 +1,1 @@
+lib/gpusim/sm.ml: Array Cache Config Hashtbl Image Int64 Interp List Memory Option Ptx Queue Stats Value

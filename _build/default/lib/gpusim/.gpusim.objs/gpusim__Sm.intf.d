@@ -1,0 +1,1 @@
+lib/gpusim/sm.mli: Cache Config Memory Ptx Stats Value

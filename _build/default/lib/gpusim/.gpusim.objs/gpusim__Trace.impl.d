@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Array Format Image Interp List Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/value.ml: Float Format Int32 Int64 Ptx Stdlib

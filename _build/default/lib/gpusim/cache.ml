@@ -1,0 +1,188 @@
+type result =
+  | Hit
+  | Miss of int
+  | Reserve_fail
+
+type stats =
+  { mutable reads : int
+  ; mutable read_hits : int
+  ; mutable writes : int
+  ; mutable write_hits : int
+  ; mutable reserve_fails : int
+  ; mutable writebacks : int
+  ; mutable fills : int
+  }
+
+let fresh_stats () =
+  { reads = 0
+  ; read_hits = 0
+  ; writes = 0
+  ; write_hits = 0
+  ; reserve_fails = 0
+  ; writebacks = 0
+  ; fills = 0
+  }
+
+let read_hit_rate s =
+  if s.reads = 0 then 1.0 else float_of_int s.read_hits /. float_of_int s.reads
+
+module Dram = struct
+  type t =
+    { latency : int
+    ; bytes_per_cycle : int
+    ; mutable next_free : int
+    ; mutable bytes : int
+    }
+
+  let create ~latency ~bytes_per_cycle =
+    { latency; bytes_per_cycle; next_free = 0; bytes = 0 }
+
+  let request t ~cycle ~bytes =
+    let start = max cycle t.next_free in
+    let service = (bytes + t.bytes_per_cycle - 1) / t.bytes_per_cycle in
+    t.next_free <- start + service;
+    t.bytes <- t.bytes + bytes;
+    start + service + t.latency
+
+  let traffic_bytes t = t.bytes
+end
+
+type line =
+  { mutable tag : int64
+  ; mutable valid : bool
+  ; mutable valid_at : int  (** fill completion cycle (in-flight if > now) *)
+  ; mutable last_use : int
+  ; mutable dirty : bool
+  }
+
+type t =
+  { name : string
+  ; sets : line array array
+  ; line_bytes : int
+  ; num_sets : int
+  ; mshrs : int
+  ; hit_latency : int
+  ; next : cycle:int -> addr:int64 -> result
+  ; mutable inflight : int list  (** completion cycles of outstanding fills *)
+  ; st : stats
+  }
+
+let create ~name ~bytes ~assoc ~line ~mshrs ~hit_latency ~next =
+  let num_sets = bytes / (assoc * line) in
+  assert (num_sets > 0);
+  let mk _ = { tag = -1L; valid = false; valid_at = 0; last_use = 0; dirty = false } in
+  { name
+  ; sets = Array.init num_sets (fun _ -> Array.init assoc mk)
+  ; line_bytes = line
+  ; num_sets
+  ; mshrs
+  ; hit_latency
+  ; next
+  ; inflight = []
+  ; st = fresh_stats ()
+  }
+
+let line_size t = t.line_bytes
+let stats t = t.st
+
+let purge_inflight t cycle =
+  t.inflight <- List.filter (fun c -> c > cycle) t.inflight
+
+let set_and_tag t addr =
+  let lineno = Int64.div addr (Int64.of_int t.line_bytes) in
+  let set = Int64.to_int (Int64.rem lineno (Int64.of_int t.num_sets)) in
+  (t.sets.(set), lineno)
+
+let find_way ways tag =
+  let n = Array.length ways in
+  let rec loop i =
+    if i >= n then None
+    else if ways.(i).valid && Int64.equal ways.(i).tag tag then Some ways.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let victim ways =
+  let n = Array.length ways in
+  let best = ref ways.(0) in
+  for i = 1 to n - 1 do
+    if (not ways.(i).valid) && !best.valid then best := ways.(i)
+    else if ways.(i).valid = !best.valid && ways.(i).last_use < !best.last_use
+    then best := ways.(i)
+  done;
+  !best
+
+let count_hit t ~write =
+  if write then begin
+    t.st.writes <- t.st.writes + 1;
+    t.st.write_hits <- t.st.write_hits + 1
+  end
+  else begin
+    t.st.reads <- t.st.reads + 1;
+    t.st.read_hits <- t.st.read_hits + 1
+  end
+
+let count_miss t ~write =
+  if write then t.st.writes <- t.st.writes + 1 else t.st.reads <- t.st.reads + 1
+
+let access t ~cycle ~addr ~write ~write_alloc =
+  purge_inflight t cycle;
+  let ways, tag = set_and_tag t addr in
+  match find_way ways tag with
+  | Some line ->
+    line.last_use <- cycle;
+    if write then line.dirty <- line.dirty || write_alloc;
+    if line.valid_at <= cycle then begin
+      count_hit t ~write;
+      Hit
+    end
+    else begin
+      (* in-flight line: merge into the pending fill (hit-under-miss) *)
+      count_miss t ~write;
+      Miss line.valid_at
+    end
+  | None ->
+    if write && not write_alloc then begin
+      (* write-through, no allocate: pass through to the next level's
+         bandwidth without occupying an MSHR *)
+      count_miss t ~write;
+      match t.next ~cycle ~addr with
+      | Hit -> Miss (cycle + t.hit_latency)
+      | Miss c -> Miss c
+      | Reserve_fail -> Reserve_fail
+    end
+    else if List.length t.inflight >= t.mshrs then begin
+      t.st.reserve_fails <- t.st.reserve_fails + 1;
+      Reserve_fail
+    end
+    else begin
+      count_miss t ~write;
+      let v = victim ways in
+      if v.valid && v.dirty then t.st.writebacks <- t.st.writebacks + 1;
+      (match t.next ~cycle ~addr with
+       | Hit ->
+         (* next level hit still pays its transfer: modelled by next *)
+         v.tag <- tag;
+         v.valid <- true;
+         v.dirty <- write && write_alloc;
+         v.last_use <- cycle;
+         v.valid_at <- cycle + t.hit_latency;
+         t.st.fills <- t.st.fills + 1;
+         Miss v.valid_at
+       | Miss c ->
+         v.tag <- tag;
+         v.valid <- true;
+         v.dirty <- write && write_alloc;
+         v.last_use <- cycle;
+         v.valid_at <- c;
+         t.inflight <- c :: t.inflight;
+         t.st.fills <- t.st.fills + 1;
+         Miss c
+       | Reserve_fail ->
+         t.st.reserve_fails <- t.st.reserve_fails + 1;
+         Reserve_fail)
+    end
+
+let as_next t ~dirty_bytes_sink ~cycle ~addr =
+  ignore dirty_bytes_sink;
+  access t ~cycle ~addr ~write:false ~write_alloc:true

@@ -1,0 +1,63 @@
+(** Set-associative cache with LRU replacement and a bounded MSHR file,
+    plus a DRAM bandwidth/latency model. Misses to the same line merge
+    into the outstanding MSHR; when every MSHR is busy the access fails
+    reservation and must be replayed — these reservation failures are the
+    "pipeline stall caused by the congestion of cache requests" the paper
+    measures (Figure 5b). *)
+
+(** Outcome of a cache access at a given cycle. *)
+type result =
+  | Hit
+  | Miss of int  (** data available at this cycle (includes merges) *)
+  | Reserve_fail  (** all MSHRs in flight — replay the access *)
+
+type stats =
+  { mutable reads : int
+  ; mutable read_hits : int
+  ; mutable writes : int
+  ; mutable write_hits : int
+  ; mutable reserve_fails : int
+  ; mutable writebacks : int
+  ; mutable fills : int
+  }
+
+val fresh_stats : unit -> stats
+val read_hit_rate : stats -> float
+
+(** DRAM: fixed latency plus a bandwidth queue. *)
+module Dram : sig
+  type t
+
+  val create : latency:int -> bytes_per_cycle:int -> t
+  val request : t -> cycle:int -> bytes:int -> int
+  (** Completion cycle of a transfer issued at [cycle]. *)
+
+  val traffic_bytes : t -> int
+end
+
+type t
+
+val create :
+  name:string
+  -> bytes:int
+  -> assoc:int
+  -> line:int
+  -> mshrs:int
+  -> hit_latency:int
+  -> next:(cycle:int -> addr:int64 -> result)
+  -> t
+(** [next] is the next level in the hierarchy: it returns the completion
+    result for a line fill (a [Dram.request] wrapped as [Miss], or an L2
+    access). *)
+
+val access : t -> cycle:int -> addr:int64 -> write:bool -> write_alloc:bool -> result
+(** One access to the line containing [addr]. Global stores use
+    [write_alloc:false] (write-through, no allocate); local-memory spill
+    traffic uses [write_alloc:true] (write-back with allocate), matching
+    GPGPU-Sim's local-memory policy. *)
+
+val stats : t -> stats
+val line_size : t -> int
+val as_next : t -> dirty_bytes_sink:Dram.t -> cycle:int -> addr:int64 -> result
+(** Adapter so this cache can serve as the [next] level of another: reads
+    the line (write:false, allocating). *)

@@ -1,0 +1,62 @@
+type launch =
+  { kernel : Ptx.Kernel.t
+  ; block_size : int
+  ; grid_blocks : int
+  ; tlp_limit : int
+  ; params : (string * Value.t) list
+  ; memory : Memory.t
+  }
+
+type result =
+  { per_sm : Stats.t array
+  ; total_cycles : int
+  ; dram_bytes : int
+  ; l2 : Cache.stats
+  }
+
+exception Cycle_limit of result
+
+let run ?sms ?(max_cycles = 40_000_000) ?scheduler (cfg : Config.t) (l : launch) =
+  let n_sms = Option.value ~default:cfg.Config.num_sms sms in
+  let shared = Sm.make_shared cfg in
+  let next = ref 0 in
+  let next_block () =
+    if !next >= l.grid_blocks then None
+    else begin
+      let b = !next in
+      incr next;
+      Some b
+    end
+  in
+  let sm_launch =
+    { Sm.kernel = l.kernel
+    ; block_size = l.block_size
+    ; num_blocks = l.grid_blocks
+    ; tlp_limit = l.tlp_limit
+    ; params = l.params
+    ; memory = l.memory
+    }
+  in
+  let units = Array.init n_sms (fun _ -> Sm.create ?scheduler cfg shared ~next_block sm_launch) in
+  let cycle = ref 0 in
+  let mk_result () =
+    { per_sm = Array.map Sm.finalize units
+    ; total_cycles = !cycle
+    ; dram_bytes = Sm.shared_dram_bytes shared
+    ; l2 = Sm.shared_l2_stats shared
+    }
+  in
+  let any_busy () = Array.exists Sm.busy units in
+  while any_busy () do
+    if !cycle > max_cycles then raise (Cycle_limit (mk_result ()));
+    Array.iter (fun sm -> if Sm.busy sm then Sm.step sm) units;
+    incr cycle
+  done;
+  mk_result ()
+
+let aggregate_ipc r =
+  if r.total_cycles = 0 then 0.
+  else
+    float_of_int
+      (Array.fold_left (fun acc s -> acc + s.Stats.warp_instrs) 0 r.per_sm)
+    /. float_of_int r.total_cycles

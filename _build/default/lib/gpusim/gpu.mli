@@ -1,0 +1,39 @@
+(** Whole-GPU simulation: several SMs advancing in lock-step against one
+    shared L2 / interconnect / DRAM, pulling thread blocks from a global
+    dispatcher — the full configuration of the paper's Table 2 (15 SMs).
+
+    The per-SM experiments use {!Sm.run} (the paper's metrics are
+    per-SM); this module backs the multi-SM scalability study and shows
+    that shared-bandwidth contention, not SM count, bounds throughput
+    for memory-bound kernels. *)
+
+type launch =
+  { kernel : Ptx.Kernel.t
+  ; block_size : int
+  ; grid_blocks : int  (** total thread blocks across the whole GPU *)
+  ; tlp_limit : int  (** concurrent blocks per SM *)
+  ; params : (string * Value.t) list
+  ; memory : Memory.t
+  }
+
+type result =
+  { per_sm : Stats.t array
+  ; total_cycles : int  (** cycles until the last SM finished *)
+  ; dram_bytes : int
+  ; l2 : Cache.stats
+  }
+
+exception Cycle_limit of result
+
+val run :
+  ?sms:int
+  -> ?max_cycles:int
+  -> ?scheduler:[ `Gto | `Lrr ]
+  -> Config.t
+  -> launch
+  -> result
+(** Simulate [sms] SMs (default: the configuration's [num_sms]). Blocks
+    are dispatched globally in id order as slots free up. *)
+
+val aggregate_ipc : result -> float
+(** Total warp instructions per cycle across all SMs. *)

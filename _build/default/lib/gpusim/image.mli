@@ -1,0 +1,37 @@
+(** A kernel prepared for execution: flattened body, reconvergence table
+    from post-dominators, and resolved offsets for shared/local array
+    declarations. *)
+
+type t =
+  { kernel : Ptx.Kernel.t
+  ; flow : Cfg.Flow.t
+  ; reconv : int array
+      (** per instruction index: the reconvergence pc of a (conditional)
+          branch at that index; [num_instrs] when control only
+          reconverges at kernel exit *)
+  ; shared_offsets : (string * int) list
+  ; shared_decl_bytes : int  (** bytes of declared shared arrays per block *)
+  ; local_offsets : (string * int) list
+  ; local_frame_bytes : int  (** per-thread local frame *)
+  }
+
+val prepare : Ptx.Kernel.t -> t
+val num_instrs : t -> int
+
+val local_base : int64
+(** Start of the per-thread local-memory heap in the global address
+    space. *)
+
+(** Per-thread (naive, frame-contiguous) address of a local symbol. *)
+val local_addr : t -> global_tid:int -> sym_offset:int -> int64
+
+(** Translate a naive frame address ([local_addr] base + byte offset)
+    into the interleaved layout. Like real GPUs, local memory is
+    interleaved: word [w] of thread [g] lives at
+    [local_base + (w * stride + g) * 4], so the 32 lanes of a warp
+    accessing the same spill slot touch consecutive words and coalesce
+    into one or two cache lines. The kernel adds its own byte offsets to
+    the symbol base, so interleaving is applied at access time. *)
+val remap_local : t -> global_tid:int -> int64 -> int64
+val shared_offset : t -> string -> int
+val pp_summary : Format.formatter -> t -> unit

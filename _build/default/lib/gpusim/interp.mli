@@ -1,0 +1,68 @@
+(** SIMT functional interpreter.
+
+    Warps of [warp_size] lanes execute instructions in lock-step under an
+    active mask; divergent branches push entries on a reconvergence stack
+    whose join points come from post-dominator analysis ({!Image}).
+    Memory effects are applied immediately (weak consistency, as on real
+    GPUs); the timing layer only delays register availability.
+
+    The same interpreter drives both the cycle-accurate simulator
+    ({!Sm}) and the reference emulator ({!Emulator}) used by the
+    semantics-preservation property tests. *)
+
+type launch_ctx =
+  { image : Image.t
+  ; global : Memory.t
+  ; params : (string * Value.t) list
+  ; block_size : int
+  ; num_blocks : int
+  }
+
+type block_ctx =
+  { launch : launch_ctx
+  ; ctaid : int
+  ; shared : Memory.t
+  ; nwarps : int
+  }
+
+type warp
+
+val make_block : launch_ctx -> ctaid:int -> warp_size:int -> block_ctx * warp list
+(** Create a block's warps. [block_size] must be a positive multiple of
+    [warp_size]. *)
+
+val is_done : warp -> bool
+val pc : warp -> int
+val active_mask : warp -> int
+val block_of : warp -> block_ctx
+val warp_id : warp -> int  (** index within the block *)
+
+val peek : warp -> Ptx.Instr.t option
+(** The instruction the next {!step} will execute; [None] when done. *)
+
+(** What a step did, for the timing layer. *)
+type exec =
+  | E_alu of Ptx.Instr.op_class
+      (** register-to-register work (incl. control, param/const loads) *)
+  | E_mem of
+      { space : Ptx.Types.space
+      ; write : bool
+      ; width : int
+      ; lane_addrs : (int * int64) list  (** (lane, address), active lanes *)
+      }
+  | E_barrier
+  | E_exit
+
+val step : warp -> exec
+(** Execute one instruction. @raise Failure on a divergent [ret]. *)
+
+val popcount : int -> int
+(** Number of set bits — active lanes of a mask. *)
+
+val read_reg_values : warp -> Ptx.Reg.t -> Value.t array
+(** Current per-lane values of a register (testing/debugging). *)
+
+val reg_key : Ptx.Reg.t -> int
+(** Physical-slot key: width class and id, ignoring the scalar type —
+    two allocated registers with the same colour share a slot. Used by
+    the timing layer's scoreboard. *)

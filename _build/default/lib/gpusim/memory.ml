@@ -1,0 +1,49 @@
+type t = (int64, Value.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 1024
+
+let read (t : t) addr ty =
+  match Hashtbl.find_opt t addr with
+  | Some v -> Value.truncate ty v
+  | None -> Value.truncate ty Value.zero
+
+let write (t : t) addr ty v = Hashtbl.replace t addr (Value.truncate ty v)
+let copy (t : t) = Hashtbl.copy t
+let size (t : t) = Hashtbl.length t
+
+let equal (a : t) (b : t) =
+  let nonzero m =
+    Hashtbl.fold
+      (fun k v acc -> if Value.equal v Value.zero then acc else (k, v) :: acc)
+      m []
+    |> List.sort compare
+  in
+  let la = nonzero a and lb = nonzero b in
+  List.length la = List.length lb
+  && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && Value.equal v1 v2) la lb
+
+let fold f (t : t) init = Hashtbl.fold f t init
+
+let write_f32_array t ~base xs =
+  Array.iteri
+    (fun i x ->
+       write t (Int64.add base (Int64.of_int (i * 4))) Ptx.Types.F32 (Value.F x))
+    xs
+
+let write_u32_array t ~base xs =
+  Array.iteri
+    (fun i x ->
+       write t
+         (Int64.add base (Int64.of_int (i * 4)))
+         Ptx.Types.U32
+         (Value.I (Int64.of_int x)))
+    xs
+
+let read_f32_array t ~base n =
+  Array.init n (fun i ->
+    Value.to_float (read t (Int64.add base (Int64.of_int (i * 4))) Ptx.Types.F32))
+
+let read_u32_array t ~base n =
+  Array.init n (fun i ->
+    Int64.to_int
+      (Value.to_int64 (read t (Int64.add base (Int64.of_int (i * 4))) Ptx.Types.U32)))

@@ -1,0 +1,25 @@
+(** Sparse word-addressed value store used for global, local and shared
+    memory contents. Accesses are assumed naturally aligned; a read of an
+    address never written returns zero of the requested type. *)
+
+type t
+
+val create : unit -> t
+val read : t -> int64 -> Ptx.Types.scalar -> Value.t
+val write : t -> int64 -> Ptx.Types.scalar -> Value.t -> unit
+val copy : t -> t
+val size : t -> int
+(** Number of distinct locations written. *)
+
+val equal : t -> t -> bool
+(** Same written locations with equal values — the oracle of the
+    "allocation preserves semantics" property tests. *)
+
+val fold : (int64 -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {2 Buffer helpers} *)
+
+val write_f32_array : t -> base:int64 -> float array -> unit
+val write_u32_array : t -> base:int64 -> int array -> unit
+val read_f32_array : t -> base:int64 -> int -> float array
+val read_u32_array : t -> base:int64 -> int -> int array

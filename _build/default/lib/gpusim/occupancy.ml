@@ -1,0 +1,43 @@
+type usage =
+  { regs_per_thread : int
+  ; block_size : int
+  ; shared_per_block : int
+  }
+
+let max_tlp (c : Config.t) u =
+  let by_threads = c.Config.max_threads_per_sm / u.block_size in
+  let by_blocks = c.Config.max_blocks_per_sm in
+  let by_regs =
+    if u.regs_per_thread = 0 then by_blocks
+    else Config.registers_per_sm c / (u.regs_per_thread * u.block_size)
+  in
+  let by_shared =
+    if u.shared_per_block = 0 then by_blocks
+    else c.Config.shared_bytes_per_sm / u.shared_per_block
+  in
+  max 0 (min (min by_threads by_blocks) (min by_regs by_shared))
+
+let limiting_resource (c : Config.t) u =
+  let tlp = max_tlp c u in
+  let next = tlp + 1 in
+  if next * u.block_size > c.Config.max_threads_per_sm then "threads"
+  else if next > c.Config.max_blocks_per_sm then "thread blocks"
+  else if next * u.regs_per_thread * u.block_size > Config.registers_per_sm c
+  then "registers"
+  else if next * u.shared_per_block > c.Config.shared_bytes_per_sm then
+    "shared memory"
+  else "thread blocks"
+
+let register_utilization (c : Config.t) u ~tlp =
+  float_of_int (tlp * u.block_size * u.regs_per_thread)
+  /. float_of_int (Config.registers_per_sm c)
+
+let shared_utilization (c : Config.t) u ~tlp =
+  float_of_int (tlp * u.shared_per_block)
+  /. float_of_int c.Config.shared_bytes_per_sm
+
+let spare_shared_bytes (c : Config.t) u ~tlp =
+  if tlp <= 0 then 0
+  else
+    let per_block_budget = c.Config.shared_bytes_per_sm / tlp in
+    max 0 (per_block_budget - u.shared_per_block)

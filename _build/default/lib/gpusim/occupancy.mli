@@ -1,0 +1,29 @@
+(** Occupancy calculator: the maximum number of thread blocks that can
+    run concurrently on one SM ("GPU kernels launch as many thread blocks
+    concurrently as possible until one or more dimension of resources are
+    exhausted", Section 2.1). *)
+
+type usage =
+  { regs_per_thread : int
+  ; block_size : int
+  ; shared_per_block : int  (** bytes *)
+  }
+
+val max_tlp : Config.t -> usage -> int
+(** Minimum over the threads, blocks, register-file and shared-memory
+    constraints; 0 when a single block cannot fit. *)
+
+val limiting_resource : Config.t -> usage -> string
+(** Which dimension binds at [max_tlp] — "registers", "shared memory",
+    "threads" or "thread blocks". *)
+
+val register_utilization : Config.t -> usage -> tlp:int -> float
+(** Fraction of the SM register file held by [tlp] concurrent blocks —
+    the metric of the paper's Figures 1(b), 7 and 15. *)
+
+val shared_utilization : Config.t -> usage -> tlp:int -> float
+
+val spare_shared_bytes : Config.t -> usage -> tlp:int -> int
+(** Shared memory per block still unused when running [tlp] blocks — the
+    [SpareShmSize] input of Algorithm 1. Spilling into this budget cannot
+    reduce the TLP below [tlp]. *)

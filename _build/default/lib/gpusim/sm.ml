@@ -1,0 +1,546 @@
+type launch =
+  { kernel : Ptx.Kernel.t
+  ; block_size : int
+  ; num_blocks : int
+  ; tlp_limit : int
+  ; params : (string * Value.t) list
+  ; memory : Memory.t
+  }
+
+exception Cycle_limit of Stats.t
+
+(* an in-flight load: registers become ready when all segments return *)
+type pending_load =
+  { defs : int list  (** scoreboard keys *)
+  ; wslot : wstate
+  ; mutable remaining : int
+  ; mutable ready_at : int
+  }
+
+and wstate =
+  { w : Interp.warp
+  ; sb : (int, int) Hashtbl.t  (** scoreboard: slot key -> ready cycle *)
+  ; mutable waiting_barrier : bool
+  ; bstate : bstate
+  ; age : int  (** global age for oldest-first ordering *)
+  }
+
+and bstate =
+  { mutable live_warps : int
+  ; mutable at_barrier : int
+  ; mutable warps : wstate list
+  ; mutable paused : bool
+      (** dynamic throttling: a paused block's warps are not scheduled *)
+  ; seq : int
+  }
+
+type seg =
+  { addr : int64
+  ; write : bool
+  ; write_alloc : bool
+  ; load : pending_load option
+  ; local : bool
+  ; bypass : bool  (** skip the L1, go straight to the interconnect/L2 *)
+  }
+
+type blocked =
+  | Ready
+  | Scoreboard
+  | Mem_queue
+  | Barrier
+  | Done
+
+let infinity_cycle = max_int / 2
+
+let latency_of (c : Config.t) = function
+  | Ptx.Instr.Alu -> c.Config.alu_latency
+  | Ptx.Instr.Alu_heavy -> c.Config.alu_heavy_latency
+  | Ptx.Instr.Sfu -> c.Config.sfu_latency
+  | Ptx.Instr.Mem_const_param -> c.Config.const_latency
+  | Ptx.Instr.Ctrl -> c.Config.alu_latency
+  | Ptx.Instr.Mem_global | Ptx.Instr.Mem_local | Ptx.Instr.Mem_shared
+  | Ptx.Instr.Barrier -> c.Config.alu_latency
+
+let lsu_capacity = 64
+let lsu_headroom = 8
+
+(* ---------- the memory hierarchy behind the L1s ---------- *)
+
+type shared_memsys =
+  { l2 : Cache.t
+  ; dram : Cache.Dram.t
+  }
+
+let make_shared (cfg : Config.t) =
+  let dram =
+    Cache.Dram.create ~latency:cfg.Config.dram_latency
+      ~bytes_per_cycle:cfg.Config.dram_bytes_per_cycle
+  in
+  let l2_next ~cycle ~addr =
+    ignore addr;
+    Cache.Miss (Cache.Dram.request dram ~cycle ~bytes:cfg.Config.l1_line)
+  in
+  let l2 =
+    Cache.create ~name:"L2" ~bytes:cfg.Config.l2_bytes ~assoc:cfg.Config.l2_assoc
+      ~line:cfg.Config.l1_line ~mshrs:1024 ~hit_latency:cfg.Config.l2_latency
+      ~next:l2_next
+  in
+  { l2; dram }
+
+let shared_dram_bytes m = Cache.Dram.traffic_bytes m.dram
+let shared_l2_stats m = Cache.stats m.l2
+
+(* ---------- SM state ---------- *)
+
+type t =
+  { cfg : Config.t
+  ; st : Stats.t
+  ; lctx : Interp.launch_ctx
+  ; shared : shared_memsys
+  ; l1 : Cache.t
+  ; remote : cycle:int -> addr:int64 -> Cache.result
+  ; bypass_global : bool
+  ; dynamic_tlp : bool
+  ; mutable window_mem_stall : int
+  ; mutable window_replays : int
+  ; scheduler : [ `Gto | `Lrr ]
+  ; next_block : unit -> int option
+  ; pools : wstate array array
+  ; mutable pools_dirty : bool
+  ; mutable live_blocks : bstate list
+  ; lsu : seg Queue.t
+  ; mutable active_blocks : int
+  ; mutable dispenser_dry : bool
+  ; mutable age_counter : int
+  ; mutable now : int
+  ; greedy : wstate option array
+  }
+
+let launch_block sm =
+  if not sm.dispenser_dry then begin
+    match sm.next_block () with
+    | None -> sm.dispenser_dry <- true
+    | Some ctaid ->
+      sm.active_blocks <- sm.active_blocks + 1;
+      sm.st.Stats.max_concurrent_blocks <-
+        max sm.st.Stats.max_concurrent_blocks sm.active_blocks;
+      let _bctx, warps =
+        Interp.make_block sm.lctx ~ctaid ~warp_size:sm.cfg.Config.warp_size
+      in
+      let bs =
+        { live_warps = List.length warps
+        ; at_barrier = 0
+        ; warps = []
+        ; paused = false
+        ; seq = ctaid
+        }
+      in
+      bs.warps <-
+        List.map
+          (fun w ->
+             sm.age_counter <- sm.age_counter + 1;
+             { w
+             ; sb = Hashtbl.create 32
+             ; waiting_barrier = false
+             ; bstate = bs
+             ; age = sm.age_counter
+             })
+          warps;
+      sm.live_blocks <- sm.live_blocks @ [ bs ];
+      sm.pools_dirty <- true
+  end
+
+let rebuild_pools sm =
+  let total = sm.cfg.Config.num_schedulers in
+  let all =
+    List.concat_map
+      (fun bs -> if bs.paused then [] else bs.warps)
+      sm.live_blocks
+  in
+  let alive = List.filter (fun ws -> not (Interp.is_done ws.w)) all in
+  for s = 0 to total - 1 do
+    sm.pools.(s) <-
+      Array.of_list
+        (List.filter (fun ws -> Interp.warp_id ws.w mod total = s) alive)
+  done;
+  (* blocks are appended in launch order and warps in wid order, so the
+     pools are already oldest-first *)
+  sm.pools_dirty <- false
+
+let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
+    (cfg : Config.t) shared ~next_block (l : launch) =
+  (* each SM owns its interconnect port; the L2 and DRAM behind it are
+     shared between SMs *)
+  let icnt =
+    Cache.Dram.create ~latency:cfg.Config.l2_latency
+      ~bytes_per_cycle:cfg.Config.icnt_bytes_per_cycle
+  in
+  let image = Image.prepare l.kernel in
+  let lctx =
+    { Interp.image
+    ; global = l.memory
+    ; params = l.params
+    ; block_size = l.block_size
+    ; num_blocks = l.num_blocks
+    }
+  in
+  let l1_next ~cycle ~addr =
+    let t_icnt = Cache.Dram.request icnt ~cycle ~bytes:cfg.Config.l1_line in
+    match Cache.access shared.l2 ~cycle ~addr ~write:false ~write_alloc:true with
+    | Cache.Hit -> Cache.Miss t_icnt
+    | Cache.Miss c -> Cache.Miss (max t_icnt c)
+    | Cache.Reserve_fail -> Cache.Reserve_fail
+  in
+  let l1 =
+    Cache.create ~name:"L1D" ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
+      ~line:cfg.Config.l1_line ~mshrs:cfg.Config.l1_mshrs
+      ~hit_latency:cfg.Config.l1_hit_latency ~next:l1_next
+  in
+  let sm =
+    { cfg
+    ; st = Stats.create ()
+    ; lctx
+    ; shared
+    ; l1
+    ; remote = l1_next
+    ; bypass_global
+    ; dynamic_tlp
+    ; window_mem_stall = 0
+    ; window_replays = 0
+    ; scheduler
+    ; next_block
+    ; pools = Array.make cfg.Config.num_schedulers [||]
+    ; pools_dirty = true
+    ; live_blocks = []
+    ; lsu = Queue.create ()
+    ; active_blocks = 0
+    ; dispenser_dry = false
+    ; age_counter = 0
+    ; now = 0
+    ; greedy = Array.make cfg.Config.num_schedulers None
+    }
+  in
+  for _ = 1 to max 1 l.tlp_limit do
+    launch_block sm
+  done;
+  sm
+
+let busy sm = sm.active_blocks > 0 || not sm.dispenser_dry
+
+(* ---------- per-cycle machinery ---------- *)
+
+let slot_ready sm ws key =
+  match Hashtbl.find_opt ws.sb key with
+  | Some c -> c <= sm.now
+  | None -> true
+
+let set_pending ws key ready = Hashtbl.replace ws.sb key ready
+
+let sb_ready sm ws ins =
+  let ok r = slot_ready sm ws (Interp.reg_key r) in
+  List.for_all ok (Ptx.Instr.uses ins) && List.for_all ok (Ptx.Instr.defs ins)
+
+let status sm ws : blocked =
+  if Interp.is_done ws.w then Done
+  else if ws.waiting_barrier then Barrier
+  else
+    match Interp.peek ws.w with
+    | None -> Done
+    | Some ins ->
+      if not (sb_ready sm ws ins) then Scoreboard
+      else begin
+        match Ptx.Instr.classify ins with
+        | Ptx.Instr.Mem_global | Ptx.Instr.Mem_local ->
+          if Queue.length sm.lsu + lsu_headroom > lsu_capacity then Mem_queue
+          else Ready
+        | Ptx.Instr.Alu | Ptx.Instr.Alu_heavy | Ptx.Instr.Sfu
+        | Ptx.Instr.Mem_shared | Ptx.Instr.Mem_const_param | Ptx.Instr.Ctrl
+        | Ptx.Instr.Barrier -> Ready
+      end
+
+let coalesce sm lane_addrs =
+  let line = Int64.of_int sm.cfg.Config.l1_line in
+  List.sort_uniq compare (List.map (fun (_, a) -> Int64.div a line) lane_addrs)
+  |> List.map (fun ln -> Int64.mul ln line)
+
+let release_barrier bs =
+  if bs.at_barrier = bs.live_warps && bs.live_warps > 0 then begin
+    bs.at_barrier <- 0;
+    List.iter (fun ws -> ws.waiting_barrier <- false) bs.warps
+  end
+
+let finish_warp sm ws =
+  let bs = ws.bstate in
+  bs.live_warps <- bs.live_warps - 1;
+  sm.pools_dirty <- true;
+  if bs.live_warps = 0 then begin
+    sm.st.Stats.blocks_completed <- sm.st.Stats.blocks_completed + 1;
+    sm.active_blocks <- sm.active_blocks - 1;
+    sm.live_blocks <- List.filter (fun b -> b != bs) sm.live_blocks;
+    (* under dynamic throttling, resume a paused resident block before
+       admitting a fresh one *)
+    match List.find_opt (fun b -> b.paused) sm.live_blocks with
+    | Some b ->
+      b.paused <- false;
+      sm.pools_dirty <- true
+    | None -> launch_block sm
+  end
+  else release_barrier bs
+
+let bank_conflict_degree sm lane_addrs =
+  let banks = Hashtbl.create 32 in
+  List.iter
+    (fun (_, a) ->
+       let word = Int64.div a 4L in
+       let bank =
+         Int64.to_int (Int64.rem word (Int64.of_int sm.cfg.Config.shared_banks))
+       in
+       let words = Option.value ~default:[] (Hashtbl.find_opt banks bank) in
+       if not (List.mem word words) then Hashtbl.replace banks bank (word :: words))
+    lane_addrs;
+  Hashtbl.fold (fun _ ws' acc -> max acc (List.length ws')) banks 1
+
+let issue sm ws =
+  let st = sm.st in
+  let cfg = sm.cfg in
+  let mask = Interp.active_mask ws.w in
+  let lanes = Interp.popcount mask in
+  let ins = Option.get (Interp.peek ws.w) in
+  let defs = List.map Interp.reg_key (Ptx.Instr.defs ins) in
+  let exec = Interp.step ws.w in
+  st.Stats.warp_instrs <- st.Stats.warp_instrs + 1;
+  st.Stats.thread_instrs <- st.Stats.thread_instrs + lanes;
+  match exec with
+  | Interp.E_alu cls ->
+    (match cls with
+     | Ptx.Instr.Sfu -> st.Stats.sfu_instrs <- st.Stats.sfu_instrs + 1
+     | Ptx.Instr.Alu | Ptx.Instr.Alu_heavy | Ptx.Instr.Ctrl
+     | Ptx.Instr.Mem_const_param | Ptx.Instr.Mem_global | Ptx.Instr.Mem_local
+     | Ptx.Instr.Mem_shared | Ptx.Instr.Barrier ->
+       st.Stats.alu_instrs <- st.Stats.alu_instrs + 1);
+    let ready = sm.now + latency_of cfg cls in
+    List.iter (fun k -> set_pending ws k ready) defs
+  | Interp.E_mem { space = Ptx.Types.Shared; write; lane_addrs; _ } ->
+    let n = List.length lane_addrs in
+    (* bank conflicts: lanes hitting the same bank with different word
+       addresses serialise into multiple passes (same-word accesses
+       broadcast for free) *)
+    let degree = bank_conflict_degree sm lane_addrs in
+    st.Stats.shared_bank_conflicts <-
+      st.Stats.shared_bank_conflicts + (degree - 1);
+    if write then st.Stats.shared_store_lanes <- st.Stats.shared_store_lanes + n
+    else begin
+      st.Stats.shared_load_lanes <- st.Stats.shared_load_lanes + n;
+      let ready = sm.now + cfg.Config.shared_latency + (2 * (degree - 1)) in
+      List.iter (fun k -> set_pending ws k ready) defs
+    end
+  | Interp.E_mem { space; write; lane_addrs; _ } ->
+    let local = Ptx.Types.equal_space space Ptx.Types.Local in
+    let n = List.length lane_addrs in
+    (match (local, write) with
+     | true, true -> st.Stats.local_store_lanes <- st.Stats.local_store_lanes + n
+     | true, false -> st.Stats.local_load_lanes <- st.Stats.local_load_lanes + n
+     | false, true -> st.Stats.global_store_lanes <- st.Stats.global_store_lanes + n
+     | false, false -> st.Stats.global_load_lanes <- st.Stats.global_load_lanes + n);
+    let segments = coalesce sm lane_addrs in
+    let nsegs = List.length segments in
+    if local then st.Stats.local_segments <- st.Stats.local_segments + nsegs
+    else st.Stats.global_segments <- st.Stats.global_segments + nsegs;
+    let bypass = sm.bypass_global && not local in
+    if write then
+      List.iter
+        (fun a ->
+           Queue.add
+             { addr = a; write = true; write_alloc = local; load = None; local; bypass }
+             sm.lsu)
+        segments
+    else begin
+      let pl = { defs; wslot = ws; remaining = nsegs; ready_at = 0 } in
+      List.iter (fun k -> set_pending ws k infinity_cycle) defs;
+      List.iter
+        (fun a ->
+           Queue.add
+             { addr = a; write = false; write_alloc = true; load = Some pl; local; bypass }
+             sm.lsu)
+        segments
+    end
+  | Interp.E_barrier ->
+    ws.waiting_barrier <- true;
+    let bs = ws.bstate in
+    bs.at_barrier <- bs.at_barrier + 1;
+    release_barrier bs
+  | Interp.E_exit -> finish_warp sm ws
+
+let service_lsu sm =
+  let ports = ref sm.cfg.Config.l1_ports in
+  let blocked = ref false in
+  while (not !blocked) && !ports > 0 && not (Queue.is_empty sm.lsu) do
+    let seg = Queue.peek sm.lsu in
+    let outcome =
+      if seg.bypass then sm.remote ~cycle:sm.now ~addr:seg.addr
+      else
+        Cache.access sm.l1 ~cycle:sm.now ~addr:seg.addr ~write:seg.write
+          ~write_alloc:seg.write_alloc
+    in
+    (match outcome with
+     | (Cache.Hit | Cache.Miss _) as r ->
+       ignore (Queue.pop sm.lsu);
+       (match seg.load with
+        | Some pl ->
+          let c =
+            match r with
+            | Cache.Hit -> sm.now + sm.cfg.Config.l1_hit_latency
+            | Cache.Miss c -> c
+            | Cache.Reserve_fail -> assert false
+          in
+          pl.ready_at <- max pl.ready_at c;
+          pl.remaining <- pl.remaining - 1;
+          if pl.remaining = 0 then
+            List.iter (fun k -> set_pending pl.wslot k pl.ready_at) pl.defs
+        | None -> ())
+     | Cache.Reserve_fail ->
+       sm.st.Stats.lsu_replay_cycles <- sm.st.Stats.lsu_replay_cycles + 1;
+       blocked := true);
+    decr ports
+  done
+
+let schedulers_issue sm =
+  let total = sm.cfg.Config.num_schedulers in
+  for s = 0 to total - 1 do
+    let pool = sm.pools.(s) in
+    let n = Array.length pool in
+    if n = 0 then sm.st.Stats.stall_idle <- sm.st.Stats.stall_idle + 1
+    else begin
+      let ready ws = status sm ws = Ready in
+      let pick =
+        match sm.scheduler with
+        | `Gto ->
+          let g_ok =
+            match sm.greedy.(s) with
+            | Some g when (not (Interp.is_done g.w)) && ready g -> Some g
+            | Some _ | None -> None
+          in
+          (match g_ok with
+           | Some g -> Some g
+           | None ->
+             let rec find i =
+               if i >= n then None
+               else if ready pool.(i) then Some pool.(i)
+               else find (i + 1)
+             in
+             find 0)
+        | `Lrr ->
+          let start = sm.now mod n in
+          let rec find k =
+            if k >= n then None
+            else
+              let ws = pool.((start + k) mod n) in
+              if ready ws then Some ws else find (k + 1)
+          in
+          find 0
+      in
+      match pick with
+      | Some ws ->
+        sm.greedy.(s) <- Some ws;
+        sm.st.Stats.issue_cycles <- sm.st.Stats.issue_cycles + 1;
+        issue sm ws
+      | None ->
+        let has_mem = ref false and has_sb = ref false and has_bar = ref false in
+        Array.iter
+          (fun ws ->
+             match status sm ws with
+             | Mem_queue -> has_mem := true
+             | Scoreboard -> has_sb := true
+             | Barrier -> has_bar := true
+             | Ready | Done -> ())
+          pool;
+        if !has_mem then
+          sm.st.Stats.stall_mem_congestion <- sm.st.Stats.stall_mem_congestion + 1
+        else if !has_sb then
+          sm.st.Stats.stall_scoreboard <- sm.st.Stats.stall_scoreboard + 1
+        else if !has_bar then
+          sm.st.Stats.stall_barrier <- sm.st.Stats.stall_barrier + 1
+        else sm.st.Stats.stall_idle <- sm.st.Stats.stall_idle + 1
+    end
+  done
+
+(* DynCTA-style controller (Kayiran et al.): every window, compare the
+   cache-congestion pressure against thresholds and pause the youngest
+   block (or resume the oldest paused one). *)
+let dynamic_window = 2048
+let hi_threshold = 0.20
+let lo_threshold = 0.05
+
+let dynamic_adjust sm =
+  let stalls =
+    sm.st.Stats.stall_mem_congestion + sm.st.Stats.lsu_replay_cycles
+  in
+  let delta = stalls - (sm.window_mem_stall + sm.window_replays) in
+  sm.window_mem_stall <- sm.st.Stats.stall_mem_congestion;
+  sm.window_replays <- sm.st.Stats.lsu_replay_cycles;
+  let frac = float_of_int delta /. float_of_int dynamic_window in
+  let running = List.filter (fun b -> not b.paused) sm.live_blocks in
+  if frac > hi_threshold && List.length running > 1 then begin
+    (* pause the youngest running block *)
+    match List.rev running with
+    | newest :: _ ->
+      newest.paused <- true;
+      sm.pools_dirty <- true
+    | [] -> ()
+  end
+  else if frac < lo_threshold then begin
+    match List.find_opt (fun b -> b.paused) sm.live_blocks with
+    | Some b ->
+      b.paused <- false;
+      sm.pools_dirty <- true
+    | None -> ()
+  end
+
+let step sm =
+  service_lsu sm;
+  if sm.dynamic_tlp && sm.now > 0 && sm.now mod dynamic_window = 0 then
+    dynamic_adjust sm;
+  if sm.now > 0 && sm.now mod 256 = 0 then sm.pools_dirty <- true;
+  if sm.pools_dirty then rebuild_pools sm;
+  schedulers_issue sm;
+  sm.now <- sm.now + 1
+
+let stats sm = sm.st
+
+let copy_cache_stats (src : Cache.stats) (dst : Cache.stats) =
+  dst.Cache.reads <- src.Cache.reads;
+  dst.Cache.read_hits <- src.Cache.read_hits;
+  dst.Cache.writes <- src.Cache.writes;
+  dst.Cache.write_hits <- src.Cache.write_hits;
+  dst.Cache.reserve_fails <- src.Cache.reserve_fails;
+  dst.Cache.writebacks <- src.Cache.writebacks;
+  dst.Cache.fills <- src.Cache.fills
+
+let finalize sm =
+  sm.st.Stats.cycles <- sm.now;
+  sm.st.Stats.dram_bytes <- Cache.Dram.traffic_bytes sm.shared.dram;
+  copy_cache_stats (Cache.stats sm.l1) sm.st.Stats.l1;
+  copy_cache_stats (Cache.stats sm.shared.l2) sm.st.Stats.l2;
+  sm.st
+
+let run ?(max_cycles = 40_000_000) ?scheduler ?bypass_global ?dynamic_tlp
+    (cfg : Config.t) (l : launch) =
+  let shared = make_shared cfg in
+  let next = ref 0 in
+  let next_block () =
+    if !next >= l.num_blocks then None
+    else begin
+      let b = !next in
+      incr next;
+      Some b
+    end
+  in
+  let sm = create ?scheduler ?dynamic_tlp ?bypass_global cfg shared ~next_block l in
+  while busy sm do
+    if sm.now > max_cycles then begin
+      ignore (finalize sm);
+      raise (Cycle_limit sm.st)
+    end;
+    step sm
+  done;
+  finalize sm

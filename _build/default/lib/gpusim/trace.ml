@@ -1,0 +1,79 @@
+type entry =
+  { pc : int
+  ; instr : Ptx.Instr.t
+  ; mask : int
+  ; def_value : Value.t option
+  }
+
+let warp_trace ?(max_steps = 10_000) ~kernel ~block_size ~num_blocks ~params
+    ~memory ~ctaid ~warp () =
+  let image = Image.prepare kernel in
+  let lctx =
+    { Interp.image; global = memory; params; block_size; num_blocks }
+  in
+  let _block, warps = Interp.make_block lctx ~ctaid ~warp_size:32 in
+  let warps = Array.of_list warps in
+  if warp < 0 || warp >= Array.length warps then
+    invalid_arg "Trace.warp_trace: no such warp";
+  let target = warps.(warp) in
+  let log = ref [] in
+  let steps = ref 0 in
+  (* round-robin in barrier-sized quanta, mirroring the emulator *)
+  let waiting = Array.make (Array.length warps) false in
+  let all_done () = Array.for_all Interp.is_done warps in
+  let progress = ref true in
+  while (not (all_done ())) && !progress && !steps < max_steps do
+    progress := false;
+    Array.iteri
+      (fun i w ->
+         if (not (Interp.is_done w)) && not waiting.(i) then begin
+           let stop = ref false in
+           while not !stop do
+             let pc = Interp.pc w in
+             let mask = Interp.active_mask w in
+             let instr =
+               if Interp.is_done w then None
+               else Interp.peek w
+             in
+             match instr with
+             | None -> stop := true
+             | Some ins ->
+               let exec = Interp.step w in
+               progress := true;
+               if w == target && !steps < max_steps then begin
+                 incr steps;
+                 let def_value =
+                   match Ptx.Instr.defs ins with
+                   | d :: _ -> Some (Interp.read_reg_values w d).(0)
+                   | [] -> None
+                 in
+                 log := { pc; instr = ins; mask; def_value } :: !log
+               end;
+               (match exec with
+                | Interp.E_barrier ->
+                  waiting.(i) <- true;
+                  stop := true
+                | Interp.E_exit -> stop := true
+                | Interp.E_alu _ | Interp.E_mem _ -> ())
+           done
+         end)
+      warps;
+    let live_blocked = ref true in
+    Array.iteri
+      (fun i w ->
+         if (not (Interp.is_done w)) && not waiting.(i) then live_blocked := false)
+      warps;
+    if !live_blocked then Array.iteri (fun i _ -> waiting.(i) <- false) warps
+  done;
+  List.rev !log
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%5d %08x  %a" e.pc (e.mask land 0xFFFFFFFF) Ptx.Instr.pp
+    e.instr;
+  match e.def_value with
+  | Some v -> Format.fprintf fmt "   ; lane0 = %a" Value.pp v
+  | None -> ()
+
+let pp fmt entries =
+  Format.fprintf fmt "%5s %8s  %s@." "pc" "mask" "instruction";
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) entries

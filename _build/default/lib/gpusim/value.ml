@@ -1,0 +1,184 @@
+type t =
+  | I of int64
+  | F of float
+
+let zero = I 0L
+let of_int i = I (Int64.of_int i)
+
+let to_bits = function
+  | I i -> i
+  | F f -> Int64.bits_of_float f
+
+let to_float = function
+  | I i -> Int64.to_float i
+  | F f -> f
+
+let to_int64 = function
+  | I i -> i
+  | F f -> Int64.of_float f
+
+let to_bool v = to_int64 v <> 0L
+
+let mask_width w i =
+  match w with
+  | 1 -> Int64.logand i 0xFFL
+  | 2 -> Int64.logand i 0xFFFFL
+  | 4 -> Int64.logand i 0xFFFFFFFFL
+  | _ -> i
+
+let sign_extend w i =
+  match w with
+  | 1 -> Int64.shift_right (Int64.shift_left i 56) 56
+  | 2 -> Int64.shift_right (Int64.shift_left i 48) 48
+  | 4 -> Int64.shift_right (Int64.shift_left i 32) 32
+  | _ -> i
+
+let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+(* moving a float value through an integer-typed slot (or vice versa)
+   reinterprets the bits, as a real register file would *)
+let to_float_bits_aware = function
+  | F f -> f
+  | I i -> Int64.float_of_bits i
+
+let to_int_bits_aware = function
+  | I i -> i
+  | F f -> Int64.bits_of_float f
+
+let truncate ty v =
+  let w = Ptx.Types.width_bytes ty in
+  match ty with
+  | Ptx.Types.F32 -> F (round_f32 (to_float_bits_aware v))
+  | Ptx.Types.F64 -> F (to_float_bits_aware v)
+  | Ptx.Types.Pred -> I (if to_bool v then 1L else 0L)
+  | Ptx.Types.S16 | Ptx.Types.S32 | Ptx.Types.S64 ->
+    I (sign_extend w (to_int_bits_aware v))
+  | Ptx.Types.U16 | Ptx.Types.U32 | Ptx.Types.U64 | Ptx.Types.B8
+  | Ptx.Types.B16 | Ptx.Types.B32 | Ptx.Types.B64 ->
+    I (mask_width w (to_int_bits_aware v))
+
+let as_signed ty v =
+  let w = Ptx.Types.width_bytes ty in
+  sign_extend w (to_int_bits_aware v)
+
+let as_unsigned ty v =
+  let w = Ptx.Types.width_bytes ty in
+  mask_width w (to_int_bits_aware v)
+
+let int_binop op ty a b =
+  let signed = Ptx.Types.is_signed ty in
+  let x = if signed then as_signed ty a else as_unsigned ty a in
+  let y = if signed then as_signed ty b else as_unsigned ty b in
+  let r =
+    match op with
+    | Ptx.Instr.Add -> Int64.add x y
+    | Ptx.Instr.Sub -> Int64.sub x y
+    | Ptx.Instr.Mul_lo -> Int64.mul x y
+    | Ptx.Instr.Div -> if y = 0L then 0L else Int64.div x y
+    | Ptx.Instr.Rem -> if y = 0L then 0L else Int64.rem x y
+    | Ptx.Instr.Min -> if x < y then x else y
+    | Ptx.Instr.Max -> if x > y then x else y
+    | Ptx.Instr.And -> Int64.logand x y
+    | Ptx.Instr.Or -> Int64.logor x y
+    | Ptx.Instr.Xor -> Int64.logxor x y
+    | Ptx.Instr.Shl -> Int64.shift_left x (Int64.to_int (Int64.logand y 63L))
+    | Ptx.Instr.Shr ->
+      let s = Int64.to_int (Int64.logand y 63L) in
+      if signed then Int64.shift_right x s else Int64.shift_right_logical x s
+  in
+  truncate ty (I r)
+
+let float_binop op ty a b =
+  let x = to_float_bits_aware a and y = to_float_bits_aware b in
+  let r =
+    match op with
+    | Ptx.Instr.Add -> x +. y
+    | Ptx.Instr.Sub -> x -. y
+    | Ptx.Instr.Mul_lo -> x *. y
+    | Ptx.Instr.Div -> x /. y
+    | Ptx.Instr.Rem -> Float.rem x y
+    | Ptx.Instr.Min -> Float.min x y
+    | Ptx.Instr.Max -> Float.max x y
+    | Ptx.Instr.And | Ptx.Instr.Or | Ptx.Instr.Xor | Ptx.Instr.Shl
+    | Ptx.Instr.Shr ->
+      invalid_arg "Value: bitwise op on float type"
+  in
+  truncate ty (F r)
+
+let binop op ty a b =
+  if Ptx.Types.is_float ty then float_binop op ty a b else int_binop op ty a b
+
+let unop op ty a =
+  if Ptx.Types.is_float ty then
+    let x = to_float_bits_aware a in
+    let r =
+      match op with
+      | Ptx.Instr.Neg -> -.x
+      | Ptx.Instr.Abs -> Float.abs x
+      | Ptx.Instr.Sqrt -> sqrt x
+      | Ptx.Instr.Rcp -> 1.0 /. x
+      | Ptx.Instr.Ex2 -> Float.exp2 x
+      | Ptx.Instr.Lg2 -> Float.log2 x
+      | Ptx.Instr.Not -> invalid_arg "Value: not on float type"
+    in
+    truncate ty (F r)
+  else
+    let x = as_signed ty a in
+    let r =
+      match op with
+      | Ptx.Instr.Neg -> Int64.neg x
+      | Ptx.Instr.Not -> Int64.lognot x
+      | Ptx.Instr.Abs -> Int64.abs x
+      | Ptx.Instr.Sqrt | Ptx.Instr.Rcp | Ptx.Instr.Ex2 | Ptx.Instr.Lg2 ->
+        invalid_arg "Value: SFU op on integer type"
+    in
+    truncate ty (I r)
+
+let mad ty a b c =
+  if Ptx.Types.is_float ty then
+    truncate ty
+      (F ((to_float_bits_aware a *. to_float_bits_aware b) +. to_float_bits_aware c))
+  else binop Ptx.Instr.Add ty (binop Ptx.Instr.Mul_lo ty a b) c
+
+let compare_values cmp ty a b =
+  let r =
+    if Ptx.Types.is_float ty then
+      Stdlib.compare (to_float_bits_aware a) (to_float_bits_aware b)
+    else if Ptx.Types.is_signed ty then
+      Int64.compare (as_signed ty a) (as_signed ty b)
+    else Int64.unsigned_compare (as_unsigned ty a) (as_unsigned ty b)
+  in
+  match cmp with
+  | Ptx.Instr.Eq -> r = 0
+  | Ptx.Instr.Ne -> r <> 0
+  | Ptx.Instr.Lt -> r < 0
+  | Ptx.Instr.Le -> r <= 0
+  | Ptx.Instr.Gt -> r > 0
+  | Ptx.Instr.Ge -> r >= 0
+
+let convert ~dst ~src v =
+  match (Ptx.Types.is_float dst, Ptx.Types.is_float src) with
+  | true, true -> truncate dst (F (to_float_bits_aware v))
+  | true, false ->
+    let i =
+      if Ptx.Types.is_signed src then as_signed src v else as_unsigned src v
+    in
+    truncate dst (F (Int64.to_float i))
+  | false, true ->
+    (* float to int: round toward zero, as PTX cvt.rzi does by default *)
+    truncate dst (I (Int64.of_float (to_float_bits_aware v)))
+  | false, false ->
+    let i =
+      if Ptx.Types.is_signed src then as_signed src v else as_unsigned src v
+    in
+    truncate dst (I i)
+
+let equal a b =
+  match (a, b) with
+  | I x, I y -> Int64.equal x y
+  | F x, F y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | I _, F _ | F _, I _ -> Int64.equal (to_bits a) (to_bits b)
+
+let pp fmt = function
+  | I i -> Format.fprintf fmt "%Ld" i
+  | F f -> Format.fprintf fmt "%g" f

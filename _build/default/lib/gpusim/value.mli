@@ -1,0 +1,29 @@
+(** Runtime values of the functional interpreter. Integers are carried as
+    [int64] and truncated to the operation width at each step; floats are
+    carried at double precision (single-precision rounding is applied for
+    [f32] results). *)
+
+type t =
+  | I of int64
+  | F of float
+
+val zero : t
+val to_bits : t -> int64
+val of_int : int -> t
+
+val truncate : Ptx.Types.scalar -> t -> t
+(** Normalise a value to the given type: mask integers to the width (with
+    sign extension for signed types), round floats to [f32] when needed,
+    coerce representation (bits reinterpretation between I/F). *)
+
+val to_float : t -> float
+val to_int64 : t -> int64
+val to_bool : t -> bool
+
+val binop : Ptx.Instr.binop -> Ptx.Types.scalar -> t -> t -> t
+val unop : Ptx.Instr.unop -> Ptx.Types.scalar -> t -> t
+val mad : Ptx.Types.scalar -> t -> t -> t -> t
+val compare_values : Ptx.Instr.cmp -> Ptx.Types.scalar -> t -> t -> bool
+val convert : dst:Ptx.Types.scalar -> src:Ptx.Types.scalar -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Cfg Gpusim Hashtbl List Ptx

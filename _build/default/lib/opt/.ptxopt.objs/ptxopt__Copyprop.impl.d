@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Array Cfg Hashtbl List Ptx

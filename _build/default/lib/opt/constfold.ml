@@ -1,0 +1,84 @@
+let imm_of_value ty v =
+  if Ptx.Types.is_float ty then Ptx.Instr.Ofimm (Gpusim.Value.to_float v)
+  else Ptx.Instr.Oimm (Gpusim.Value.to_int64 v)
+
+let value_of_operand (op : Ptx.Instr.operand) =
+  match op with
+  | Ptx.Instr.Oimm i -> Some (Gpusim.Value.I i)
+  | Ptx.Instr.Ofimm f -> Some (Gpusim.Value.F f)
+  | Ptx.Instr.Oreg _ | Ptx.Instr.Ospecial _ | Ptx.Instr.Osym _
+  | Ptx.Instr.Oparam _ -> None
+
+let run (k : Ptx.Kernel.t) =
+  let flow = Cfg.Flow.of_kernel k in
+  let folded = ref 0 in
+  let rewritten = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Cfg.Flow.block) ->
+       (* constants known in this block, keyed by register *)
+       let env : (Ptx.Reg.t * Gpusim.Value.t) list ref = ref [] in
+       let kill r =
+         env := List.filter (fun (d, _) -> not (Ptx.Reg.equal d r)) !env
+       in
+       let lookup op =
+         match op with
+         | Ptx.Instr.Oreg r ->
+           (match List.find_opt (fun (d, _) -> Ptx.Reg.equal d r) !env with
+            | Some (_, v) -> Some v
+            | None -> None)
+         | _ -> value_of_operand op
+       in
+       for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+         let ins = flow.Cfg.Flow.instrs.(i) in
+         let fold_to d ty v =
+           incr folded;
+           List.iter kill (Ptx.Instr.defs ins);
+           env := (d, v) :: !env;
+           Ptx.Instr.Mov (ty, d, imm_of_value ty v)
+         in
+         let ins' =
+           match ins with
+           | Ptx.Instr.Binop (op, ty, d, a, b') ->
+             (match (lookup a, lookup b') with
+              | Some va, Some vb -> fold_to d ty (Gpusim.Value.binop op ty va vb)
+              | _ -> ins)
+           | Ptx.Instr.Mad (ty, d, a, b', c) ->
+             (match (lookup a, lookup b', lookup c) with
+              | Some va, Some vb, Some vc -> fold_to d ty (Gpusim.Value.mad ty va vb vc)
+              | _ -> ins)
+           | Ptx.Instr.Unop (op, ty, d, a) ->
+             (match lookup a with
+              | Some va -> fold_to d ty (Gpusim.Value.unop op ty va)
+              | None -> ins)
+           | Ptx.Instr.Cvt (dt, st, d, a) ->
+             (match lookup a with
+              | Some va -> fold_to d dt (Gpusim.Value.convert ~dst:dt ~src:st va)
+              | None -> ins)
+           | _ -> ins
+         in
+         (* track constant moves; any other def kills its register *)
+         (match ins' with
+          | Ptx.Instr.Mov (ty, d, src) ->
+            kill d;
+            (match value_of_operand src with
+             | Some v -> env := (d, Gpusim.Value.truncate ty v) :: !env
+             | None -> ())
+          | _ ->
+            if not (List.exists (fun (d, _) -> List.exists (Ptx.Reg.equal d) (Ptx.Instr.defs ins')) !env)
+            then List.iter kill (Ptx.Instr.defs ins')
+            else List.iter kill (Ptx.Instr.defs ins'));
+         Hashtbl.replace rewritten i ins'
+       done)
+    flow.Cfg.Flow.blocks;
+  let idx = ref (-1) in
+  let body =
+    Array.map
+      (fun stmt ->
+         match stmt with
+         | Ptx.Kernel.L _ -> stmt
+         | Ptx.Kernel.I _ ->
+           incr idx;
+           Ptx.Kernel.I (Hashtbl.find rewritten !idx))
+      k.Ptx.Kernel.body
+  in
+  ({ k with Ptx.Kernel.body = body }, !folded)

@@ -1,0 +1,8 @@
+(** Constant folding: arithmetic whose operands are all immediates is
+    evaluated at compile time (using the simulator's own {!Gpusim.Value}
+    semantics, so folding is exact) and replaced by a [mov]. Also folds
+    moves of immediates forward within a block so chains of constant
+    arithmetic collapse. *)
+
+val run : Ptx.Kernel.t -> Ptx.Kernel.t * int
+(** Returns the folded kernel and the number of instructions folded. *)

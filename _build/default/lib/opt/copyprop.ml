@@ -1,0 +1,52 @@
+let run (k : Ptx.Kernel.t) =
+  let flow = Cfg.Flow.of_kernel k in
+  let changed = ref 0 in
+  (* per-block available-copy map, keyed by destination register *)
+  let rewritten = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Cfg.Flow.block) ->
+       let copies : (Ptx.Reg.t * Ptx.Reg.t) list ref = ref [] in
+       let kill r =
+         copies :=
+           List.filter
+             (fun (d, s) -> not (Ptx.Reg.equal d r || Ptx.Reg.equal s r))
+             !copies
+       in
+       for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+         let ins = flow.Cfg.Flow.instrs.(i) in
+         let subst r =
+           match List.find_opt (fun (d, _) -> Ptx.Reg.equal d r) !copies with
+           | Some (_, s) ->
+             incr changed;
+             s
+           | None -> r
+         in
+         (* rewrite uses only: defs keep their own register *)
+         let defs = Ptx.Instr.defs ins in
+         let ins' =
+           Ptx.Instr.map_regs
+             (fun r -> if List.exists (Ptx.Reg.equal r) defs then r else subst r)
+             ins
+         in
+         Hashtbl.replace rewritten i ins';
+         List.iter kill (Ptx.Instr.defs ins');
+         (match ins' with
+          | Ptx.Instr.Mov (_, d, Ptx.Instr.Oreg s)
+            when Ptx.Types.equal_scalar (Ptx.Reg.ty d) (Ptx.Reg.ty s) ->
+            copies := (d, s) :: !copies
+          | _ -> ())
+       done)
+    flow.Cfg.Flow.blocks;
+  (* rebuild the body in statement order *)
+  let idx = ref (-1) in
+  let body =
+    Array.map
+      (fun stmt ->
+         match stmt with
+         | Ptx.Kernel.L _ -> stmt
+         | Ptx.Kernel.I _ ->
+           incr idx;
+           Ptx.Kernel.I (Hashtbl.find rewritten !idx))
+      k.Ptx.Kernel.body
+  in
+  ({ k with Ptx.Kernel.body = body }, !changed)

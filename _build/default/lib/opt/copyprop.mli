@@ -1,0 +1,7 @@
+(** Local copy propagation: within a basic block, a use of [d] after
+    [mov d, s] is rewritten to use [s] directly, as long as neither [d]
+    nor [s] has been redefined in between. Run {!Dce} afterwards to
+    delete the copies that became dead. *)
+
+val run : Ptx.Kernel.t -> Ptx.Kernel.t * int
+(** Returns the rewritten kernel and the number of uses propagated. *)

@@ -1,0 +1,39 @@
+let is_removable (i : Ptx.Instr.t) =
+  match i with
+  | Ptx.Instr.Mov _ | Ptx.Instr.Binop _ | Ptx.Instr.Mad _ | Ptx.Instr.Unop _
+  | Ptx.Instr.Cvt _ | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.Ld _ ->
+    true
+  | Ptx.Instr.St _ | Ptx.Instr.Bra _ | Ptx.Instr.Bra_pred _
+  | Ptx.Instr.Bar_sync | Ptx.Instr.Ret -> false
+
+let one_pass (k : Ptx.Kernel.t) =
+  let flow = Cfg.Flow.of_kernel k in
+  let live = Cfg.Liveness.compute flow in
+  (* map body statement positions to flat instruction indices *)
+  let removed = ref 0 in
+  let idx = ref (-1) in
+  let body =
+    Array.to_list k.Ptx.Kernel.body
+    |> List.filter (fun stmt ->
+      match stmt with
+      | Ptx.Kernel.L _ -> true
+      | Ptx.Kernel.I i ->
+        incr idx;
+        let dead =
+          is_removable i
+          &&
+          match Ptx.Instr.defs i with
+          | [ d ] -> not (Ptx.Reg.Set.mem d live.Cfg.Liveness.live_out.(!idx))
+          | [] | _ :: _ :: _ -> false
+        in
+        if dead then incr removed;
+        not dead)
+  in
+  ({ k with Ptx.Kernel.body = Array.of_list body }, !removed)
+
+let run k =
+  let rec fix k total =
+    let k', n = one_pass k in
+    if n = 0 then (k', total) else fix k' (total + n)
+  in
+  fix k 0

@@ -1,0 +1,8 @@
+(** Dead-code elimination: removes instructions whose only effect is
+    writing a register that is never live afterwards. Loads are removed
+    too (the simulated memory has no side-effecting reads); stores,
+    barriers and control flow are always kept. Iterates to a fixpoint:
+    removing one dead definition can kill its operands' last uses. *)
+
+val run : Ptx.Kernel.t -> Ptx.Kernel.t * int
+(** Returns the cleaned kernel and the number of instructions removed. *)

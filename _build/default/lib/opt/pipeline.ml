@@ -1,0 +1,26 @@
+type report =
+  { folded : int
+  ; propagated : int
+  ; eliminated : int
+  ; iterations : int
+  }
+
+let run k =
+  let rec loop k acc iters =
+    let k, f = Constfold.run k in
+    let k, p = Copyprop.run k in
+    let k, e = Dce.run k in
+    let acc =
+      { folded = acc.folded + f
+      ; propagated = acc.propagated + p
+      ; eliminated = acc.eliminated + e
+      ; iterations = iters
+      }
+    in
+    if f + p + e = 0 || iters >= 8 then (k, acc) else loop k acc (iters + 1)
+  in
+  loop k { folded = 0; propagated = 0; eliminated = 0; iterations = 1 } 1
+
+let pp_report fmt r =
+  Format.fprintf fmt "%d folded, %d propagated, %d eliminated (%d iterations)"
+    r.folded r.propagated r.eliminated r.iterations

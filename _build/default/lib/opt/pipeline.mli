@@ -1,0 +1,13 @@
+(** The standard cleanup pipeline run after kernel construction or spill
+    insertion: constant folding, copy propagation, then dead-code
+    elimination, iterated until nothing changes. *)
+
+type report =
+  { folded : int
+  ; propagated : int
+  ; eliminated : int
+  ; iterations : int
+  }
+
+val run : Ptx.Kernel.t -> Ptx.Kernel.t * report
+val pp_report : Format.formatter -> report -> unit

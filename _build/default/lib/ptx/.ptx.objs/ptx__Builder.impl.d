@@ -1,0 +1,1 @@
+lib/ptx/builder.ml: Array Instr Int64 Kernel List Printf Reg Types

@@ -1,0 +1,1 @@
+lib/ptx/instr.mli: Format Reg Types

@@ -1,0 +1,1 @@
+lib/ptx/kernel.ml: Array Instr List Printf Reg Result Types

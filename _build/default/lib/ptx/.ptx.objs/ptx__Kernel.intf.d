@@ -1,0 +1,1 @@
+lib/ptx/kernel.mli: Instr Reg Types

@@ -1,0 +1,1 @@
+lib/ptx/parser.ml: Array Hashtbl Instr Int64 Kernel List Printf Reg String Types

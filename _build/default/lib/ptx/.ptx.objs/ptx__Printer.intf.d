@@ -1,0 +1,1 @@
+lib/ptx/printer.mli: Format Kernel

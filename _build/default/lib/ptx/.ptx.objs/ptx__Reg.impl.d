@@ -1,0 +1,1 @@
+lib/ptx/reg.ml: Format Hashtbl List Map Printf Set Types

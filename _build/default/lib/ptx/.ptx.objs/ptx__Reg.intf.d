@@ -1,0 +1,1 @@
+lib/ptx/reg.mli: Format Hashtbl Map Set Types

@@ -1,0 +1,1 @@
+lib/ptx/types.ml: Format List

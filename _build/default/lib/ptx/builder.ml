@@ -1,0 +1,146 @@
+type t =
+  { name : string
+  ; mutable next_reg : int
+  ; mutable next_label : int
+  ; mutable rev_body : Kernel.stmt list
+  ; mutable params : (string * Types.scalar) list
+  ; mutable decls : Kernel.decl list
+  }
+
+let create name =
+  { name; next_reg = 0; next_label = 0; rev_body = []; params = []; decls = [] }
+
+let param b name ty =
+  b.params <- b.params @ [ (name, ty) ];
+  Instr.Oparam name
+
+let decl b name space elem count align =
+  b.decls <-
+    b.decls
+    @ [ { Kernel.dname = name; dspace = space; delem = elem; dcount = count; dalign = align } ];
+  Instr.Osym name
+
+let decl_shared b name elem count =
+  decl b name Types.Shared elem count (Types.width_bytes elem)
+
+let decl_local b name elem count =
+  decl b name Types.Local elem count (Types.width_bytes elem)
+
+let fresh b ty =
+  let r = Reg.make b.next_reg ty in
+  b.next_reg <- b.next_reg + 1;
+  r
+
+let emit b i = b.rev_body <- Kernel.I i :: b.rev_body
+let label b l = b.rev_body <- Kernel.L l :: b.rev_body
+
+let fresh_label b prefix =
+  let l = Printf.sprintf "%s_%d" prefix b.next_label in
+  b.next_label <- b.next_label + 1;
+  l
+
+let mov b ty a =
+  let d = fresh b ty in
+  emit b (Instr.Mov (ty, d, a));
+  d
+
+let special b s = mov b Types.U32 (Instr.Ospecial s)
+
+let binop b op ty x y =
+  let d = fresh b ty in
+  emit b (Instr.Binop (op, ty, d, x, y));
+  d
+
+let add b ty x y = binop b Instr.Add ty x y
+let sub b ty x y = binop b Instr.Sub ty x y
+let mul b ty x y = binop b Instr.Mul_lo ty x y
+
+let mad b ty x y z =
+  let d = fresh b ty in
+  emit b (Instr.Mad (ty, d, x, y, z));
+  d
+
+let unop b op ty x =
+  let d = fresh b ty in
+  emit b (Instr.Unop (op, ty, d, x));
+  d
+
+let cvt b dst_ty src_ty x =
+  let d = fresh b dst_ty in
+  emit b (Instr.Cvt (dst_ty, src_ty, d, x));
+  d
+
+let setp b c ty x y =
+  let d = fresh b Types.Pred in
+  emit b (Instr.Setp (c, ty, d, x, y));
+  d
+
+let selp b ty x y p =
+  let d = fresh b ty in
+  emit b (Instr.Selp (ty, d, x, y, p));
+  d
+
+let ld b space ty base off =
+  let d = fresh b ty in
+  emit b (Instr.Ld (space, ty, d, { Instr.base; offset = off }));
+  d
+
+let st b space ty base off v =
+  emit b (Instr.St (space, ty, { Instr.base; offset = off }, v))
+
+let ld_param b ty p =
+  let d = fresh b ty in
+  emit b (Instr.Ld (Types.Param, ty, d, { Instr.base = p; offset = 0 }));
+  d
+
+let bra b l = emit b (Instr.Bra l)
+let bra_if b p l = emit b (Instr.Bra_pred (p, true, l))
+let bra_ifnot b p l = emit b (Instr.Bra_pred (p, false, l))
+let bar_sync b = emit b Instr.Bar_sync
+let ret b = emit b Instr.Ret
+let reg r = Instr.Oreg r
+let imm i = Instr.Oimm (Int64.of_int i)
+let fimm f = Instr.Ofimm f
+
+let acc_binop b op ty acc x = emit b (Instr.Binop (op, ty, acc, Instr.Oreg acc, x))
+
+let global_tid_x b =
+  let tid = special b Reg.Tid_x in
+  let ctaid = special b Reg.Ctaid_x in
+  let ntid = special b Reg.Ntid_x in
+  mad b Types.U32 (reg ctaid) (reg ntid) (reg tid)
+
+(* A counted loop with a head test: the induction variable is carried in a
+   single (mutable across iterations, hence non-SSA) register; this is what
+   nvcc emits for simple for-loops and what gives induction variables their
+   long live ranges. *)
+let for_loop b ~from ~below ~step body =
+  let head = fresh_label b "Lhead" in
+  let exit = fresh_label b "Lexit" in
+  let i = mov b Types.U32 from in
+  label b head;
+  let p = setp b Instr.Ge Types.U32 (reg i) below in
+  bra_if b p exit;
+  body i;
+  (* i <- i + step, writing the same register to close the loop *)
+  emit b (Instr.Binop (Instr.Add, Types.U32, i, reg i, imm step));
+  bra b head;
+  label b exit
+
+let finish b =
+  let ends_in_ret =
+    match b.rev_body with
+    | Kernel.I Instr.Ret :: _ -> true
+    | _ -> false
+  in
+  if not ends_in_ret then ret b;
+  let k =
+    { Kernel.name = b.name
+    ; params = b.params
+    ; decls = b.decls
+    ; body = Array.of_list (List.rev b.rev_body)
+    }
+  in
+  match Kernel.validate k with
+  | Ok () -> k
+  | Error msg -> invalid_arg (Printf.sprintf "Builder.finish %s: %s" b.name msg)

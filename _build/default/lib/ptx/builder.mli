@@ -1,0 +1,78 @@
+(** Imperative eDSL for constructing PTX kernels in SSA style.
+
+    The builder hands out fresh virtual registers — mirroring nvcc's
+    infinite-register PTX output — and accumulates statements. The
+    workload generators (lib/workloads) are written against this API. *)
+
+type t
+
+val create : string -> t
+val param : t -> string -> Types.scalar -> Instr.operand
+(** Declare a kernel parameter and return the operand naming it. *)
+
+val decl_shared : t -> string -> Types.scalar -> int -> Instr.operand
+(** [decl_shared b name elem count] declares a shared array and returns
+    its symbol operand. *)
+
+val decl_local : t -> string -> Types.scalar -> int -> Instr.operand
+
+val fresh : t -> Types.scalar -> Reg.t
+(** A fresh virtual register of the given type. *)
+
+val emit : t -> Instr.t -> unit
+val label : t -> string -> unit
+(** Place a label here. *)
+
+val fresh_label : t -> string -> string
+(** A unique label name with the given prefix (not yet placed). *)
+
+(** {2 Convenience emitters} — each returns the destination register. *)
+
+val mov : t -> Types.scalar -> Instr.operand -> Reg.t
+val special : t -> Reg.special -> Reg.t
+(** Read a built-in register into a fresh [U32] register. *)
+
+val binop : t -> Instr.binop -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t
+val add : t -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t
+val sub : t -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t
+val mul : t -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t
+val mad : t -> Types.scalar -> Instr.operand -> Instr.operand -> Instr.operand -> Reg.t
+val unop : t -> Instr.unop -> Types.scalar -> Instr.operand -> Reg.t
+val cvt : t -> Types.scalar -> Types.scalar -> Instr.operand -> Reg.t
+val setp : t -> Instr.cmp -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t
+val selp : t -> Types.scalar -> Instr.operand -> Instr.operand -> Reg.t -> Reg.t
+val ld : t -> Types.space -> Types.scalar -> Instr.operand -> int -> Reg.t
+(** [ld b space ty base off] *)
+
+val st : t -> Types.space -> Types.scalar -> Instr.operand -> int -> Instr.operand -> unit
+val ld_param : t -> Types.scalar -> Instr.operand -> Reg.t
+(** Load a kernel parameter value ([ld.param]). *)
+
+val bra : t -> string -> unit
+val bra_if : t -> Reg.t -> string -> unit
+val bra_ifnot : t -> Reg.t -> string -> unit
+val bar_sync : t -> unit
+val ret : t -> unit
+
+val reg : Reg.t -> Instr.operand
+val imm : int -> Instr.operand
+val fimm : float -> Instr.operand
+
+val acc_binop : t -> Instr.binop -> Types.scalar -> Reg.t -> Instr.operand -> unit
+(** [acc_binop b op ty acc x] emits [acc <- acc op x], writing the same
+    register — the accumulation idiom that gives reduction variables
+    their long, loop-carried live ranges. *)
+
+val global_tid_x : t -> Reg.t
+(** [tid.x + ctaid.x * ntid.x] — the idiom of paper Listing 1/2. *)
+
+val for_loop : t -> from:Instr.operand -> below:Instr.operand -> step:int
+  -> (Reg.t -> unit) -> unit
+(** [for_loop b ~from ~below ~step body] emits a counted loop; [body]
+    receives the induction register ([U32]). The loop uses a head test so
+    zero-trip loops are correct. *)
+
+val finish : t -> Kernel.t
+(** Append [ret] if the body does not already end in one, and build the
+    kernel. Raises [Invalid_argument] if the result fails
+    {!Kernel.validate}. *)

@@ -1,0 +1,428 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Word of string
+  | Int of int64
+  | Float of float
+  | Punct of char
+
+let token_to_string = function
+  | Word w -> w
+  | Int i -> Int64.to_string i
+  | Float f -> string_of_float f
+  | Punct c -> String.make 1 c
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '%' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Numbers may be decimal integers or floats in [%.17g] form (including
+   exponents). A '+' or '-' is only consumed inside a number directly after
+   an exponent marker, so address offsets like [%d0+4] lex correctly. *)
+let lex (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      let is_float = ref false in
+      let continue = ref true in
+      while !continue && !i < n do
+        let d = s.[!i] in
+        if is_digit d then incr i
+        else if d = '.' && !i + 1 < n && is_digit s.[!i + 1] then begin
+          is_float := true;
+          incr i
+        end
+        else if d = 'e' || d = 'E' then begin
+          is_float := true;
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i
+        end
+        else continue := false
+      done;
+      let text = String.sub s start (!i - start) in
+      if !is_float then push (Float (float_of_string text))
+      else push (Int (Int64.of_string text))
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do
+        incr i
+      done;
+      push (Word (String.sub s start (!i - start)))
+    end
+    else begin
+      (match c with
+       | ',' | ';' | '[' | ']' | '{' | '}' | '(' | ')' | '@' | '!' | '+' | ':'
+         -> push (Punct c)
+       | _ -> fail "unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+type state =
+  { toks : token array
+  ; mutable pos : int
+  ; mutable params : (string * Types.scalar) list
+  ; mutable decls : Kernel.decl list
+  ; regs : (string, Reg.t) Hashtbl.t
+  }
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+
+let next st =
+  match peek st with
+  | Some t ->
+    st.pos <- st.pos + 1;
+    t
+  | None -> fail "unexpected end of input"
+
+let expect_punct st c =
+  match next st with
+  | Punct c' when c = c' -> ()
+  | t -> fail "expected %C, got %s" c (token_to_string t)
+
+let expect_word st =
+  match next st with
+  | Word w -> w
+  | t -> fail "expected identifier, got %s" (token_to_string t)
+
+let expect_int st =
+  match next st with
+  | Int i -> Int64.to_int i
+  | t -> fail "expected integer, got %s" (token_to_string t)
+
+let scalar_of_dotted w =
+  (* ".u32" or "u32" *)
+  let w = if String.length w > 0 && w.[0] = '.' then String.sub w 1 (String.length w - 1) else w in
+  match Types.scalar_of_string w with
+  | Some t -> t
+  | None -> fail "unknown type %s" w
+
+let split_dots w = String.split_on_char '.' w |> List.filter (fun s -> s <> "")
+
+let lookup_reg st name =
+  match Hashtbl.find_opt st.regs name with
+  | Some r -> r
+  | None -> fail "undeclared register %s" name
+
+(* Declare registers from a [.reg .ty %a, %b;] directive: the numeric
+   suffix of the printed name is the register id. *)
+let reg_id_of_name name =
+  let n = String.length name in
+  let rec start i = if i < n && not (is_digit name.[i]) then start (i + 1) else i in
+  let s = start 0 in
+  if s >= n then fail "register name %s has no id" name
+  else int_of_string (String.sub name s (n - s))
+
+let parse_operand st ty : Instr.operand =
+  match next st with
+  | Int i ->
+    if Types.is_float ty then Instr.Ofimm (Int64.to_float i) else Instr.Oimm i
+  | Float f -> Instr.Ofimm f
+  | Word w when String.length w > 0 && w.[0] = '%' ->
+    (match Reg.special_of_string w with
+     | Some s -> Instr.Ospecial s
+     | None -> Instr.Oreg (lookup_reg st w))
+  | Word "inf" -> Instr.Ofimm infinity
+  | Word "nan" -> Instr.Ofimm nan
+  | Word w ->
+    if List.mem_assoc w st.params then Instr.Oparam w
+    else if List.exists (fun (d : Kernel.decl) -> d.dname = w) st.decls then
+      Instr.Osym w
+    else fail "unknown operand %s" w
+  | t -> fail "bad operand %s" (token_to_string t)
+
+let parse_reg_operand st =
+  match next st with
+  | Word w when String.length w > 0 && w.[0] = '%' -> lookup_reg st w
+  | t -> fail "expected register, got %s" (token_to_string t)
+
+let parse_address st : Instr.address =
+  expect_punct st '[';
+  let base = parse_operand st Types.U64 in
+  let offset =
+    match peek st with
+    | Some (Punct '+') ->
+      st.pos <- st.pos + 1;
+      expect_int st
+    | Some _ | None -> 0
+  in
+  expect_punct st ']';
+  { Instr.base; offset }
+
+let binop_of_string = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "div" -> Some Instr.Div
+  | "rem" -> Some Instr.Rem
+  | "min" -> Some Instr.Min
+  | "max" -> Some Instr.Max
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | _ -> None
+
+let unop_of_string = function
+  | "neg" -> Some Instr.Neg
+  | "not" -> Some Instr.Not
+  | "abs" -> Some Instr.Abs
+  | "sqrt" -> Some Instr.Sqrt
+  | "rcp" -> Some Instr.Rcp
+  | "ex2" -> Some Instr.Ex2
+  | "lg2" -> Some Instr.Lg2
+  | _ -> None
+
+let cmp_of_string = function
+  | "eq" -> Instr.Eq
+  | "ne" -> Instr.Ne
+  | "lt" -> Instr.Lt
+  | "le" -> Instr.Le
+  | "gt" -> Instr.Gt
+  | "ge" -> Instr.Ge
+  | c -> fail "unknown comparison %s" c
+
+let space_of_string_exn s =
+  match Types.space_of_string s with
+  | Some sp -> sp
+  | None -> fail "unknown state space %s" s
+
+(* Parse one instruction whose opcode word has already been consumed. *)
+let parse_instr st opcode : Instr.t =
+  let comma () = expect_punct st ',' in
+  let semi () = expect_punct st ';' in
+  let parts = split_dots opcode in
+  let i =
+    match parts with
+    | [ "mov"; ty ] ->
+      let ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st ty in
+      Instr.Mov (ty, d, a)
+    | [ "mul"; "lo"; ty ] ->
+      let ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st ty in
+      comma ();
+      let b = parse_operand st ty in
+      Instr.Binop (Instr.Mul_lo, ty, d, a, b)
+    | [ "mad"; "lo"; ty ] ->
+      let ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st ty in
+      comma ();
+      let b = parse_operand st ty in
+      comma ();
+      let c = parse_operand st ty in
+      Instr.Mad (ty, d, a, b, c)
+    | [ "cvt"; dt; st' ] ->
+      let dt = scalar_of_dotted dt and sty = scalar_of_dotted st' in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st sty in
+      Instr.Cvt (dt, sty, d, a)
+    | [ "setp"; c; ty ] ->
+      let c = cmp_of_string c and ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st ty in
+      comma ();
+      let b = parse_operand st ty in
+      Instr.Setp (c, ty, d, a, b)
+    | [ "selp"; ty ] ->
+      let ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let a = parse_operand st ty in
+      comma ();
+      let b = parse_operand st ty in
+      comma ();
+      let p = parse_reg_operand st in
+      Instr.Selp (ty, d, a, b, p)
+    | [ "ld"; sp; ty ] ->
+      let sp = space_of_string_exn sp and ty = scalar_of_dotted ty in
+      let d = parse_reg_operand st in
+      comma ();
+      let addr = parse_address st in
+      Instr.Ld (sp, ty, d, addr)
+    | [ "st"; sp; ty ] ->
+      let sp = space_of_string_exn sp and ty = scalar_of_dotted ty in
+      let addr = parse_address st in
+      comma ();
+      let v = parse_operand st ty in
+      Instr.St (sp, ty, addr, v)
+    | [ "bra" ] ->
+      let l = expect_word st in
+      Instr.Bra l
+    | [ "bar"; "sync" ] ->
+      let _ = expect_int st in
+      Instr.Bar_sync
+    | [ "ret" ] -> Instr.Ret
+    | [ op; ty ] ->
+      let sty = scalar_of_dotted ty in
+      (match binop_of_string op with
+       | Some bop ->
+         let d = parse_reg_operand st in
+         comma ();
+         let a = parse_operand st sty in
+         comma ();
+         let b = parse_operand st sty in
+         Instr.Binop (bop, sty, d, a, b)
+       | None ->
+         (match unop_of_string op with
+          | Some uop ->
+            let d = parse_reg_operand st in
+            comma ();
+            let a = parse_operand st sty in
+            Instr.Unop (uop, sty, d, a)
+          | None -> fail "unknown opcode %s" opcode))
+    | _ -> fail "unknown opcode %s" opcode
+  in
+  semi ();
+  i
+
+let parse_guarded st : Instr.t =
+  (* '@' ['!'] %p bra L ; *)
+  let sense =
+    match peek st with
+    | Some (Punct '!') ->
+      st.pos <- st.pos + 1;
+      false
+    | Some _ | None -> true
+  in
+  let p = parse_reg_operand st in
+  (match next st with
+   | Word "bra" -> ()
+   | t -> fail "expected bra after guard, got %s" (token_to_string t));
+  let l = expect_word st in
+  expect_punct st ';';
+  Instr.Bra_pred (p, sense, l)
+
+let parse_decl_directive st (w : string) =
+  match w with
+  | ".reg" ->
+    let ty = scalar_of_dotted (expect_word st) in
+    let rec names () =
+      let name = expect_word st in
+      let r = Reg.make (reg_id_of_name name) ty in
+      Hashtbl.replace st.regs name r;
+      match next st with
+      | Punct ',' -> names ()
+      | Punct ';' -> ()
+      | t -> fail "expected , or ; in .reg, got %s" (token_to_string t)
+    in
+    names ()
+  | ".shared" | ".local" ->
+    let space = space_of_string_exn (String.sub w 1 (String.length w - 1)) in
+    let align_word = expect_word st in
+    if align_word <> ".align" then fail "expected .align, got %s" align_word;
+    let align = expect_int st in
+    let elem = scalar_of_dotted (expect_word st) in
+    let name = expect_word st in
+    expect_punct st '[';
+    let count = expect_int st in
+    expect_punct st ']';
+    expect_punct st ';';
+    st.decls <-
+      st.decls
+      @ [ { Kernel.dname = name; dspace = space; delem = elem; dcount = count; dalign = align } ]
+  | _ -> fail "unknown directive %s" w
+
+let parse_kernel_exn (src : string) : Kernel.t =
+  let st =
+    { toks = Array.of_list (lex src)
+    ; pos = 0
+    ; params = []
+    ; decls = []
+    ; regs = Hashtbl.create 64
+    }
+  in
+  (match next st with
+   | Word ".entry" -> ()
+   | t -> fail "expected .entry, got %s" (token_to_string t));
+  let name = expect_word st in
+  expect_punct st '(';
+  let rec params () =
+    match peek st with
+    | Some (Punct ')') -> st.pos <- st.pos + 1
+    | Some (Word ".param") ->
+      st.pos <- st.pos + 1;
+      let ty = scalar_of_dotted (expect_word st) in
+      let pname = expect_word st in
+      st.params <- st.params @ [ (pname, ty) ];
+      (match peek st with
+       | Some (Punct ',') -> st.pos <- st.pos + 1
+       | Some _ | None -> ());
+      params ()
+    | Some t -> fail "expected .param or ), got %s" (token_to_string t)
+    | None -> fail "unexpected end in parameter list"
+  in
+  params ();
+  expect_punct st '{';
+  let body = ref [] in
+  let rec stmts () =
+    match peek st with
+    | Some (Punct '}') -> st.pos <- st.pos + 1
+    | Some (Punct '@') ->
+      st.pos <- st.pos + 1;
+      body := Kernel.I (parse_guarded st) :: !body;
+      stmts ()
+    | Some (Word w) when String.length w > 0 && w.[0] = '.' ->
+      st.pos <- st.pos + 1;
+      parse_decl_directive st w;
+      stmts ()
+    | Some (Word w) ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+       | Some (Punct ':') ->
+         st.pos <- st.pos + 1;
+         body := Kernel.L w :: !body
+       | Some _ | None -> body := Kernel.I (parse_instr st w) :: !body);
+      stmts ()
+    | Some t -> fail "unexpected token %s in body" (token_to_string t)
+    | None -> fail "missing closing brace"
+  in
+  stmts ();
+  let k =
+    { Kernel.name
+    ; params = st.params
+    ; decls = st.decls
+    ; body = Array.of_list (List.rev !body)
+    }
+  in
+  match Kernel.validate k with
+  | Ok () -> k
+  | Error msg -> fail "invalid kernel: %s" msg
+
+let parse_kernel src =
+  match parse_kernel_exn src with
+  | k -> Ok k
+  | exception Parse_error msg -> Error msg
+
+let parse_kernel_exn src =
+  match parse_kernel src with
+  | Ok k -> k
+  | Error msg -> invalid_arg ("Ptx.Parser: " ^ msg)

@@ -1,0 +1,8 @@
+(** Parser for the textual PTX subset emitted by {!Printer}.
+
+    [Printer.kernel_to_string] followed by [parse_kernel] is the identity
+    (up to float-immediate rounding at full precision, i.e. exact). *)
+
+val parse_kernel : string -> (Kernel.t, string) result
+val parse_kernel_exn : string -> Kernel.t
+(** @raise Invalid_argument on parse errors. *)

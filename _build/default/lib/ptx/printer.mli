@@ -1,0 +1,5 @@
+(** Pretty-printer producing the textual PTX subset accepted by
+    {!Parser}. *)
+
+val pp_kernel : Format.formatter -> Kernel.t -> unit
+val kernel_to_string : Kernel.t -> string

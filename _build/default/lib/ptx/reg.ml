@@ -1,0 +1,70 @@
+type t =
+  { id : int
+  ; ty : Types.scalar
+  }
+
+let make id ty = { id; ty }
+let id r = r.id
+let ty r = r.ty
+let equal a b = a.id = b.id && Types.equal_scalar a.ty b.ty
+let compare a b = compare (a.id, a.ty) (b.id, b.ty)
+let hash a = Hashtbl.hash (a.id, a.ty)
+
+let name r =
+  match Types.reg_class r.ty with
+  | Types.Cpred -> Printf.sprintf "%%p%d" r.id
+  | Types.C32 -> Printf.sprintf "%%r%d" r.id
+  | Types.C64 -> Printf.sprintf "%%d%d" r.id
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+type special =
+  | Tid_x
+  | Tid_y
+  | Ctaid_x
+  | Ctaid_y
+  | Ntid_x
+  | Ntid_y
+  | Nctaid_x
+  | Nctaid_y
+  | Laneid
+  | Warpid
+
+let special_to_string = function
+  | Tid_x -> "%tid.x"
+  | Tid_y -> "%tid.y"
+  | Ctaid_x -> "%ctaid.x"
+  | Ctaid_y -> "%ctaid.y"
+  | Ntid_x -> "%ntid.x"
+  | Ntid_y -> "%ntid.y"
+  | Nctaid_x -> "%nctaid.x"
+  | Nctaid_y -> "%nctaid.y"
+  | Laneid -> "%laneid"
+  | Warpid -> "%warpid"
+
+let all_specials =
+  [ Tid_x; Tid_y; Ctaid_x; Ctaid_y; Ntid_x; Ntid_y; Nctaid_x; Nctaid_y
+  ; Laneid; Warpid ]
+
+let special_of_string s =
+  List.find_opt (fun x -> special_to_string x = s) all_specials
+
+let pp_special fmt s = Format.pp_print_string fmt (special_to_string s)
+let equal_special (a : special) (b : special) = a = b
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hsh = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hsh)

@@ -1,0 +1,1 @@
+lib/regalloc/allocator.ml: Cfg Coalesce Coloring Interference Linear_scan List Option Printf Ptx Shared_spill Spill

@@ -1,0 +1,1 @@
+lib/regalloc/allocator.mli: Ptx Spill

@@ -1,0 +1,1 @@
+lib/regalloc/coalesce.ml: Array Cfg Interference List Ptx

@@ -1,0 +1,1 @@
+lib/regalloc/coalesce.mli: Cfg Interference Ptx

@@ -1,0 +1,1 @@
+lib/regalloc/coloring.ml: Hashtbl Interference List Printf Ptx

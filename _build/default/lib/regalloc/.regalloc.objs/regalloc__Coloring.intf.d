@@ -1,0 +1,1 @@
+lib/regalloc/coloring.mli: Interference Ptx

@@ -1,0 +1,1 @@
+lib/regalloc/interference.ml: Array Cfg List Ptx

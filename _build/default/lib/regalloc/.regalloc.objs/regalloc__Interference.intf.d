@@ -1,0 +1,1 @@
+lib/regalloc/interference.mli: Cfg Ptx

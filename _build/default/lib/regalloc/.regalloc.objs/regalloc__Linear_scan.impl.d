@@ -1,0 +1,1 @@
+lib/regalloc/linear_scan.ml: Cfg Coloring List Ptx

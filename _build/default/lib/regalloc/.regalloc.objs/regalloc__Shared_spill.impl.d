@@ -1,0 +1,1 @@
+lib/regalloc/shared_spill.ml: Array Hashtbl List Option Ptx

@@ -1,0 +1,1 @@
+lib/regalloc/shared_spill.mli: Ptx

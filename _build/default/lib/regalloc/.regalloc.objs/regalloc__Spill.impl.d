@@ -1,0 +1,1 @@
+lib/regalloc/spill.ml: Array Either Int64 List Option Ptx

@@ -1,0 +1,222 @@
+module RSet = Ptx.Reg.Set
+module RMap = Ptx.Reg.Map
+
+type strategy =
+  | Chaitin_briggs
+  | Linear_scan
+
+type shared_policy =
+  [ `Off
+  | `Spare of int
+  | `Spare_inverted of int
+  ]
+
+type t =
+  { kernel : Ptx.Kernel.t
+  ; original : Ptx.Kernel.t
+  ; reg_limit : int
+  ; units_used : int
+  ; pred_used : int
+  ; spilled : Spill.placement list
+  ; stats : Spill.stats
+  ; weighted_local : float
+  ; weighted_shared : float
+  ; spill_local_bytes : int
+  ; spill_shared_bytes_per_block : int
+  ; rounds : int
+  }
+
+let max_rounds = 16
+
+(* registers defined exactly once by a constant or built-in-register
+   move can be rematerialised instead of spilled *)
+let remat_candidates k =
+  let defs_count = Ptx.Reg.Tbl.create 64 in
+  let sources = Ptx.Reg.Tbl.create 64 in
+  List.iter
+    (fun ins ->
+       List.iter
+         (fun r ->
+            Ptx.Reg.Tbl.replace defs_count r
+              (1 + Option.value ~default:0 (Ptx.Reg.Tbl.find_opt defs_count r)))
+         (Ptx.Instr.defs ins);
+       match ins with
+       | Ptx.Instr.Mov (_, d, ((Ptx.Instr.Oimm _ | Ptx.Instr.Ofimm _ | Ptx.Instr.Ospecial _) as op)) ->
+         Ptx.Reg.Tbl.replace sources d op
+       | _ -> ())
+    (Ptx.Kernel.instrs k);
+  fun r ->
+    match (Ptx.Reg.Tbl.find_opt defs_count r, Ptx.Reg.Tbl.find_opt sources r) with
+    | Some 1, Some op -> Some op
+    | _ -> None
+
+let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
+    ?(shared_policy = `Off) ?(spill_preference = `Cheap_first) ?shared_chunk
+    ?(coalesce = false) ?(remat = false) ~block_size ~reg_limit k =
+  (* optional pre-pass: conservative copy coalescing on the input *)
+  let k =
+    if not coalesce then k
+    else begin
+      let flow = Cfg.Flow.of_kernel k in
+      let live = Cfg.Liveness.compute flow in
+      let graph = Interference.build flow live in
+      let k_of = function
+        | Ptx.Types.Cpred -> 1024
+        | Ptx.Types.C32 -> max 4 (reg_limit - 10)
+        | Ptx.Types.C64 -> 5
+      in
+      let aliases =
+        Coalesce.build_aliases ~graph ~flow ~k_of ~protected:Ptx.Reg.Set.empty
+      in
+      fst (Coalesce.apply k aliases)
+    end
+  in
+  let remat_fn = if remat then remat_candidates k else fun _ -> None in
+  let orig_flow = Cfg.Flow.of_kernel k in
+  let orig_defuse = Cfg.Defuse.compute orig_flow in
+  let weighted_gain r =
+    match RMap.find_opt r orig_defuse with
+    | Some s -> s.Cfg.Defuse.weighted
+    | None -> 0.
+  in
+  let static_accesses r =
+    match RMap.find_opt r orig_defuse with
+    | Some s -> s.Cfg.Defuse.n_defs + s.Cfg.Defuse.n_uses
+    | None -> 0
+  in
+  let cumulative = ref RSet.empty in
+  let rec round i =
+    if i > max_rounds then
+      failwith "Allocator: spilling did not reach a fixpoint";
+    let spills = RSet.elements !cumulative in
+    (* Algorithm 1 decides which sub-stacks move to shared memory; the
+       gain of a sub-stack is the number of spill accesses it absorbs. *)
+    let to_shared =
+      match shared_policy with
+      | `Off -> fun _ -> false
+      | `Spare bytes ->
+        let f =
+          Shared_spill.optimize ?chunk:shared_chunk
+            ~gain:(fun r -> float_of_int (static_accesses r))
+            ~block_size ~spare_shm_bytes:bytes spills
+        in
+        (* shared spilling needs an extra 64-bit base register plus
+           per-thread address setup; decline it when the absorbed
+           traffic would not pay for that infrastructure *)
+        let absorbed =
+          List.fold_left
+            (fun acc r -> if f r then acc + static_accesses r else acc)
+            0 spills
+        in
+        if absorbed < 16 then fun _ -> false else f
+      | `Spare_inverted bytes ->
+        Shared_spill.optimize ?chunk:shared_chunk
+          ~gain:(fun r -> 1. /. (1. +. float_of_int (static_accesses r)))
+          ~block_size ~spare_shm_bytes:bytes spills
+    in
+    let spec = Spill.layout ~remat:remat_fn ~to_shared spills in
+    let k', stats = Spill.apply ~block_size k spec in
+    let flow = Cfg.Flow.of_kernel k' in
+    let live = Cfg.Liveness.compute flow in
+    let graph = Interference.build flow live in
+    let infra = Spill.infra_registers k k' in
+    let defuse' = Cfg.Defuse.compute flow in
+    let cost r =
+      if RSet.mem r infra then infinity
+      else
+        let w =
+          match RMap.find_opt r defuse' with
+          | Some s -> s.Cfg.Defuse.weighted
+          | None -> 0.
+        in
+        match spill_preference with
+        | `Cheap_first -> w
+        | `Expensive_first -> 1. /. (1. +. w)
+    in
+    let color_class cls kcolors =
+      match strategy with
+      | Chaitin_briggs ->
+        Coloring.color ~type_strict ~graph ~cls ~k:kcolors ~spill_cost:cost ()
+      | Linear_scan -> Linear_scan.color ~flow ~live ~cls ~k:kcolors ~spill_cost:cost
+    in
+    let need64 = Interference.max_live graph live Ptx.Types.C64 in
+    (* linear scan works on conservative whole-range intervals, which
+       overlap more than true liveness: give it head-room *)
+    let need64 =
+      match strategy with
+      | Chaitin_briggs -> need64
+      | Linear_scan -> need64 + 2
+    in
+    let k64 =
+      if (2 * need64) + 4 <= reg_limit then need64
+      else begin
+        (* forcing 64-bit spills: the class still needs room for the
+           spill-stack base registers (up to 2) plus the operand/result
+           temporaries of one rewritten 64-bit instruction *)
+        let floor64 = min need64 5 in
+        max floor64 ((reg_limit - 4) / 2)
+      end
+    in
+    let r64 = color_class Ptx.Types.C64 k64 in
+    let k32 = reg_limit - (2 * r64.Coloring.colors_used) in
+    if k32 < 3 then
+      failwith
+        (Printf.sprintf "Allocator: reg_limit %d too small (needs %d 64-bit regs)"
+           reg_limit r64.Coloring.colors_used);
+    let r32 = color_class Ptx.Types.C32 k32 in
+    let rp = color_class Ptx.Types.Cpred 1024 in
+    let new_spills = r64.Coloring.spilled @ r32.Coloring.spilled in
+    if new_spills = [] then begin
+      (* finalize: substitute physical registers for virtual ones *)
+      let lookup r =
+        let asg =
+          match Ptx.Types.reg_class (Ptx.Reg.ty r) with
+          | Ptx.Types.C64 -> r64.Coloring.assignment
+          | Ptx.Types.C32 -> r32.Coloring.assignment
+          | Ptx.Types.Cpred -> rp.Coloring.assignment
+        in
+        match RMap.find_opt r asg with
+        | Some c -> Ptx.Reg.make c (Ptx.Reg.ty r)
+        | None -> r
+      in
+      let allocated = Ptx.Kernel.map_instrs (Ptx.Instr.map_regs lookup) k' in
+      let weighted space =
+        List.fold_left
+          (fun acc (p : Spill.placement) ->
+             if Ptx.Types.equal_space p.space space then acc +. weighted_gain p.reg
+             else acc)
+          0. spec.placements
+      in
+      { kernel = allocated
+      ; original = k
+      ; reg_limit
+      ; units_used = r32.Coloring.colors_used + (2 * r64.Coloring.colors_used)
+      ; pred_used = rp.Coloring.colors_used
+      ; spilled = spec.placements
+      ; stats
+      ; weighted_local = weighted Ptx.Types.Local
+      ; weighted_shared = weighted Ptx.Types.Shared
+      ; spill_local_bytes = spec.local_bytes
+      ; spill_shared_bytes_per_block = spec.shared_bytes_per_thread * block_size
+      ; rounds = i
+      }
+    end
+    else begin
+      List.iter (fun r -> cumulative := RSet.add r !cumulative) new_spills;
+      round (i + 1)
+    end
+  in
+  round 1
+
+let spill_bytes t =
+  let orig_flow = Cfg.Flow.of_kernel t.original in
+  let du = Cfg.Defuse.compute orig_flow in
+  List.fold_left
+    (fun acc (p : Spill.placement) ->
+       let accesses =
+         match RMap.find_opt p.reg du with
+         | Some s -> s.Cfg.Defuse.n_defs + s.Cfg.Defuse.n_uses
+         | None -> 0
+       in
+       acc + (accesses * Ptx.Types.width_bytes (Ptx.Reg.ty p.reg)))
+    0 t.spilled

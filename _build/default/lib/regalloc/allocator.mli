@@ -1,0 +1,75 @@
+(** Top-level register allocator: the paper's "register allocation"
+    component (Figure 9). Given a per-thread register limit, it performs
+    live-range analysis, builds the interference graph, colours it
+    (Chaitin-Briggs by default), inserts spill code for the overflow, and
+    — when a spare-shared-memory budget is supplied — runs the Algorithm 1
+    optimization to host profitable sub-stacks in shared memory.
+
+    Spilling follows the classic iterate-to-fixpoint structure: spill code
+    introduces short-lived temporaries, so the original kernel is re-spilled
+    with the cumulative spill set and re-coloured until colouring
+    succeeds. *)
+
+type strategy =
+  | Chaitin_briggs
+  | Linear_scan
+
+(** Shared-memory spilling policy. [`Spare bytes] gives the spare shared
+    memory per thread block that spilling may consume without lowering
+    the TLP (computed by the CRAT driver from [ShmSize], TLP and the
+    hardware shared-memory size). *)
+type shared_policy =
+  [ `Off
+  | `Spare of int
+  | `Spare_inverted of int
+      (** ablation: run Algorithm 1 with inverted gains, i.e. prefer the
+          *least* beneficial sub-stacks — the paper's Figure 8 "spill the
+          high-frequency variable" counter-example *)
+  ]
+
+type t =
+  { kernel : Ptx.Kernel.t
+      (** allocated kernel: physical registers, spill code inserted *)
+  ; original : Ptx.Kernel.t
+  ; reg_limit : int  (** the requested per-thread limit, in 32-bit units *)
+  ; units_used : int
+      (** 32-bit register units actually occupied per thread *)
+  ; pred_used : int
+  ; spilled : Spill.placement list
+  ; stats : Spill.stats  (** static inserted-instruction counts *)
+  ; weighted_local : float
+      (** loop-weighted estimate of dynamic local-memory spill accesses *)
+  ; weighted_shared : float
+  ; spill_local_bytes : int  (** per-thread local spill stack *)
+  ; spill_shared_bytes_per_block : int
+  ; rounds : int  (** colouring rounds until fixpoint *)
+  }
+
+val allocate :
+  ?strategy:strategy
+  -> ?type_strict:bool
+  -> ?shared_policy:shared_policy
+  -> ?spill_preference:[ `Cheap_first | `Expensive_first ]
+  -> ?shared_chunk:int
+  -> ?coalesce:bool
+  -> ?remat:bool
+  -> block_size:int
+  -> reg_limit:int
+  -> Ptx.Kernel.t
+  -> t
+(** [spill_preference] selects which variables the colouring sacrifices
+    first: [`Cheap_first] (default) spills low-access-frequency, long
+    live ranges — the paper's var2; [`Expensive_first] inverts the
+    heuristic (the paper's Figure 8 var1 counter-example).
+    [coalesce] (default false) runs conservative Briggs copy coalescing
+    as a pre-pass; [remat] (default false) rematerialises single-def
+    constant/built-in moves instead of spilling them. Both are
+    extensions over the paper's allocator, measured by the
+    [abl-coalesce] ablation benchmark.
+    @raise Failure when [reg_limit] is below the feasible minimum (a few
+    registers are needed to execute any instruction plus the spill
+    infrastructure). *)
+
+val spill_bytes : t -> int
+(** Total spill traffic footprint in bytes (sum over placements of the
+    spilled width times its static access count) — the Figure 12 metric. *)

@@ -1,0 +1,110 @@
+module RSet = Ptx.Reg.Set
+module RMap = Ptx.Reg.Map
+
+(* Union-find over registers with incremental neighbour-set merging: the
+   interference graph is read once and coalescing decisions use the
+   merged adjacency of the current representatives. *)
+
+type uf =
+  { mutable parent : Ptx.Reg.t RMap.t
+  ; mutable adj : RSet.t RMap.t
+  }
+
+let rec find uf r =
+  match RMap.find_opt r uf.parent with
+  | None -> r
+  | Some p ->
+    let root = find uf p in
+    if not (Ptx.Reg.equal root p) then uf.parent <- RMap.add r root uf.parent;
+    root
+
+let neighbors uf r =
+  match RMap.find_opt (find uf r) uf.adj with
+  | Some s -> s
+  | None -> RSet.empty
+
+let interferes uf a b =
+  let ra = find uf a and rb = find uf b in
+  RSet.exists (fun n -> Ptx.Reg.equal (find uf n) rb) (neighbors uf ra)
+
+let union uf a b =
+  (* merge b's class into a's *)
+  let ra = find uf a and rb = find uf b in
+  if not (Ptx.Reg.equal ra rb) then begin
+    uf.parent <- RMap.add rb ra uf.parent;
+    let merged = RSet.union (neighbors uf ra) (neighbors uf rb) in
+    uf.adj <- RMap.add ra merged (RMap.remove rb uf.adj)
+  end
+
+(* Briggs conservative test on the merged node: count distinct
+   representative neighbours of significant degree. *)
+let briggs_ok uf k a b =
+  let ra = find uf a and rb = find uf b in
+  let merged = RSet.union (neighbors uf ra) (neighbors uf rb) in
+  let reps =
+    RSet.fold (fun n acc -> RSet.add (find uf n) acc) merged RSet.empty
+  in
+  let significant =
+    RSet.fold
+      (fun n acc -> if RSet.cardinal (neighbors uf n) >= k then acc + 1 else acc)
+      (RSet.remove ra (RSet.remove rb reps))
+      0
+  in
+  significant < k
+
+let build_aliases ~graph ~flow ~k_of ~protected =
+  let uf = { parent = RMap.empty; adj = RMap.empty } in
+  List.iter
+    (fun r -> uf.adj <- RMap.add r (Interference.neighbors graph r) uf.adj)
+    (Interference.nodes graph);
+  let try_coalesce d s =
+    let cls_d = Ptx.Types.reg_class (Ptx.Reg.ty d) in
+    (* identical scalar types only: the rewrite is then a pure renaming
+       (cross-type copies would need bit reinterpretation semantics) *)
+    if
+      Ptx.Types.equal_scalar (Ptx.Reg.ty d) (Ptx.Reg.ty s)
+      && (not (RSet.mem d protected))
+      && (not (RSet.mem s protected))
+      && (not (Ptx.Reg.equal (find uf d) (find uf s)))
+      && (not (interferes uf d s))
+      && briggs_ok uf (k_of cls_d) d s
+    then union uf s d
+  in
+  Cfg.Flow.iter_instrs flow (fun _ ins ->
+    match ins with
+    | Ptx.Instr.Mov (_, d, Ptx.Instr.Oreg s) -> try_coalesce d s
+    | Ptx.Instr.Mov _ | Ptx.Instr.Binop _ | Ptx.Instr.Mad _ | Ptx.Instr.Unop _
+    | Ptx.Instr.Cvt _ | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.Ld _
+    | Ptx.Instr.St _ | Ptx.Instr.Bra _ | Ptx.Instr.Bra_pred _
+    | Ptx.Instr.Bar_sync | Ptx.Instr.Ret -> ());
+  (* flatten the union-find into an idempotent alias map *)
+  RMap.fold
+    (fun r _ acc ->
+       let root = find uf r in
+       if Ptx.Reg.equal root r then acc else RMap.add r root acc)
+    uf.parent RMap.empty
+
+let apply (k : Ptx.Kernel.t) aliases =
+  if RMap.is_empty aliases then (k, 0)
+  else begin
+    let subst r =
+      match RMap.find_opt r aliases with
+      | Some root -> root
+      | None -> r
+    in
+    let removed = ref 0 in
+    let body =
+      Array.to_list k.Ptx.Kernel.body
+      |> List.filter_map (fun stmt ->
+        match stmt with
+        | Ptx.Kernel.L _ -> Some stmt
+        | Ptx.Kernel.I ins ->
+          let ins' = Ptx.Instr.map_regs subst ins in
+          (match ins' with
+           | Ptx.Instr.Mov (_, d, Ptx.Instr.Oreg s) when Ptx.Reg.equal d s ->
+             incr removed;
+             None
+           | _ -> Some (Ptx.Kernel.I ins')))
+    in
+    ({ k with Ptx.Kernel.body = Array.of_list body }, !removed)
+  end

@@ -1,0 +1,30 @@
+(** Conservative copy coalescing (Briggs).
+
+    A copy [mov d, s] whose operands do not interfere can often assign
+    [d] and [s] the same register, making the copy a no-op that is then
+    deleted. Aggressive coalescing can make the graph uncolourable, so
+    the Briggs test is applied: the merged node must have fewer than [k]
+    neighbours of significant degree (>= k), which guarantees it remains
+    simplifiable whenever the uncoalesced nodes were.
+
+    This is an optional extension of the paper's allocator (their
+    implementation reports copy-related register waste; coalescing
+    removes it). It is exposed through
+    [Allocator.allocate ~coalesce:true] and benchmarked by the
+    [abl-coalesce] ablation. *)
+
+val build_aliases :
+  graph:Interference.t
+  -> flow:Cfg.Flow.t
+  -> k_of:(Ptx.Types.reg_class -> int)
+  -> protected:Ptx.Reg.Set.t
+  -> Ptx.Reg.t Ptx.Reg.Map.t
+(** Map each coalesced register to its representative. [protected]
+    registers (spill infrastructure) are never coalesced. The returned
+    map is idempotent (representatives map to themselves or are
+    absent). *)
+
+val apply : Ptx.Kernel.t -> Ptx.Reg.t Ptx.Reg.Map.t -> Ptx.Kernel.t * int
+(** Substitute representatives throughout and delete the moves that
+    became [mov r, r]; returns the rewritten kernel and the number of
+    copies removed. *)

@@ -1,0 +1,130 @@
+module RSet = Ptx.Reg.Set
+module RMap = Ptx.Reg.Map
+
+type result =
+  { assignment : int RMap.t
+  ; spilled : Ptx.Reg.t list
+  ; colors_used : int
+  ; type_waste : int
+  }
+
+let color ?(type_strict = true) ~graph ~cls ~k ~spill_cost () =
+  let nodes = Interference.nodes_of_class graph cls in
+  let node_set = RSet.of_list nodes in
+  (* degrees restricted to the remaining subgraph *)
+  let remaining = ref node_set in
+  let deg = Ptx.Reg.Tbl.create 64 in
+  List.iter
+    (fun r ->
+       let d =
+         RSet.cardinal (RSet.inter (Interference.neighbors graph r) node_set)
+       in
+       Ptx.Reg.Tbl.replace deg r d)
+    nodes;
+  let stack = ref [] in
+  let remove r =
+    remaining := RSet.remove r !remaining;
+    RSet.iter
+      (fun n ->
+         if RSet.mem n !remaining then
+           Ptx.Reg.Tbl.replace deg n (Ptx.Reg.Tbl.find deg n - 1))
+      (Interference.neighbors graph r);
+    stack := r :: !stack
+  in
+  (* simplify: low-degree nodes first; otherwise a cheap potential spill *)
+  while not (RSet.is_empty !remaining) do
+    let low =
+      RSet.fold
+        (fun r acc ->
+           match acc with
+           | Some _ -> acc
+           | None -> if Ptx.Reg.Tbl.find deg r < k then Some r else None)
+        !remaining None
+    in
+    match low with
+    | Some r -> remove r
+    | None ->
+      let candidate =
+        RSet.fold
+          (fun r acc ->
+             let c = spill_cost r in
+             if c = infinity then acc
+             else
+               let d = float_of_int (max 1 (Ptx.Reg.Tbl.find deg r)) in
+               let metric = c /. d in
+               match acc with
+               | Some (_, best) when best <= metric -> acc
+               | Some _ | None -> Some (r, metric))
+          !remaining None
+      in
+      (match candidate with
+       | Some (r, _) -> remove r
+       | None ->
+         failwith
+           (Printf.sprintf
+              "Coloring: cannot colour class with k=%d; all remaining nodes \
+               unspillable"
+              k))
+  done;
+  (* select, optimistically *)
+  let assignment = ref RMap.empty in
+  let spilled = ref [] in
+  let color_ty : (int, Ptx.Types.scalar) Hashtbl.t = Hashtbl.create 16 in
+  let colors_used = ref 0 in
+  let type_waste = ref 0 in
+  List.iter
+    (fun r ->
+       let used =
+         RSet.fold
+           (fun n acc ->
+              match RMap.find_opt n !assignment with
+              | Some c -> c :: acc
+              | None -> acc)
+           (Interference.neighbors graph r)
+           []
+       in
+       let ty = Ptx.Reg.ty r in
+       let free c = not (List.mem c used) in
+       let binding_matches c =
+         match Hashtbl.find_opt color_ty c with
+         | Some t -> Ptx.Types.equal_scalar t ty
+         | None -> false
+       in
+       let unbound c = not (Hashtbl.mem color_ty c) in
+       let find pred =
+         let rec loop c = if c >= k then None else if free c && pred c then Some c else loop (c + 1) in
+         loop 0
+       in
+       let choice =
+         if type_strict then
+           (* prefer a colour of our own type, then a fresh one; reuse a
+              differently-typed colour only as a last resort (the paper's
+              "register waste" shows up as extra colours used) *)
+           match find binding_matches with
+           | Some c -> Some c
+           | None ->
+             (match find unbound with
+              | Some c -> Some c
+              | None ->
+                (match find (fun _ -> true) with
+                 | Some c ->
+                   incr type_waste;
+                   Some c
+                 | None -> None))
+         else find (fun _ -> true)
+       in
+       match choice with
+       | Some c ->
+         assignment := RMap.add r c !assignment;
+         Hashtbl.replace color_ty c ty;
+         colors_used := max !colors_used (c + 1)
+       | None ->
+         if spill_cost r = infinity then
+           failwith "Coloring: unspillable node could not be coloured"
+         else spilled := r :: !spilled)
+    !stack;
+  { assignment = !assignment
+  ; spilled = List.rev !spilled
+  ; colors_used = !colors_used
+  ; type_waste = !type_waste
+  }

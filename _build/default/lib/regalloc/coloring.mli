@@ -1,0 +1,38 @@
+(** Chaitin-Briggs graph colouring with optimistic spilling for one
+    register class.
+
+    Briggs' refinement: a node of high degree is pushed as a *potential*
+    spill and only becomes an *actual* spill if, at select time, all [k]
+    colours are taken by coloured neighbours.
+
+    PTX type-strictness (paper Section 5.2): the paper's allocator
+    prefers not to reuse a physical register for a variable of a
+    different scalar type, which wastes registers relative to nvcc.
+    With [~type_strict:true] (the default, matching CRAT) a node picks,
+    in order: a free colour already bound to its type, a free unbound
+    colour, and only then — counted in [type_waste] — a free colour of
+    another type. Strictness therefore inflates [colors_used] (the
+    paper's register waste) but never causes extra spills. *)
+
+type result =
+  { assignment : int Ptx.Reg.Map.t  (** register -> colour (physical id) *)
+  ; spilled : Ptx.Reg.t list  (** actual spills, in selection order *)
+  ; colors_used : int
+  ; type_waste : int
+      (** cross-type colour reuses that the paper's allocator would have
+          preferred to avoid *)
+  }
+
+val color :
+  ?type_strict:bool
+  -> graph:Interference.t
+  -> cls:Ptx.Types.reg_class
+  -> k:int
+  -> spill_cost:(Ptx.Reg.t -> float)
+  -> unit
+  -> result
+(** Colour the subgraph of class [cls] with at most [k] colours.
+    [spill_cost r = infinity] marks [r] unspillable (spill infrastructure
+    registers); unspillable nodes are never chosen as spill candidates.
+    @raise Failure if colouring is impossible because every uncoloured
+    node is unspillable. *)

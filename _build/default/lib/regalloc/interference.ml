@@ -1,0 +1,83 @@
+module RSet = Ptx.Reg.Set
+module RTbl = Ptx.Reg.Tbl
+
+type t =
+  { adj : RSet.t RTbl.t
+  ; mutable all : RSet.t
+  }
+
+let create () = { adj = RTbl.create 256; all = RSet.empty }
+
+let add_node g r =
+  g.all <- RSet.add r g.all;
+  if not (RTbl.mem g.adj r) then RTbl.replace g.adj r RSet.empty
+
+let same_class a b =
+  Ptx.Types.reg_class (Ptx.Reg.ty a) = Ptx.Types.reg_class (Ptx.Reg.ty b)
+
+let add_edge g a b =
+  if (not (Ptx.Reg.equal a b)) && same_class a b then begin
+    add_node g a;
+    add_node g b;
+    RTbl.replace g.adj a (RSet.add b (RTbl.find g.adj a));
+    RTbl.replace g.adj b (RSet.add a (RTbl.find g.adj b))
+  end
+
+let build (flow : Cfg.Flow.t) (live : Cfg.Liveness.t) =
+  let g = create () in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    List.iter (fun r -> add_node g r) (Ptx.Instr.uses ins);
+    List.iter (fun r -> add_node g r) (Ptx.Instr.defs ins);
+    let out = live.live_out.(i) in
+    (* the copy exception: [mov d, s] does not make d interfere with s *)
+    let exempt =
+      match ins with
+      | Ptx.Instr.Mov (_, _, Ptx.Instr.Oreg s) -> Some s
+      | Ptx.Instr.Mov _ | Ptx.Instr.Binop _ | Ptx.Instr.Mad _
+      | Ptx.Instr.Unop _ | Ptx.Instr.Cvt _ | Ptx.Instr.Setp _
+      | Ptx.Instr.Selp _ | Ptx.Instr.Ld _ | Ptx.Instr.St _ | Ptx.Instr.Bra _
+      | Ptx.Instr.Bra_pred _ | Ptx.Instr.Bar_sync | Ptx.Instr.Ret -> None
+    in
+    List.iter
+      (fun d ->
+         RSet.iter
+           (fun o ->
+              let skip =
+                match exempt with
+                | Some s -> Ptx.Reg.equal o s
+                | None -> false
+              in
+              if not skip then add_edge g d o)
+           out)
+      (Ptx.Instr.defs ins));
+  g
+
+let nodes g = RSet.elements g.all
+
+let nodes_of_class g cls =
+  nodes g |> List.filter (fun r -> Ptx.Types.reg_class (Ptx.Reg.ty r) = cls)
+
+let neighbors g r =
+  match RTbl.find_opt g.adj r with
+  | Some s -> s
+  | None -> RSet.empty
+
+let degree g r = RSet.cardinal (neighbors g r)
+let interferes g a b = RSet.mem b (neighbors g a)
+
+let num_edges g =
+  let total = RTbl.fold (fun _ s acc -> acc + RSet.cardinal s) g.adj 0 in
+  total / 2
+
+let max_live g (live : Cfg.Liveness.t) cls =
+  ignore g;
+  let count set =
+    RSet.fold
+      (fun r acc ->
+         if Ptx.Types.reg_class (Ptx.Reg.ty r) = cls then acc + 1 else acc)
+      set 0
+  in
+  let m = ref 0 in
+  Array.iter (fun s -> m := max !m (count s)) live.live_in;
+  Array.iter (fun s -> m := max !m (count s)) live.live_out;
+  !m

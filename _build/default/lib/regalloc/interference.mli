@@ -1,0 +1,20 @@
+(** Interference graph over virtual registers (Chaitin's construction):
+    at every instruction, each defined register interferes with the
+    registers live-out of that instruction — except, for a move, with the
+    move source (enabling the classic copy exception). Only registers of
+    the same width class interfere; predicates have their own class and
+    never constrain the 32/64-bit pools. *)
+
+type t
+
+val build : Cfg.Flow.t -> Cfg.Liveness.t -> t
+val nodes : t -> Ptx.Reg.t list
+val nodes_of_class : t -> Ptx.Types.reg_class -> Ptx.Reg.t list
+val neighbors : t -> Ptx.Reg.t -> Ptx.Reg.Set.t
+val degree : t -> Ptx.Reg.t -> int
+val interferes : t -> Ptx.Reg.t -> Ptx.Reg.t -> bool
+val num_edges : t -> int
+(** Undirected edge count. *)
+
+val max_live : t -> Cfg.Liveness.t -> Ptx.Types.reg_class -> int
+(** Maximum number of simultaneously live registers of one class. *)

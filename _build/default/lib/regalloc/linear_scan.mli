@@ -1,0 +1,15 @@
+(** Linear-scan register allocation (Poletto & Sarkar) over conservative
+    live intervals. Used as the independent reference allocator for the
+    spill-volume validation experiment (paper Figure 12): two different
+    algorithms should agree on spill bytes except near tight limits. *)
+
+val color :
+  flow:Cfg.Flow.t
+  -> live:Cfg.Liveness.t
+  -> cls:Ptx.Types.reg_class
+  -> k:int
+  -> spill_cost:(Ptx.Reg.t -> float)
+  -> Coloring.result
+(** Same contract as {!Coloring.color}: registers mapped to colours
+    [0..k-1], overflow spilled (never an unspillable register, i.e. one
+    whose cost is [infinity]). *)

@@ -1,0 +1,96 @@
+type substack =
+  { sty : Ptx.Types.scalar
+  ; sregs : Ptx.Reg.t list
+  ; bytes_per_thread : int
+  ; gain : float
+  }
+
+let align_up x a = (x + a - 1) / a * a
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let c, rest = take n [] l in
+    c :: chunks n rest
+
+let split ?(chunk = 4) ~gain regs =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+       let ty = Ptx.Reg.ty r in
+       let cur = Option.value ~default:[] (Hashtbl.find_opt groups ty) in
+       Hashtbl.replace groups ty (r :: cur))
+    regs;
+  Hashtbl.fold
+    (fun ty rs acc ->
+       let rs =
+         List.sort (fun a b -> compare (gain b) (gain a)) (List.rev rs)
+       in
+       let w = Ptx.Types.width_bytes ty in
+       List.fold_left
+         (fun acc c ->
+            let bytes = align_up (List.length c * w) 8 in
+            let g = List.fold_left (fun a r -> a +. gain r) 0. c in
+            { sty = ty; sregs = c; bytes_per_thread = bytes; gain = g } :: acc)
+         acc (chunks (max 1 chunk) rs))
+    groups []
+  |> List.sort (fun a b -> compare (a.sty, List.map Ptx.Reg.id a.sregs) (b.sty, List.map Ptx.Reg.id b.sregs))
+
+(* Exact 0-1 knapsack, DP over items x capacity with backtracking, as in
+   the paper's S[i, v] / Mask[i, v] formulation. Capacity is scaled to
+   4-byte units to bound the table size. *)
+let knapsack ~values ~weights ~capacity =
+  let n = Array.length values in
+  assert (Array.length weights = n);
+  if n = 0 then [||]
+  else begin
+    let scale = 4 in
+    let cap = capacity / scale in
+    let w = Array.map (fun x -> (x + scale - 1) / scale) weights in
+    let s = Array.make_matrix (n + 1) (cap + 1) 0. in
+    let keep = Array.make_matrix (n + 1) (cap + 1) false in
+    for i = 1 to n do
+      for v = 0 to cap do
+        s.(i).(v) <- s.(i - 1).(v);
+        if w.(i - 1) <= v then begin
+          let take = s.(i - 1).(v - w.(i - 1)) +. values.(i - 1) in
+          if take > s.(i).(v) then begin
+            s.(i).(v) <- take;
+            keep.(i).(v) <- true
+          end
+        end
+      done
+    done;
+    let mask = Array.make n false in
+    let v = ref cap in
+    for i = n downto 1 do
+      if keep.(i).(!v) then begin
+        mask.(i - 1) <- true;
+        v := !v - w.(i - 1)
+      end
+    done;
+    mask
+  end
+
+let optimize ?chunk ~gain ~block_size ~spare_shm_bytes spilled =
+  let subs = split ?chunk ~gain spilled in
+  let n = List.length subs in
+  if n = 0 || spare_shm_bytes <= 0 then fun _ -> false
+  else begin
+    let subs_arr = Array.of_list subs in
+    let values = Array.map (fun s -> s.gain) subs_arr in
+    let weights = Array.map (fun s -> s.bytes_per_thread * block_size) subs_arr in
+    let mask = knapsack ~values ~weights ~capacity:spare_shm_bytes in
+    let chosen = ref Ptx.Reg.Set.empty in
+    Array.iteri
+      (fun i s ->
+         if mask.(i) then
+           List.iter (fun r -> chosen := Ptx.Reg.Set.add r !chosen) s.sregs)
+      subs_arr;
+    fun r -> Ptx.Reg.Set.mem r !chosen
+  end

@@ -1,0 +1,41 @@
+(** Spilling optimization (paper Algorithm 1).
+
+    The spill stack is split into sub-stacks by the data type / width of
+    the spilled variables; each sub-stack can be hosted in shared memory
+    as a whole. The gain of moving sub-stack [i] to shared memory is the
+    number of spill accesses it absorbs ([gain[i]]); the cost is its
+    shared-memory footprint, [bytes_per_thread * block_size], because
+    every thread of the block needs private slots. Choosing the best
+    subset under the spare-shared-memory budget is a 0-1 knapsack
+    problem, solved exactly by dynamic programming. *)
+
+type substack =
+  { sty : Ptx.Types.scalar
+  ; sregs : Ptx.Reg.t list
+  ; bytes_per_thread : int  (** aligned footprint of the sub-stack *)
+  ; gain : float  (** total spill accesses absorbed *)
+  }
+
+val split : ?chunk:int -> gain:(Ptx.Reg.t -> float) -> Ptx.Reg.t list -> substack list
+(** Group spilled registers into sub-stacks by scalar type (paper:
+    "according to the data type and the width of the spilled variables").
+    Large type groups are further divided into chunks of at most [chunk]
+    registers, highest-gain first (default 4) — the finer granularity the
+    paper leaves as future work; it lets the knapsack place part of a
+    type's spills when the whole group does not fit. *)
+
+val knapsack : values:float array -> weights:int array -> capacity:int -> bool array
+(** Exact 0-1 knapsack: maximise total value with total weight ≤
+    capacity. Items with weight 0 and positive value are always taken.
+    Returns the selection mask. *)
+
+val optimize :
+  ?chunk:int
+  -> gain:(Ptx.Reg.t -> float)
+  -> block_size:int
+  -> spare_shm_bytes:int
+  -> Ptx.Reg.t list
+  -> Ptx.Reg.t -> bool
+(** [optimize ~gain ~block_size ~spare_shm_bytes spilled] returns the
+    predicate "spill this register to shared memory" implementing
+    Algorithm 1 end to end. *)

@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Data Format Gpusim List Printf Ptx Shapes

@@ -1,0 +1,1 @@
+lib/workloads/shapes.mli: Ptx

@@ -1,0 +1,58 @@
+(** Workload descriptors: one per application of the paper's Table 3.
+
+    Each descriptor names a {!Shapes} combinator plus the knob settings
+    that reproduce the application's published resource profile (block
+    size, shared-memory use, register demand, cache working set), and a
+    list of input scales (the paper's input-sensitivity study reuses the
+    same kernel across inputs — sizes are runtime parameters). *)
+
+type shape =
+  | Tiled
+  | Streaming
+  | Stencil
+  | Shared_tile
+  | Reduction
+  | Gather
+
+type input =
+  { ilabel : string
+  ; ws_words : int  (** per-block working-set words *)
+  ; iters : int
+  ; passes : int
+  ; num_blocks : int  (** total blocks simulated on the SM *)
+  ; seed : int
+  }
+
+type t =
+  { abbr : string
+  ; app_name : string
+  ; kernel_name : string
+  ; suite_name : string
+  ; sensitive : bool
+  ; block_size : int
+  ; default_regs : int
+      (** the nvcc-like default per-thread register count used by the
+          MaxTLP/OptTLP baselines *)
+  ; shape : shape
+  ; knobs : Shapes.knobs
+  ; shm_words : int  (** application's own shared-memory tile (0 = none) *)
+  ; inputs : input list  (** head = default input *)
+  }
+
+val kernel : t -> Ptx.Kernel.t
+(** Build the (SSA, pre-allocation) kernel. Deterministic. *)
+
+val default_input : t -> input
+val find_input : t -> string -> input
+val memory : t -> input -> Gpusim.Memory.t
+val params : t -> input -> (string * Gpusim.Value.t) list
+val shared_decl_bytes : t -> int
+(** Shared memory declared by the application kernel itself (ShmSize). *)
+
+val sm_launch :
+  t -> ?kernel:Ptx.Kernel.t -> input:input -> tlp:int -> unit -> Gpusim.Sm.launch
+(** Build a launch with a fresh memory image. The optional [kernel]
+    substitutes an allocated kernel for the SSA one. *)
+
+val output_words : t -> input -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let inp_base = 0x1000_0000L
+let out_base = 0x2000_0000L
+let aux_base = 0x3000_0000L
+
+let splitmix seed i =
+  let z = ref (seed + (i * 0x9E3779B9) land max_int) in
+  z := !z lxor (!z lsr 16);
+  z := !z * 0x85EBCA6B land max_int;
+  z := !z lxor (!z lsr 13);
+  z := !z * 0xC2B2AE35 land max_int;
+  z := !z lxor (!z lsr 16);
+  !z
+
+let uniform_f32 ~seed n =
+  Array.init n (fun i -> float_of_int (splitmix seed i mod 1_000_000) /. 1_000_000.)
+
+let uniform_u32 ~seed ~bound n =
+  Array.init n (fun i -> splitmix seed i mod bound)
+
+let standard_memory ~seed ~words =
+  let m = Gpusim.Memory.create () in
+  Gpusim.Memory.write_f32_array m ~base:inp_base (uniform_f32 ~seed words);
+  Gpusim.Memory.write_u32_array m ~base:aux_base
+    (uniform_u32 ~seed:(seed + 1) ~bound:(max 1 words) words);
+  m

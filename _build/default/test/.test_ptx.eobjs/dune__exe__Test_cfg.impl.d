@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Float List Ptx QCheck QCheck_alcotest Testsupport Workloads

@@ -1,0 +1,1 @@
+test/test_crat.ml: Alcotest Crat Energy Float Gpusim List Regalloc Workloads

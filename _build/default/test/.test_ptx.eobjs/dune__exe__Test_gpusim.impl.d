@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Float Gpusim Int64 List Printf Ptx QCheck QCheck_alcotest Regalloc Testsupport Workloads

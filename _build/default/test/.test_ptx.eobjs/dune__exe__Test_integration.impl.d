@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Crat Gpusim List Regalloc Testsupport Workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest List Ptx Ptxopt QCheck QCheck_alcotest Regalloc Result Testsupport Workloads

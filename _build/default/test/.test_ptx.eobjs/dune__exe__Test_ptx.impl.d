@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Array Int64 List Ptx QCheck QCheck_alcotest Result String Testsupport Workloads

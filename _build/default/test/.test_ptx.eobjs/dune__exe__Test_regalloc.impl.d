@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Cfg Float Gen List Ptx QCheck QCheck_alcotest Regalloc Result Testsupport Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Float Gpusim List Ptx Workloads

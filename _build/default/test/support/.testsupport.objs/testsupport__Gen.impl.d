@@ -1,0 +1,1 @@
+test/support/gen.ml: Array Gpusim Int64 List Ptx QCheck Workloads

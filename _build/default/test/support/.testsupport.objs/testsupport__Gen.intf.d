@@ -1,0 +1,1 @@
+test/support/gen.mli: Ptx QCheck

@@ -1,0 +1,20 @@
+(** QCheck generators for random-but-valid PTX kernels, plus shared
+    helpers for differential testing. *)
+
+val kernel : ?max_ops:int -> ?with_loop:bool -> ?with_branch:bool -> unit -> Ptx.Kernel.t QCheck.Gen.t
+(** Random kernels over parameters [inp]/[out] (u64 pointers) and [n]
+    (u32): u32/f32 arithmetic chains over previously defined registers,
+    global loads from bounded indices, conditional accumulation and an
+    optional counted loop; always ends storing a result to
+    [out[gtid]]. Every generated kernel passes {!Ptx.Kernel.validate}. *)
+
+val arbitrary_kernel : Ptx.Kernel.t QCheck.arbitrary
+(** With a printer attached (PTX text). *)
+
+val run_emulated :
+  ?block_size:int -> ?num_blocks:int -> Ptx.Kernel.t -> float array
+(** Emulate the kernel on a deterministic input image and return the
+    output buffer (one f32 per thread). *)
+
+val outputs_equal : float array -> float array -> bool
+(** Bitwise equality per element (deterministic arithmetic). *)

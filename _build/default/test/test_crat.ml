@@ -1,0 +1,348 @@
+(* Tests for the CRAT framework: resource analysis, segmentation, OptTLP
+   estimation, design-space pruning, the TPSC metric, micro-benchmarks
+   and the end-to-end optimizer. Simulation-backed tests use small
+   inputs to keep the suite fast. *)
+
+let fermi = Gpusim.Config.fermi
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_app abbr =
+  let a = Workloads.Suite.find abbr in
+  let i = Workloads.App.default_input a in
+  let small =
+    { i with
+      Workloads.App.num_blocks = 4
+    ; iters = min 2 i.Workloads.App.iters
+    ; passes = min 2 i.Workloads.App.passes
+    ; ilabel = "test-small"
+    }
+  in
+  { a with Workloads.App.inputs = [ small ] }
+
+(* ---------- resource analysis ---------- *)
+
+let test_resource_cfd () =
+  let a = Workloads.Suite.find "CFD" in
+  let r = Crat.Resource.analyze fermi a in
+  check_int "MinReg is NumRegister/MaxThreads" 21 r.Crat.Resource.min_reg;
+  check_int "BlockSize" 128 r.Crat.Resource.block_size;
+  check_int "ShmSize" 0 r.Crat.Resource.shm_size;
+  (* CFD's demand exceeds the hardware cap: MaxReg clamps to 63 *)
+  check_int "MaxReg at cap" 63 r.Crat.Resource.max_reg;
+  check "MaxTLP in range" true (r.Crat.Resource.max_tlp >= 1 && r.Crat.Resource.max_tlp <= 8)
+
+let test_resource_maxreg_is_no_spill_point () =
+  let a = Workloads.Suite.find "STM" in
+  let r = Crat.Resource.analyze fermi a in
+  let al =
+    Regalloc.Allocator.allocate ~block_size:a.Workloads.App.block_size
+      ~reg_limit:r.Crat.Resource.max_reg (Workloads.App.kernel a)
+  in
+  check "no spills at MaxReg" true (al.Regalloc.Allocator.spilled = []);
+  if r.Crat.Resource.max_reg > r.Crat.Resource.min_reg then begin
+    let below =
+      Regalloc.Allocator.allocate ~block_size:a.Workloads.App.block_size
+        ~reg_limit:(r.Crat.Resource.max_reg - 1) (Workloads.App.kernel a)
+    in
+    check "spills just below MaxReg" true (below.Regalloc.Allocator.spilled <> [])
+  end
+
+(* ---------- design space ---------- *)
+
+let test_stairs_structure () =
+  let a = Workloads.Suite.find "BLK" in
+  let r = Crat.Resource.analyze fermi a in
+  let stairs = Crat.Design_space.stairs fermi r in
+  check "non-empty" true (stairs <> []);
+  (* TLP strictly decreasing, registers non-decreasing *)
+  let rec ordered = function
+    | a :: (b : Crat.Design_space.point) :: rest ->
+      a.Crat.Design_space.tlp > b.Crat.Design_space.tlp
+      && a.Crat.Design_space.reg <= b.Crat.Design_space.reg
+      && ordered (b :: rest)
+    | _ -> true
+  in
+  check "staircase ordered" true (ordered stairs);
+  (* every stair point is occupancy-feasible *)
+  List.iter
+    (fun (p : Crat.Design_space.point) ->
+       let occ =
+         Gpusim.Occupancy.max_tlp fermi
+           (Crat.Resource.usage_at r ~regs:p.Crat.Design_space.reg)
+       in
+       check "feasible" true (occ >= p.Crat.Design_space.tlp))
+    stairs
+
+let test_prune_keeps_low_tlp () =
+  let a = Workloads.Suite.find "BLK" in
+  let r = Crat.Resource.analyze fermi a in
+  let pruned = Crat.Design_space.prune fermi r ~opt_tlp:3 in
+  check "non-empty after pruning" true (pruned <> []);
+  List.iter
+    (fun (p : Crat.Design_space.point) ->
+       check "tlp within bound" true (p.Crat.Design_space.tlp <= 3))
+    pruned
+
+let test_full_contains_stairs () =
+  let a = Workloads.Suite.find "KMN" in
+  let r = Crat.Resource.analyze fermi a in
+  let full = Crat.Design_space.full fermi r in
+  let stairs = Crat.Design_space.stairs fermi r in
+  List.iter
+    (fun (p : Crat.Design_space.point) ->
+       check "stair point in full space" true
+         (List.exists
+            (fun (q : Crat.Design_space.point) ->
+               q.Crat.Design_space.reg = p.Crat.Design_space.reg
+               && q.Crat.Design_space.tlp = p.Crat.Design_space.tlp)
+            full))
+    stairs
+
+(* ---------- TPSC ---------- *)
+
+let test_tlp_gain_decreasing () =
+  let g t = Crat.Tpsc.tlp_gain fermi ~block_size:128 ~tlp:t in
+  check "gain decreases with TLP" true (g 1 > g 4 && g 4 > g 8);
+  check "gain in (0,1)" true (g 1 < 1.0 && g 8 > 0.0)
+
+let test_tpsc_prefers_fewer_spills () =
+  let costs = { Crat.Micro.cost_local = 30.; cost_shm = 5. } in
+  let no_spill = { Regalloc.Spill.num_local = 0; num_shared = 0; num_other = 0; num_remat = 0 } in
+  let spilled = { Regalloc.Spill.num_local = 10; num_shared = 0; num_other = 1; num_remat = 0 } in
+  let t1 = Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:4 no_spill in
+  let t2 = Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:4 spilled in
+  check "no spill beats spill at same TLP" true (t1 < t2)
+
+let test_tpsc_tlp_breaks_ties () =
+  let costs = { Crat.Micro.cost_local = 30.; cost_shm = 5. } in
+  let s = { Regalloc.Spill.num_local = 0; num_shared = 0; num_other = 0; num_remat = 0 } in
+  let lo = Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:2 s in
+  let hi = Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:6 s in
+  check "higher TLP wins a spill-free tie" true (hi < lo)
+
+let test_tpsc_shared_cheaper_than_local () =
+  let costs = Crat.Micro.measure fermi in
+  check "micro: local slower than shared" true
+    (costs.Crat.Micro.cost_local >= costs.Crat.Micro.cost_shm);
+  let local = { Regalloc.Spill.num_local = 10; num_shared = 0; num_other = 1; num_remat = 0 } in
+  let shm = { Regalloc.Spill.num_local = 0; num_shared = 10; num_other = 1; num_remat = 0 } in
+  check "TPSC prefers shared spills" true
+    (Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:4 shm
+     <= Crat.Tpsc.tpsc fermi costs ~block_size:128 ~tlp:4 local)
+
+(* ---------- segments & static OptTLP ---------- *)
+
+let test_segments_structure () =
+  let a = small_app "CFD" in
+  let tr = Crat.Segments.trace fermi a (Workloads.App.default_input a) in
+  check "has segments" true (tr.Crat.Segments.segments <> []);
+  check "has memory refs" true (tr.Crat.Segments.total_line_refs > 0);
+  check "reuse in [0,1]" true
+    (tr.Crat.Segments.reuse_ratio >= 0. && tr.Crat.Segments.reuse_ratio <= 1.);
+  check "footprint positive" true (tr.Crat.Segments.footprint_bytes > 0);
+  (* alternating structure: no two adjacent Mem segments collapse *)
+  check "compute segments have positive latency" true
+    (List.for_all
+       (function
+         | Crat.Segments.Compute c -> c > 0
+         | Crat.Segments.Mem n -> n > 0)
+       tr.Crat.Segments.segments)
+
+let test_mimic_monotone_in_work () =
+  let a = small_app "CFD" in
+  let tr = Crat.Segments.trace fermi a (Workloads.App.default_input a) in
+  let c1 = Crat.Opttlp.mimic_cycles fermi tr ~warps_per_block:4 ~tlp:1 in
+  let c2 = Crat.Opttlp.mimic_cycles fermi tr ~warps_per_block:4 ~tlp:2 in
+  check "more blocks, more total cycles" true (c2 >= c1);
+  check "but less than double" true (c2 < 2. *. c1 +. 1.)
+
+let test_static_estimate_in_range () =
+  List.iter
+    (fun abbr ->
+       let a = small_app abbr in
+       let est = Crat.Opttlp.estimate_static fermi a ~max_tlp:6 () in
+       check (abbr ^ " estimate in range") true (est >= 1 && est <= 6))
+    [ "CFD"; "KMN"; "GAU" ]
+
+(* ---------- profiling & optimizer (simulation-backed, small) ---------- *)
+
+let test_profile_finds_minimum () =
+  let a = small_app "GAU" in
+  let pr = Crat.Opttlp.profile fermi a ~max_tlp:4 () in
+  check_int "all TLPs sampled" 4 (List.length pr.Crat.Opttlp.samples);
+  let best_cycles =
+    List.fold_left (fun acc (_, c) -> min acc c) max_int pr.Crat.Opttlp.samples
+  in
+  check "opt is the argmin" true
+    (List.assoc pr.Crat.Opttlp.opt_tlp pr.Crat.Opttlp.samples = best_cycles)
+
+let test_optimizer_plan_structure () =
+  let a = small_app "KMN" in
+  let plan = Crat.Optimizer.plan fermi a in
+  check "candidates non-empty" true (plan.Crat.Optimizer.candidates <> []);
+  check "chosen among candidates" true
+    (List.exists
+       (fun c -> c == plan.Crat.Optimizer.chosen)
+       plan.Crat.Optimizer.candidates);
+  check "chosen TLP within OptTLP" true
+    (plan.Crat.Optimizer.chosen.Crat.Optimizer.point.Crat.Design_space.tlp
+     <= plan.Crat.Optimizer.opt_tlp);
+  check "chosen has minimal TPSC" true
+    (List.for_all
+       (fun c -> c.Crat.Optimizer.tpsc >= plan.Crat.Optimizer.chosen.Crat.Optimizer.tpsc)
+       plan.Crat.Optimizer.candidates)
+
+let test_baselines_consistent () =
+  let a = small_app "KMN" in
+  let m = Crat.Baselines.max_tlp fermi a () in
+  let o = Crat.Baselines.opt_tlp fermi a () in
+  check "OptTLP no slower than MaxTLP" true
+    (Crat.Baselines.cycles o <= Crat.Baselines.cycles m);
+  check "same register build" true (m.Crat.Baselines.reg = o.Crat.Baselines.reg);
+  let c, plan = Crat.Baselines.crat fermi a () in
+  check "CRAT no slower than OptTLP (small run)" true
+    (float_of_int (Crat.Baselines.cycles c)
+     <= 1.05 *. float_of_int (Crat.Baselines.cycles o));
+  check "plan chose the evaluated point" true
+    (c.Crat.Baselines.reg
+     = plan.Crat.Optimizer.chosen.Crat.Optimizer.point.Crat.Design_space.reg)
+
+let test_eval_cache_hits () =
+  Crat.Eval.clear_cache ();
+  let a = small_app "GAU" in
+  let _ = Crat.Baselines.opt_tlp fermi a () in
+  let _, m1 = Crat.Eval.cache_stats () in
+  let _ = Crat.Baselines.opt_tlp fermi a () in
+  let h2, m2 = Crat.Eval.cache_stats () in
+  check_int "no new simulations on repeat" m1 m2;
+  check "cache hits recorded" true (h2 > 0)
+
+(* ---------- experiments plumbing ---------- *)
+
+let test_fig7_structure () =
+  let rows = Crat.Experiments.fig7 fermi Workloads.Suite.all in
+  Alcotest.(check int) "one row per app" 22 (List.length rows);
+  List.iter
+    (fun (r : Crat.Experiments.fig7_row) ->
+       check (r.Crat.Experiments.abbr ^ " utils in [0,1]") true
+         (r.Crat.Experiments.reg_util7 >= 0.
+          && r.Crat.Experiments.reg_util7 <= 1.01
+          && r.Crat.Experiments.shm_util7 >= 0.
+          && r.Crat.Experiments.shm_util7 <= 1.01))
+    rows;
+  (* the paper's observation: registers far better utilised than shared *)
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. rows /. 22. in
+  check "registers much better utilised than shared" true
+    (avg (fun r -> r.Crat.Experiments.reg_util7)
+     > 3. *. avg (fun r -> r.Crat.Experiments.shm_util7))
+
+let test_fig11_pruned_subset () =
+  let a = small_app "KMN" in
+  let stairs, pruned = Crat.Experiments.fig11 fermi a in
+  check "pruned points are stair points (same reg cap per TLP)" true
+    (List.for_all
+       (fun (p : Crat.Design_space.point) ->
+          List.exists
+            (fun (q : Crat.Design_space.point) ->
+               q.Crat.Design_space.reg >= p.Crat.Design_space.reg)
+            stairs)
+       pruned)
+
+let test_mimic_zero_cases () =
+  let tr =
+    { Crat.Segments.segments = []
+    ; total_line_refs = 0
+    ; distinct_lines = 0
+    ; footprint_bytes = 0
+    ; reuse_ratio = 0.
+    }
+  in
+  check "empty trace costs nothing" true
+    (Crat.Opttlp.mimic_cycles fermi tr ~warps_per_block:4 ~tlp:2 = 0.)
+
+let test_geomean () =
+  check "geomean of 2 and 8 is 4" true
+    (Float.abs (Crat.Experiments.geomean [ 2.; 8. ] -. 4.) < 1e-9);
+  check "geomean of empty is 1" true (Crat.Experiments.geomean [] = 1.)
+
+let test_fig6_monotone () =
+  let a = Workloads.Suite.find "CFD" in
+  let rows = Crat.Experiments.fig6 fermi a in
+  check "rows exist" true (List.length rows > 5);
+  let rec decreasing = function
+    | (x : Crat.Experiments.fig6_row) :: y :: rest ->
+      x.Crat.Experiments.instr_count >= y.Crat.Experiments.instr_count
+      && x.Crat.Experiments.tlp6 >= y.Crat.Experiments.tlp6
+      && decreasing (y :: rest)
+    | _ -> true
+  in
+  check "instructions and TLP decrease with registers" true (decreasing rows)
+
+let test_fig12_reference_tracks () =
+  let a = Workloads.Suite.find "CFD" in
+  let rows = Crat.Experiments.fig12 fermi a in
+  check "rows exist" true (List.length rows > 5);
+  List.iter
+    (fun (r : Crat.Experiments.fig12_row) ->
+       check "both allocators spill less with more registers" true
+         (r.Crat.Experiments.bytes_crat >= 0 && r.Crat.Experiments.bytes_reference >= 0))
+    rows;
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  check "CRAT spill bytes decrease over the sweep" true
+    (first.Crat.Experiments.bytes_crat > last.Crat.Experiments.bytes_crat)
+
+let test_energy_model () =
+  let s = Gpusim.Stats.create () in
+  s.Gpusim.Stats.cycles <- 1000;
+  s.Gpusim.Stats.alu_instrs <- 100;
+  s.Gpusim.Stats.thread_instrs <- 3200;
+  let b = Energy.of_stats s in
+  check "positive energy" true (Energy.total b > 0.);
+  let s2 = Gpusim.Stats.create () in
+  s2.Gpusim.Stats.cycles <- 2000;
+  s2.Gpusim.Stats.alu_instrs <- 100;
+  s2.Gpusim.Stats.thread_instrs <- 3200;
+  check "longer run costs more leakage" true
+    (Energy.total (Energy.of_stats s2) > Energy.total b)
+
+let () =
+  Alcotest.run "crat"
+    [ ( "resource"
+      , [ Alcotest.test_case "CFD analysis" `Quick test_resource_cfd
+        ; Alcotest.test_case "MaxReg = no-spill point" `Quick
+            test_resource_maxreg_is_no_spill_point
+        ] )
+    ; ( "design-space"
+      , [ Alcotest.test_case "staircase structure" `Quick test_stairs_structure
+        ; Alcotest.test_case "pruning keeps low TLP" `Quick test_prune_keeps_low_tlp
+        ; Alcotest.test_case "full contains stairs" `Quick test_full_contains_stairs
+        ] )
+    ; ( "tpsc"
+      , [ Alcotest.test_case "TLP gain decreasing" `Quick test_tlp_gain_decreasing
+        ; Alcotest.test_case "prefers fewer spills" `Quick test_tpsc_prefers_fewer_spills
+        ; Alcotest.test_case "TLP breaks ties" `Quick test_tpsc_tlp_breaks_ties
+        ; Alcotest.test_case "shared cheaper than local" `Slow
+            test_tpsc_shared_cheaper_than_local
+        ] )
+    ; ( "static-analysis"
+      , [ Alcotest.test_case "segments" `Quick test_segments_structure
+        ; Alcotest.test_case "mimic monotone" `Quick test_mimic_monotone_in_work
+        ; Alcotest.test_case "estimates in range" `Quick test_static_estimate_in_range
+        ] )
+    ; ( "optimizer"
+      , [ Alcotest.test_case "profile argmin" `Slow test_profile_finds_minimum
+        ; Alcotest.test_case "plan structure" `Slow test_optimizer_plan_structure
+        ; Alcotest.test_case "baselines consistent" `Slow test_baselines_consistent
+        ; Alcotest.test_case "evaluation cache" `Slow test_eval_cache_hits
+        ] )
+    ; ( "experiments"
+      , [ Alcotest.test_case "geomean" `Quick test_geomean
+        ; Alcotest.test_case "fig6 monotone" `Quick test_fig6_monotone
+        ; Alcotest.test_case "fig12 tracks" `Quick test_fig12_reference_tracks
+        ; Alcotest.test_case "energy model" `Quick test_energy_model
+        ; Alcotest.test_case "fig7 structure" `Quick test_fig7_structure
+        ; Alcotest.test_case "fig11 pruned subset" `Slow test_fig11_pruned_subset
+        ; Alcotest.test_case "mimic zero cases" `Quick test_mimic_zero_cases
+        ] )
+    ]

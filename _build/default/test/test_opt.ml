@@ -1,0 +1,202 @@
+(* Tests for the PTX cleanup passes: dead-code elimination, local copy
+   propagation and constant folding, plus the combined pipeline. The key
+   property: every pass preserves kernel semantics exactly. *)
+
+module B = Ptx.Builder
+module I = Ptx.Instr
+module T = Ptx.Types
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let store_result b out v =
+  let tid = B.special b Ptx.Reg.Tid_x in
+  let base = B.ld_param b T.U64 out in
+  let byte = B.mul b T.U32 (B.reg tid) (B.imm 4) in
+  let o = B.cvt b T.U64 T.U32 (B.reg byte) in
+  let addr = B.add b T.U64 (B.reg base) (B.reg o) in
+  B.st b T.Global T.U32 (B.reg addr) 0 (B.reg v)
+
+let test_dce_removes_dead_chain () =
+  let b = B.create "dead" in
+  let out = B.param b "out" T.U64 in
+  (* a dead chain of three instructions *)
+  let d1 = B.mov b T.U32 (B.imm 1) in
+  let d2 = B.add b T.U32 (B.reg d1) (B.imm 2) in
+  let _d3 = B.mul b T.U32 (B.reg d2) (B.imm 3) in
+  let live = B.mov b T.U32 (B.imm 42) in
+  store_result b out live;
+  let k = B.finish b in
+  let k', removed = Ptxopt.Dce.run k in
+  check_int "three dead instructions removed" 3 removed;
+  check "valid" true (Result.is_ok (Ptx.Kernel.validate k'))
+
+let test_dce_keeps_stores () =
+  let b = B.create "keep" in
+  let out = B.param b "out" T.U64 in
+  let v = B.mov b T.U32 (B.imm 5) in
+  store_result b out v;
+  let k = B.finish b in
+  let _, removed = Ptxopt.Dce.run k in
+  check_int "nothing to remove" 0 removed
+
+let test_copyprop_forwards () =
+  let b = B.create "cp" in
+  let out = B.param b "out" T.U64 in
+  let s = B.mov b T.U32 (B.imm 9) in
+  let d = B.mov b T.U32 (B.reg s) in
+  let e = B.add b T.U32 (B.reg d) (B.imm 1) in
+  store_result b out e;
+  let k = B.finish b in
+  let k', n = Ptxopt.Copyprop.run k in
+  check "a use was propagated" true (n >= 1);
+  (* after propagation + DCE the copy disappears *)
+  let k'', removed = Ptxopt.Dce.run k' in
+  check "the copy became dead" true (removed >= 1);
+  check "valid" true (Result.is_ok (Ptx.Kernel.validate k''))
+
+let test_copyprop_respects_redefinition () =
+  let b = B.create "cpkill" in
+  let out = B.param b "out" T.U64 in
+  let s = B.mov b T.U32 (B.imm 9) in
+  let d = B.mov b T.U32 (B.reg s) in
+  (* s is redefined: uses of d after this must NOT become s *)
+  B.acc_binop b I.Add T.U32 s (B.imm 100);
+  let e = B.add b T.U32 (B.reg d) (B.imm 1) in
+  store_result b out e;
+  let k = B.finish b in
+  let k', _ = Ptxopt.Copyprop.run k in
+  let before = Testsupport.Gen.run_emulated k in
+  let after = Testsupport.Gen.run_emulated k' in
+  check "semantics preserved around redefinition" true
+    (Testsupport.Gen.outputs_equal before after)
+
+let test_constfold_arithmetic () =
+  let b = B.create "cf" in
+  let out = B.param b "out" T.U64 in
+  let a = B.mov b T.U32 (B.imm 6) in
+  let c = B.mul b T.U32 (B.reg a) (B.imm 7) in
+  let d = B.add b T.U32 (B.reg c) (B.imm 0) in
+  store_result b out d;
+  let k = B.finish b in
+  let before = Testsupport.Gen.run_emulated k in
+  let k', folded = Ptxopt.Constfold.run k in
+  check "folded the chain" true (folded >= 2);
+  (* the chain collapses to a single constant move *)
+  let movs =
+    List.length
+      (List.filter
+         (fun i ->
+            match i with
+            | I.Mov (_, _, I.Oimm 42L) -> true
+            | _ -> false)
+         (Ptx.Kernel.instrs k'))
+  in
+  check "final constant is 42" true (movs >= 1);
+  check "semantics preserved" true
+    (Testsupport.Gen.outputs_equal before (Testsupport.Gen.run_emulated k'))
+
+let test_constfold_exact_float () =
+  (* folding must use the simulator's own f32 semantics *)
+  let b = B.create "cff" in
+  let out = B.param b "out" T.U64 in
+  let x = B.mov b T.F32 (B.fimm 0.1) in
+  let y = B.mad b T.F32 (B.reg x) (B.fimm 3.0) (B.fimm 0.7) in
+  let z = B.cvt b T.U32 T.F32 (B.reg y) in
+  store_result b out z;
+  let k = B.finish b in
+  let before = Testsupport.Gen.run_emulated k in
+  let k', _ = Ptxopt.Constfold.run k in
+  let after = Testsupport.Gen.run_emulated k' in
+  check "bit-exact float folding" true (Testsupport.Gen.outputs_equal before after)
+
+let test_pipeline_on_workloads () =
+  List.iter
+    (fun abbr ->
+       let app = Workloads.Suite.find abbr in
+       let k = Workloads.App.kernel app in
+       let k', report = Ptxopt.Pipeline.run k in
+       check (abbr ^ " still valid") true (Result.is_ok (Ptx.Kernel.validate k'));
+       check (abbr ^ " not larger") true
+         (Ptx.Kernel.instr_count k' <= Ptx.Kernel.instr_count k);
+       check (abbr ^ " terminated") true (report.Ptxopt.Pipeline.iterations <= 8))
+    [ "CFD"; "KMN"; "SPMV"; "HST" ]
+
+let prop_pipeline_idempotent =
+  QCheck.Test.make ~count:30 ~name:"pipeline is idempotent"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let k1, _ = Ptxopt.Pipeline.run k in
+      let k2, r2 = Ptxopt.Pipeline.run k1 in
+      r2.Ptxopt.Pipeline.folded = 0
+      && r2.Ptxopt.Pipeline.propagated = 0
+      && r2.Ptxopt.Pipeline.eliminated = 0
+      && Ptx.Kernel.instr_count k1 = Ptx.Kernel.instr_count k2)
+
+let prop_dce_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"DCE preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let k', _ = Ptxopt.Dce.run k in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated k'))
+
+let prop_copyprop_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"copy propagation preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let k', _ = Ptxopt.Copyprop.run k in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated k'))
+
+let prop_constfold_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"constant folding preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let k', _ = Ptxopt.Constfold.run k in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated k'))
+
+let prop_pipeline_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"pipeline preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let k', _ = Ptxopt.Pipeline.run k in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated k'))
+
+let prop_pipeline_after_allocation =
+  QCheck.Test.make ~count:25 ~name:"pipeline composes with allocation"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let a = Regalloc.Allocator.allocate ~block_size:64 ~reg_limit:14 k in
+      let k', _ = Ptxopt.Pipeline.run a.Regalloc.Allocator.kernel in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated k'))
+
+let () =
+  Alcotest.run "ptxopt"
+    [ ( "dce"
+      , [ Alcotest.test_case "removes dead chain" `Quick test_dce_removes_dead_chain
+        ; Alcotest.test_case "keeps stores" `Quick test_dce_keeps_stores
+        ] )
+    ; ( "copyprop"
+      , [ Alcotest.test_case "forwards copies" `Quick test_copyprop_forwards
+        ; Alcotest.test_case "respects redefinition" `Quick
+            test_copyprop_respects_redefinition
+        ] )
+    ; ( "constfold"
+      , [ Alcotest.test_case "folds arithmetic" `Quick test_constfold_arithmetic
+        ; Alcotest.test_case "bit-exact floats" `Quick test_constfold_exact_float
+        ] )
+    ; ( "pipeline"
+      , [ Alcotest.test_case "workload kernels" `Quick test_pipeline_on_workloads ] )
+    ; ( "properties"
+      , List.map QCheck_alcotest.to_alcotest
+          [ prop_pipeline_idempotent
+          ; prop_dce_preserves_semantics
+          ; prop_copyprop_preserves_semantics
+          ; prop_constfold_preserves_semantics
+          ; prop_pipeline_preserves_semantics
+          ; prop_pipeline_after_allocation
+          ] )
+    ]

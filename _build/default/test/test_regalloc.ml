@@ -1,0 +1,566 @@
+(* Tests for the register allocator: interference graph, Chaitin-Briggs
+   and linear-scan colouring, spill-code insertion, the Algorithm-1
+   shared-memory optimization, and the end-to-end allocator — including
+   the central property that allocation preserves kernel semantics. *)
+
+module B = Ptx.Builder
+module I = Ptx.Instr
+module T = Ptx.Types
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let analyse k =
+  let flow = Cfg.Flow.of_kernel k in
+  let live = Cfg.Liveness.compute flow in
+  (flow, live, Regalloc.Interference.build flow live)
+
+(* ---------- interference ---------- *)
+
+let chain_kernel () =
+  (* three values all live simultaneously *)
+  let b = B.create "chain" in
+  let out = B.param b "out" T.U64 in
+  let x = B.mov b T.U32 (B.imm 1) in
+  let y = B.mov b T.U32 (B.imm 2) in
+  let z = B.mov b T.U32 (B.imm 3) in
+  let s1 = B.add b T.U32 (B.reg x) (B.reg y) in
+  let s2 = B.add b T.U32 (B.reg s1) (B.reg z) in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg s2);
+  (B.finish b, x, y, z)
+
+let test_interference_triangle () =
+  let k, x, y, z = chain_kernel () in
+  let _, _, g = analyse k in
+  check "x-y interfere" true (Regalloc.Interference.interferes g x y);
+  check "y-z interfere" true (Regalloc.Interference.interferes g y z);
+  check "x-z interfere" true (Regalloc.Interference.interferes g x z);
+  check "no self edges" false (Regalloc.Interference.interferes g x x)
+
+let test_copy_exception () =
+  (* mov d, s with s dead after: d and s must not interfere *)
+  let b = B.create "copy" in
+  let out = B.param b "out" T.U64 in
+  let s = B.mov b T.U32 (B.imm 7) in
+  let d = B.mov b T.U32 (B.reg s) in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg d);
+  let k = B.finish b in
+  let _, _, g = analyse k in
+  check "copy source exempt" false (Regalloc.Interference.interferes g s d)
+
+let test_cross_class_no_edges () =
+  let b = B.create "classes" in
+  let out = B.param b "out" T.U64 in
+  let x = B.mov b T.U32 (B.imm 1) in
+  let w = B.mov b T.U64 (B.imm 2) in
+  let x' = B.add b T.U32 (B.reg x) (B.imm 1) in
+  let w' = B.add b T.U64 (B.reg w) (B.imm 1) in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg x');
+  B.st b T.Global T.U64 (B.reg base) 8 (B.reg w');
+  let k = B.finish b in
+  let _, _, g = analyse k in
+  check "32/64-bit never interfere" false (Regalloc.Interference.interferes g x w)
+
+let prop_interference_symmetric =
+  QCheck.Test.make ~count:30 ~name:"interference graph is symmetric"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let _, _, g = analyse k in
+      List.for_all
+        (fun a ->
+           Ptx.Reg.Set.for_all
+             (fun b' -> Regalloc.Interference.interferes g b' a)
+             (Regalloc.Interference.neighbors g a))
+        (Regalloc.Interference.nodes g))
+
+(* ---------- colouring ---------- *)
+
+let color_ok graph cls result =
+  List.for_all
+    (fun a ->
+       match Ptx.Reg.Map.find_opt a result.Regalloc.Coloring.assignment with
+       | None -> true
+       | Some ca ->
+         Ptx.Reg.Set.for_all
+           (fun n ->
+              match Ptx.Reg.Map.find_opt n result.Regalloc.Coloring.assignment with
+              | Some cn -> cn <> ca
+              | None -> true)
+           (Regalloc.Interference.neighbors graph a))
+    (Regalloc.Interference.nodes_of_class graph cls)
+
+let test_coloring_triangle_needs_three () =
+  let k, _, _, _ = chain_kernel () in
+  let _, _, g = analyse k in
+  let cost _ = 1.0 in
+  let r = Regalloc.Coloring.color ~graph:g ~cls:T.C32 ~k:16 ~spill_cost:cost () in
+  check "valid colouring" true (color_ok g T.C32 r);
+  check "no spills with 16 colours" true (r.Regalloc.Coloring.spilled = []);
+  check "at least 3 colours for the triangle" true
+    (r.Regalloc.Coloring.colors_used >= 3)
+
+let test_coloring_spills_under_pressure () =
+  let k, _, _, _ = chain_kernel () in
+  let _, _, g = analyse k in
+  let cost _ = 1.0 in
+  let r = Regalloc.Coloring.color ~graph:g ~cls:T.C32 ~k:2 ~spill_cost:cost () in
+  check "spills when 2 colours" true (r.Regalloc.Coloring.spilled <> []);
+  check "still valid for coloured nodes" true (color_ok g T.C32 r)
+
+let test_type_strict_prefers_same_type () =
+  (* non-interfering f32 and u32 registers: strict colouring uses more
+     colours (register waste) than loose colouring *)
+  let b = B.create "waste" in
+  let out = B.param b "out" T.U64 in
+  let x = B.mov b T.U32 (B.imm 1) in
+  let x' = B.add b T.U32 (B.reg x) (B.imm 1) in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg x');
+  let f = B.mov b T.F32 (B.fimm 1.0) in
+  let f' = B.add b T.F32 (B.reg f) (B.fimm 1.0) in
+  B.st b T.Global T.F32 (B.reg base) 4 (B.reg f');
+  let k = B.finish b in
+  let _, _, g = analyse k in
+  let cost _ = 1.0 in
+  let strict =
+    Regalloc.Coloring.color ~type_strict:true ~graph:g ~cls:T.C32 ~k:16
+      ~spill_cost:cost ()
+  in
+  let loose =
+    Regalloc.Coloring.color ~type_strict:false ~graph:g ~cls:T.C32 ~k:16
+      ~spill_cost:cost ()
+  in
+  check "strict >= loose colours" true
+    (strict.Regalloc.Coloring.colors_used >= loose.Regalloc.Coloring.colors_used)
+
+let test_linear_scan_valid () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "PATH") in
+  let flow, live, g = analyse k in
+  let cost _ = 1.0 in
+  let r = Regalloc.Linear_scan.color ~flow ~live ~cls:T.C32 ~k:12 ~spill_cost:cost in
+  check "linear scan colouring valid" true (color_ok g T.C32 r)
+
+(* ---------- spill layout & insertion ---------- *)
+
+let test_layout_alignment () =
+  let regs =
+    [ Ptx.Reg.make 0 T.F32; Ptx.Reg.make 1 T.U64; Ptx.Reg.make 2 T.U32
+    ; Ptx.Reg.make 3 T.F64 ]
+  in
+  let spec = Regalloc.Spill.layout ~to_shared:(fun _ -> false) regs in
+  List.iter
+    (fun (p : Regalloc.Spill.placement) ->
+       let w = T.width_bytes (Ptx.Reg.ty p.Regalloc.Spill.reg) in
+       check "aligned" true (p.Regalloc.Spill.offset mod w = 0))
+    spec.Regalloc.Spill.placements;
+  let ranges =
+    List.map
+      (fun (p : Regalloc.Spill.placement) ->
+         ( p.Regalloc.Spill.offset
+         , p.Regalloc.Spill.offset + T.width_bytes (Ptx.Reg.ty p.Regalloc.Spill.reg) ))
+      spec.Regalloc.Spill.placements
+  in
+  List.iteri
+    (fun i (lo1, hi1) ->
+       List.iteri
+         (fun j (lo2, hi2) ->
+            if i <> j then check "no overlap" true (hi1 <= lo2 || hi2 <= lo1))
+         ranges)
+    ranges;
+  check "local bytes cover layout" true
+    (List.for_all (fun (_, hi) -> hi <= spec.Regalloc.Spill.local_bytes) ranges)
+
+let test_spill_apply_counts () =
+  let k, x, _, _ = chain_kernel () in
+  let spec = Regalloc.Spill.layout ~to_shared:(fun _ -> false) [ x ] in
+  let k', stats = Regalloc.Spill.apply ~block_size:32 k spec in
+  check "valid after spilling" true (Result.is_ok (Ptx.Kernel.validate k'));
+  check_int "local accesses" 2 stats.Regalloc.Spill.num_local;
+  check_int "address setup" 1 stats.Regalloc.Spill.num_other;
+  check "spill stack declared" true (Ptx.Kernel.local_bytes k' > 0);
+  check_int "instruction growth" (Ptx.Kernel.instr_count k + 3)
+    (Ptx.Kernel.instr_count k')
+
+let test_spill_def_and_use_same_instr () =
+  let b = B.create "accspill" in
+  let out = B.param b "out" T.U64 in
+  let acc = B.mov b T.U32 (B.imm 0) in
+  B.acc_binop b I.Add T.U32 acc (B.imm 1);
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg acc);
+  let k = B.finish b in
+  let spec = Regalloc.Spill.layout ~to_shared:(fun _ -> false) [ acc ] in
+  let k', stats = Regalloc.Spill.apply ~block_size:32 k spec in
+  check "valid" true (Result.is_ok (Ptx.Kernel.validate k'));
+  (* mov def -> store; acc+=1 -> load+store; final use -> load *)
+  check_int "accesses for def+use" 4 stats.Regalloc.Spill.num_local
+
+let test_shared_spill_addressing () =
+  let k, x, y, _ = chain_kernel () in
+  let spec = Regalloc.Spill.layout ~to_shared:(fun r -> Ptx.Reg.equal r x) [ x; y ] in
+  let k', stats = Regalloc.Spill.apply ~block_size:64 k spec in
+  check "valid" true (Result.is_ok (Ptx.Kernel.validate k'));
+  check "has shared stack" true (Ptx.Kernel.shared_bytes k' > 0);
+  check "has local stack" true (Ptx.Kernel.local_bytes k' > 0);
+  check_int "shared accesses counted" 2 stats.Regalloc.Spill.num_shared;
+  check_int "shared sized for the block"
+    (spec.Regalloc.Spill.shared_bytes_per_thread * 64)
+    (Ptx.Kernel.shared_bytes k')
+
+let test_infra_registers () =
+  let k, x, _, _ = chain_kernel () in
+  let spec = Regalloc.Spill.layout ~to_shared:(fun _ -> false) [ x ] in
+  let k', _ = Regalloc.Spill.apply ~block_size:32 k spec in
+  let infra = Regalloc.Spill.infra_registers k k' in
+  check "infra nonempty" true (not (Ptx.Reg.Set.is_empty infra));
+  check "original registers not infra" false (Ptx.Reg.Set.mem x infra)
+
+(* ---------- knapsack / Algorithm 1 ---------- *)
+
+let brute_force_knapsack values weights capacity =
+  let n = Array.length values in
+  let best = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0. and w = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v +. values.(i);
+        w := !w + weights.(i)
+      end
+    done;
+    if !w <= capacity && !v > !best then best := !v
+  done;
+  !best
+
+let prop_knapsack_optimal =
+  QCheck.Test.make ~count:100 ~name:"knapsack matches brute force"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (int_range 0 50))
+        (list_of_size Gen.(int_range 1 8) (int_range 0 16)))
+    (fun (vs, ws) ->
+       let n = min (List.length vs) (List.length ws) in
+       QCheck.assume (n > 0);
+       let values = Array.of_list (List.filteri (fun i _ -> i < n) vs) in
+       let weights =
+         Array.of_list (List.filteri (fun i _ -> i < n) ws)
+         |> Array.map (fun w -> w * 4)
+       in
+       let values_f = Array.map float_of_int values in
+       let capacity = 96 in
+       let mask =
+         Regalloc.Shared_spill.knapsack ~values:values_f ~weights ~capacity
+       in
+       let got = ref 0. and w = ref 0 in
+       Array.iteri
+         (fun i b ->
+            if b then begin
+              got := !got +. values_f.(i);
+              w := !w + weights.(i)
+            end)
+         mask;
+       !w <= capacity
+       && Float.abs (!got -. brute_force_knapsack values_f weights capacity) < 1e-9)
+
+let test_split_by_type_and_chunk () =
+  let regs =
+    List.init 10 (fun i -> Ptx.Reg.make i (if i < 6 then T.F32 else T.U32))
+  in
+  let subs =
+    Regalloc.Shared_spill.split ~chunk:4
+      ~gain:(fun r -> float_of_int (Ptx.Reg.id r))
+      regs
+  in
+  check_int "sub-stack count" 3 (List.length subs);
+  List.iter
+    (fun s ->
+       check "single type per sub-stack" true
+         (List.for_all
+            (fun r -> T.equal_scalar (Ptx.Reg.ty r) s.Regalloc.Shared_spill.sty)
+            s.Regalloc.Shared_spill.sregs))
+    subs
+
+let test_optimize_respects_budget () =
+  let regs = List.init 12 (fun i -> Ptx.Reg.make i T.F32) in
+  let to_shared =
+    Regalloc.Shared_spill.optimize ~gain:(fun _ -> 2.) ~block_size:128
+      ~spare_shm_bytes:2048 regs
+  in
+  let chosen = List.filter to_shared regs in
+  (* each chunk of 4 f32 = 16B/thread x 128 threads = 2048B; one fits *)
+  check_int "budget respected" 4 (List.length chosen)
+
+let test_optimize_prefers_high_gain () =
+  let regs = List.init 8 (fun i -> Ptx.Reg.make i T.F32) in
+  (* ids 0..3 high gain, 4..7 low *)
+  let gain r = if Ptx.Reg.id r < 4 then 100. else 1. in
+  let to_shared =
+    Regalloc.Shared_spill.optimize ~chunk:4 ~gain ~block_size:128
+      ~spare_shm_bytes:2048 regs
+  in
+  check "high-gain chunk chosen" true
+    (List.for_all (fun r -> to_shared r = (Ptx.Reg.id r < 4)) regs)
+
+(* ---------- allocator end-to-end ---------- *)
+
+let test_allocator_respects_limit () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  List.iter
+    (fun lim ->
+       let a = Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:lim k in
+       check "units within limit" true (a.Regalloc.Allocator.units_used <= lim))
+    [ 24; 32; 40; 48; 56; 63 ]
+
+let test_allocator_no_spill_with_headroom () =
+  let app = Workloads.Suite.find "STM" in
+  let k = Workloads.App.kernel app in
+  let flow = Cfg.Flow.of_kernel k in
+  let live = Cfg.Liveness.compute flow in
+  let p = Cfg.Liveness.max_pressure live in
+  let a = Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:(p + 8) k in
+  check "no spills with head-room" true (a.Regalloc.Allocator.spilled = [])
+
+let test_allocator_spill_count_monotone () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  let spills lim =
+    List.length
+      (Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:lim k)
+        .Regalloc.Allocator.spilled
+  in
+  check "fewer registers, not fewer spills" true (spills 24 >= spills 40);
+  check "fewer registers, not fewer spills (2)" true (spills 40 >= spills 56)
+
+let test_allocator_shared_policy () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "STE") in
+  let local = Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:40 k in
+  let shared =
+    Regalloc.Allocator.allocate ~shared_policy:(`Spare 12288) ~block_size:128
+      ~reg_limit:40 k
+  in
+  check "local-only has no shared spills" true
+    (local.Regalloc.Allocator.stats.Regalloc.Spill.num_shared = 0);
+  check "shared policy moves accesses" true
+    (shared.Regalloc.Allocator.stats.Regalloc.Spill.num_shared > 0);
+  check "shared policy reduces local accesses" true
+    (shared.Regalloc.Allocator.stats.Regalloc.Spill.num_local
+     < local.Regalloc.Allocator.stats.Regalloc.Spill.num_local)
+
+let test_spill_bytes_decreasing () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  let bytes lim =
+    Regalloc.Allocator.spill_bytes
+      (Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:lim k)
+  in
+  check "spill bytes shrink with more registers" true (bytes 24 > bytes 56)
+
+let test_allocator_rejects_tiny_limit () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  try
+    let _ = Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:4 k in
+    Alcotest.fail "limit 4 must be infeasible"
+  with Failure _ -> ()
+
+(* ---------- coalescing & rematerialisation ---------- *)
+
+let test_coalesce_removes_copy () =
+  (* mov d, s with s dead after: d/s must coalesce and the copy vanish *)
+  let b = B.create "co" in
+  let out = B.param b "out" T.U64 in
+  let s' = B.mov b T.U32 (B.imm 7) in
+  let d = B.mov b T.U32 (B.reg s') in
+  let e = B.add b T.U32 (B.reg d) (B.imm 1) in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg e);
+  let k = B.finish b in
+  let flow = Cfg.Flow.of_kernel k in
+  let live = Cfg.Liveness.compute flow in
+  let graph = Regalloc.Interference.build flow live in
+  let aliases =
+    Regalloc.Coalesce.build_aliases ~graph ~flow
+      ~k_of:(fun _ -> 16)
+      ~protected:Ptx.Reg.Set.empty
+  in
+  check "alias found" false (Ptx.Reg.Map.is_empty aliases);
+  let k', removed = Regalloc.Coalesce.apply k aliases in
+  check "a copy was removed" true (removed >= 1);
+  check "still valid" true (Result.is_ok (Ptx.Kernel.validate k'));
+  check_int "one instruction fewer" (Ptx.Kernel.instr_count k - removed)
+    (Ptx.Kernel.instr_count k')
+
+let test_coalesce_respects_interference () =
+  (* mov d, s where s stays live: must NOT coalesce *)
+  let b = B.create "noco" in
+  let out = B.param b "out" T.U64 in
+  let s' = B.mov b T.U32 (B.imm 7) in
+  let d = B.mov b T.U32 (B.reg s') in
+  B.acc_binop b I.Add T.U32 d (B.imm 1);
+  (* s' used again: live across the redefinition of d *)
+  let e = B.add b T.U32 (B.reg d) (B.reg s') in
+  let base = B.ld_param b T.U64 out in
+  B.st b T.Global T.U32 (B.reg base) 0 (B.reg e);
+  let k = B.finish b in
+  let flow = Cfg.Flow.of_kernel k in
+  let live = Cfg.Liveness.compute flow in
+  let graph = Regalloc.Interference.build flow live in
+  let aliases =
+    Regalloc.Coalesce.build_aliases ~graph ~flow
+      ~k_of:(fun _ -> 16)
+      ~protected:Ptx.Reg.Set.empty
+  in
+  let merged_ds =
+    match Ptx.Reg.Map.find_opt d aliases with
+    | Some root -> Ptx.Reg.equal root s'
+    | None ->
+      (match Ptx.Reg.Map.find_opt s' aliases with
+       | Some root -> Ptx.Reg.equal root d
+       | None -> false)
+  in
+  check "interfering copy not coalesced" false merged_ds
+
+let test_remat_avoids_stack () =
+  let k, x, _, _ = chain_kernel () in
+  (* x is a single-def constant mov: rematerialisable *)
+  let spec =
+    Regalloc.Spill.layout
+      ~remat:(fun r -> if Ptx.Reg.equal r x then Some (I.Oimm 1L) else None)
+      ~to_shared:(fun _ -> false)
+      [ x ]
+  in
+  check "no stack slot" true (spec.Regalloc.Spill.placements = []);
+  check_int "listed as remat" 1 (List.length spec.Regalloc.Spill.remat);
+  let k', stats = Regalloc.Spill.apply ~block_size:32 k spec in
+  check "valid" true (Result.is_ok (Ptx.Kernel.validate k'));
+  check_int "no local traffic" 0 stats.Regalloc.Spill.num_local;
+  check "remat moves inserted" true (stats.Regalloc.Spill.num_remat >= 1);
+  check_int "no local stack declared" 0 (Ptx.Kernel.local_bytes k')
+
+let prop_coalesce_preserves_semantics =
+  QCheck.Test.make ~count:30 ~name:"coalescing preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let a =
+        Regalloc.Allocator.allocate ~coalesce:true ~block_size:64 ~reg_limit:14 k
+      in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated a.Regalloc.Allocator.kernel))
+
+let prop_remat_preserves_semantics =
+  QCheck.Test.make ~count:30 ~name:"rematerialisation preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let a =
+        Regalloc.Allocator.allocate ~remat:true ~block_size:64 ~reg_limit:14 k
+      in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated a.Regalloc.Allocator.kernel))
+
+let prop_coalesce_remat_together =
+  QCheck.Test.make ~count:30 ~name:"coalesce+remat preserve semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let a =
+        Regalloc.Allocator.allocate ~coalesce:true ~remat:true ~block_size:64
+          ~reg_limit:14 k
+      in
+      Testsupport.Gen.outputs_equal
+        (Testsupport.Gen.run_emulated k)
+        (Testsupport.Gen.run_emulated a.Regalloc.Allocator.kernel))
+
+let test_remat_reduces_local_insts () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  let base = Regalloc.Allocator.allocate ~block_size:128 ~reg_limit:40 k in
+  let rm = Regalloc.Allocator.allocate ~remat:true ~block_size:128 ~reg_limit:40 k in
+  check "remat never increases local accesses" true
+    (rm.Regalloc.Allocator.stats.Regalloc.Spill.num_local
+     <= base.Regalloc.Allocator.stats.Regalloc.Spill.num_local)
+
+(* the central property: allocation (with spilling) preserves semantics *)
+let semantics_preserved ?shared_policy ?strategy ~reg_limit k =
+  let a =
+    Regalloc.Allocator.allocate ?shared_policy ?strategy ~block_size:64
+      ~reg_limit k
+  in
+  let before = Testsupport.Gen.run_emulated k in
+  let after = Testsupport.Gen.run_emulated a.Regalloc.Allocator.kernel in
+  Testsupport.Gen.outputs_equal before after
+
+let prop_allocation_preserves_semantics =
+  QCheck.Test.make ~count:40 ~name:"allocation preserves semantics (tight limit)"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      semantics_preserved ~reg_limit:14 k)
+
+let prop_allocation_preserves_semantics_shared =
+  QCheck.Test.make ~count:25
+    ~name:"allocation preserves semantics (shared spilling)"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      semantics_preserved ~shared_policy:(`Spare 8192) ~reg_limit:14 k)
+
+let prop_linear_scan_preserves_semantics =
+  QCheck.Test.make ~count:25 ~name:"linear scan preserves semantics"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      semantics_preserved ~strategy:Regalloc.Allocator.Linear_scan ~reg_limit:16 k)
+
+let prop_allocated_demand_bounded =
+  QCheck.Test.make ~count:30 ~name:"allocated kernel respects the limit"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let lim = 14 in
+      let a = Regalloc.Allocator.allocate ~block_size:64 ~reg_limit:lim k in
+      a.Regalloc.Allocator.units_used <= lim)
+
+let () =
+  Alcotest.run "regalloc"
+    [ ( "interference"
+      , [ Alcotest.test_case "triangle" `Quick test_interference_triangle
+        ; Alcotest.test_case "copy exception" `Quick test_copy_exception
+        ; Alcotest.test_case "cross-class" `Quick test_cross_class_no_edges
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_interference_symmetric ] )
+    ; ( "coloring"
+      , [ Alcotest.test_case "triangle needs 3" `Quick test_coloring_triangle_needs_three
+        ; Alcotest.test_case "spills under pressure" `Quick test_coloring_spills_under_pressure
+        ; Alcotest.test_case "type-strict waste" `Quick test_type_strict_prefers_same_type
+        ; Alcotest.test_case "linear scan valid" `Quick test_linear_scan_valid
+        ] )
+    ; ( "spill"
+      , [ Alcotest.test_case "layout alignment" `Quick test_layout_alignment
+        ; Alcotest.test_case "apply counts" `Quick test_spill_apply_counts
+        ; Alcotest.test_case "def+use same instruction" `Quick test_spill_def_and_use_same_instr
+        ; Alcotest.test_case "shared addressing" `Quick test_shared_spill_addressing
+        ; Alcotest.test_case "infra registers" `Quick test_infra_registers
+        ] )
+    ; ( "algorithm1"
+      , [ Alcotest.test_case "split by type and chunk" `Quick test_split_by_type_and_chunk
+        ; Alcotest.test_case "budget respected" `Quick test_optimize_respects_budget
+        ; Alcotest.test_case "prefers high gain" `Quick test_optimize_prefers_high_gain
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_knapsack_optimal ] )
+    ; ( "allocator"
+      , [ Alcotest.test_case "respects limit" `Quick test_allocator_respects_limit
+        ; Alcotest.test_case "no spill with head-room" `Quick test_allocator_no_spill_with_headroom
+        ; Alcotest.test_case "spill monotonicity" `Quick test_allocator_spill_count_monotone
+        ; Alcotest.test_case "shared policy effective" `Quick test_allocator_shared_policy
+        ; Alcotest.test_case "spill bytes decrease" `Quick test_spill_bytes_decreasing
+        ; Alcotest.test_case "rejects tiny limit" `Quick test_allocator_rejects_tiny_limit
+        ] )
+    ; ( "extensions"
+      , [ Alcotest.test_case "coalesce removes copy" `Quick test_coalesce_removes_copy
+        ; Alcotest.test_case "coalesce respects interference" `Quick
+            test_coalesce_respects_interference
+        ; Alcotest.test_case "remat avoids the stack" `Quick test_remat_avoids_stack
+        ; Alcotest.test_case "remat reduces local accesses" `Quick
+            test_remat_reduces_local_insts
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_coalesce_preserves_semantics
+            ; prop_remat_preserves_semantics
+            ; prop_coalesce_remat_together
+            ] )
+    ; ( "semantics"
+      , List.map QCheck_alcotest.to_alcotest
+          [ prop_allocation_preserves_semantics
+          ; prop_allocation_preserves_semantics_shared
+          ; prop_linear_scan_preserves_semantics
+          ; prop_allocated_demand_bounded
+          ] )
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the synthetic workload suite: every application's kernel is
+   well-formed, executable, deterministic, and has the resource profile
+   its descriptor promises. *)
+
+module T = Ptx.Types
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_input (a : Workloads.App.t) =
+  let i = Workloads.App.default_input a in
+  { i with Workloads.App.num_blocks = 2; iters = min 2 i.Workloads.App.iters
+  ; passes = min 2 i.Workloads.App.passes }
+
+let test_suite_shape () =
+  check_int "22 applications" 22 (List.length Workloads.Suite.all);
+  check_int "11 sensitive" 11 (List.length Workloads.Suite.sensitive);
+  check_int "11 insensitive" 11 (List.length Workloads.Suite.insensitive);
+  let abbrs = Workloads.Suite.abbrs in
+  check_int "abbreviations unique" (List.length abbrs)
+    (List.length (List.sort_uniq compare abbrs))
+
+let test_find () =
+  let a = Workloads.Suite.find "CFD" in
+  Alcotest.(check string) "kernel name" "cuda_compute_flux" a.Workloads.App.kernel_name;
+  (try
+     let _ = Workloads.Suite.find "NOPE" in
+     Alcotest.fail "unknown abbr must raise"
+   with Not_found -> ())
+
+let test_all_kernels_validate () =
+  List.iter
+    (fun a ->
+       let k = Workloads.App.kernel a in
+       match Ptx.Kernel.validate k with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "%s: %s" a.Workloads.App.abbr m)
+    Workloads.Suite.all
+
+let test_all_kernels_roundtrip () =
+  List.iter
+    (fun a ->
+       let k = Workloads.App.kernel a in
+       let s = Ptx.Printer.kernel_to_string k in
+       let k2 = Ptx.Parser.parse_kernel_exn s in
+       Alcotest.(check string)
+         (a.Workloads.App.abbr ^ " round-trips")
+         s
+         (Ptx.Printer.kernel_to_string k2))
+    Workloads.Suite.all
+
+let test_kernel_deterministic () =
+  List.iter
+    (fun a ->
+       let s1 = Ptx.Printer.kernel_to_string (Workloads.App.kernel a) in
+       let s2 = Ptx.Printer.kernel_to_string (Workloads.App.kernel a) in
+       Alcotest.(check string) (a.Workloads.App.abbr ^ " deterministic") s1 s2)
+    Workloads.Suite.all
+
+let test_block_sizes_warp_multiple () =
+  List.iter
+    (fun a ->
+       check
+         (a.Workloads.App.abbr ^ " block multiple of 32")
+         true
+         (a.Workloads.App.block_size mod 32 = 0))
+    Workloads.Suite.all
+
+let test_register_demand_bands () =
+  (* sensitive apps were tuned for higher pressure than insensitive *)
+  let pressure a =
+    let flow = Cfg.Flow.of_kernel (Workloads.App.kernel a) in
+    Cfg.Liveness.max_pressure (Cfg.Liveness.compute flow)
+  in
+  List.iter
+    (fun a ->
+       let p = pressure a in
+       check (a.Workloads.App.abbr ^ " insensitive pressure < 36") true (p < 36))
+    Workloads.Suite.insensitive;
+  let heavy = List.map Workloads.Suite.find [ "CFD"; "FDTD"; "STE"; "DTC" ] in
+  List.iter
+    (fun a ->
+       let p = pressure a in
+       check (a.Workloads.App.abbr ^ " pressure above hardware cap") true (p > 63))
+    heavy
+
+let test_shared_decls_match_descriptor () =
+  List.iter
+    (fun a ->
+       check_int
+         (a.Workloads.App.abbr ^ " shared bytes")
+         (a.Workloads.App.shm_words * 4)
+         (Workloads.App.shared_decl_bytes a))
+    Workloads.Suite.all
+
+let test_all_apps_emulate () =
+  List.iter
+    (fun a ->
+       let i = tiny_input a in
+       let mem = Workloads.App.memory a i in
+       let launch =
+         { Gpusim.Emulator.kernel = Workloads.App.kernel a
+         ; block_size = a.Workloads.App.block_size
+         ; num_blocks = i.Workloads.App.num_blocks
+         ; params = Workloads.App.params a i
+         }
+       in
+       Gpusim.Emulator.run launch mem;
+       let out =
+         Gpusim.Memory.read_f32_array mem ~base:Workloads.Data.out_base
+           (Workloads.App.output_words a i)
+       in
+       (* reductions write per-block results; everyone else per-thread *)
+       let nonzero = Array.exists (fun v -> v <> 0.0) out in
+       check (a.Workloads.App.abbr ^ " produced output") true nonzero;
+       check
+         (a.Workloads.App.abbr ^ " output finite")
+         true
+         (Array.for_all (fun v -> Float.is_finite v) out))
+    Workloads.Suite.all
+
+let test_data_deterministic () =
+  let a = Workloads.Suite.find "CFD" in
+  let m1 = Workloads.App.memory a (tiny_input a) in
+  let m2 = Workloads.App.memory a (tiny_input a) in
+  check "same seed, same memory" true (Gpusim.Memory.equal m1 m2);
+  let x = Workloads.Data.uniform_f32 ~seed:3 16 in
+  let y = Workloads.Data.uniform_f32 ~seed:3 16 in
+  check "uniform_f32 deterministic" true (x = y);
+  check "values in [0,1)" true (Array.for_all (fun v -> v >= 0. && v < 1.) x);
+  let u = Workloads.Data.uniform_u32 ~seed:4 ~bound:7 32 in
+  check "u32 bounded" true (Array.for_all (fun v -> v >= 0 && v < 7) u)
+
+let test_inputs_unique_labels () =
+  List.iter
+    (fun (a : Workloads.App.t) ->
+       let labels = List.map (fun i -> i.Workloads.App.ilabel) a.Workloads.App.inputs in
+       check_int (a.Workloads.App.abbr ^ " labels unique") (List.length labels)
+         (List.length (List.sort_uniq compare labels));
+       check (a.Workloads.App.abbr ^ " has default") true
+         (List.mem "default" labels))
+    Workloads.Suite.all
+
+let test_input_sensitivity_apps_have_variants () =
+  List.iter
+    (fun abbr ->
+       let a = Workloads.Suite.find abbr in
+       check (abbr ^ " has several inputs") true
+         (List.length a.Workloads.App.inputs >= 3))
+    [ "CFD"; "BLK" ]
+
+let test_gather_uses_aux () =
+  let a = Workloads.Suite.find "SPMV" in
+  let i = tiny_input a in
+  check "aux param bound" true
+    (List.mem_assoc "aux" (Workloads.App.params a i))
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "suite"
+      , [ Alcotest.test_case "shape" `Quick test_suite_shape
+        ; Alcotest.test_case "find" `Quick test_find
+        ; Alcotest.test_case "unique input labels" `Quick test_inputs_unique_labels
+        ; Alcotest.test_case "fig18 apps have variants" `Quick
+            test_input_sensitivity_apps_have_variants
+        ] )
+    ; ( "kernels"
+      , [ Alcotest.test_case "all validate" `Quick test_all_kernels_validate
+        ; Alcotest.test_case "all round-trip" `Quick test_all_kernels_roundtrip
+        ; Alcotest.test_case "deterministic" `Quick test_kernel_deterministic
+        ; Alcotest.test_case "block sizes" `Quick test_block_sizes_warp_multiple
+        ; Alcotest.test_case "register-demand bands" `Quick test_register_demand_bands
+        ; Alcotest.test_case "shared decls" `Quick test_shared_decls_match_descriptor
+        ] )
+    ; ( "execution"
+      , [ Alcotest.test_case "all apps emulate" `Slow test_all_apps_emulate
+        ; Alcotest.test_case "deterministic data" `Quick test_data_deterministic
+        ; Alcotest.test_case "gather uses aux" `Quick test_gather_uses_aux
+        ] )
+    ]
