@@ -1,0 +1,19 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# cheap smoke check of the parallel evaluation path
+bench-smoke:
+	dune exec bench/main.exe -- --only fig1 --jobs 2 --fast
+
+clean:
+	dune clean

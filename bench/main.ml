@@ -6,25 +6,30 @@
      dune exec bench/main.exe                 # all experiments, full size
      dune exec bench/main.exe -- --fast       # reduced app sets
      dune exec bench/main.exe -- --only fig13,tab1
+     dune exec bench/main.exe -- --jobs 4     # fan simulations over 4 domains
+     dune exec bench/main.exe -- --json out.json  # machine-readable run report
      dune exec bench/main.exe -- --bechamel   # Bechamel timings *)
 
 let fermi = Gpusim.Config.fermi
 let kepler = Gpusim.Config.kepler
 
 type ctx =
-  { sensitive : Workloads.App.t list
+  { engine : Crat.Engine.t
+  ; sensitive : Workloads.App.t list
   ; insensitive : Workloads.App.t list
   ; input_apps : Workloads.App.t list  (** fig18 *)
   }
 
-let full_ctx =
-  { sensitive = Workloads.Suite.sensitive
+let full_ctx engine =
+  { engine
+  ; sensitive = Workloads.Suite.sensitive
   ; insensitive = Workloads.Suite.insensitive
   ; input_apps = [ Workloads.Suite.find "CFD"; Workloads.Suite.find "BLK" ]
   }
 
-let fast_ctx =
-  { sensitive =
+let fast_ctx engine =
+  { engine
+  ; sensitive =
       List.map Workloads.Suite.find [ "CFD"; "KMN"; "FDTD"; "STM"; "BLK" ]
   ; insensitive = List.map Workloads.Suite.find [ "PATH"; "GAU"; "BFS" ]
   ; input_apps = [ Workloads.Suite.find "BLK" ]
@@ -39,7 +44,7 @@ let get_comparisons ctx =
   match !comparisons with
   | Some c -> c
   | None ->
-    let _, comps = Crat.Experiments.fig13 fermi ctx.sensitive in
+    let _, comps = Crat.Experiments.fig13 ctx.engine fermi ctx.sensitive in
     comparisons := Some comps;
     comps
 
@@ -55,28 +60,33 @@ let experiments : (string * string * (ctx -> unit)) list =
   ; ( "tab1"
     , "Table 1: resource-usage parameters"
     , fun ctx ->
-        Crat.Experiments.pp_tab1 fmt (Crat.Experiments.tab1 fermi ctx.sensitive) )
+        Crat.Experiments.pp_tab1 fmt
+          (Crat.Experiments.tab1 ctx.engine fermi ctx.sensitive) )
   ; ( "fig1"
     , "Fig 1: throttling benefit and register waste"
-    , fun ctx -> Crat.Experiments.pp_fig1 fmt (Crat.Experiments.fig1 fermi ctx.sensitive) )
+    , fun ctx ->
+        Crat.Experiments.pp_fig1 fmt
+          (Crat.Experiments.fig1 ctx.engine fermi ctx.sensitive) )
   ; ( "fig2"
     , "Fig 2: (reg, TLP) design space for CFD"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig2 fmt
-          (Crat.Experiments.fig2 fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.fig2 ctx.engine fermi (Workloads.Suite.find "CFD")) )
   ; ( "fig3"
     , "Fig 3: selected design points for CFD"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig3 fmt
-          (Crat.Experiments.fig3 fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.fig3 ctx.engine fermi (Workloads.Suite.find "CFD")) )
   ; ( "fig5"
     , "Fig 5: throttling impact on the L1"
-    , fun ctx -> Crat.Experiments.pp_fig5 fmt (Crat.Experiments.fig5 fermi ctx.sensitive) )
+    , fun ctx ->
+        Crat.Experiments.pp_fig5 fmt
+          (Crat.Experiments.fig5 ctx.engine fermi ctx.sensitive) )
   ; ( "fig6"
     , "Fig 6: registers vs TLP and instruction count (CFD)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig6 fmt
-          (Crat.Experiments.fig6 fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.fig6 ctx.engine fermi (Workloads.Suite.find "CFD")) )
   ; ( "fig7"
     , "Fig 7: register vs shared-memory utilization"
     , fun ctx ->
@@ -84,23 +94,23 @@ let experiments : (string * string * (ctx -> unit)) list =
           (Crat.Experiments.fig7 fermi (ctx.sensitive @ ctx.insensitive)) )
   ; ( "fig8"
     , "Fig 8: FDTD register/shared exploration"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig8 fmt
-          (Crat.Experiments.fig8 fermi (Workloads.Suite.find "FDTD")) )
+          (Crat.Experiments.fig8 ctx.engine fermi (Workloads.Suite.find "FDTD")) )
   ; ( "fig11"
     , "Fig 11: design-space staircase and pruning (CFD)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig11 fmt
-          (Crat.Experiments.fig11 fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.fig11 ctx.engine fermi (Workloads.Suite.find "CFD")) )
   ; ( "fig12"
     , "Fig 12: spill-bytes validation (CFD)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_fig12 fmt
-          (Crat.Experiments.fig12 fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.fig12 ctx.engine fermi (Workloads.Suite.find "CFD")) )
   ; ( "fig13"
     , "Fig 13: headline performance comparison"
     , fun ctx ->
-        let rows, comps = Crat.Experiments.fig13 fermi ctx.sensitive in
+        let rows, comps = Crat.Experiments.fig13 ctx.engine fermi ctx.sensitive in
         comparisons := Some comps;
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig14"
@@ -117,60 +127,69 @@ let experiments : (string * string * (ctx -> unit)) list =
   ; ( "fig17"
     , "Fig 17: Kepler-like scalability"
     , fun ctx ->
-        let rows, _ = Crat.Experiments.fig13 kepler ctx.sensitive in
+        let rows, _ = Crat.Experiments.fig13 ctx.engine kepler ctx.sensitive in
         Format.fprintf fmt "Fig 17: Kepler-like architecture@.";
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig18"
     , "Fig 18: input sensitivity"
-    , fun ctx -> Crat.Experiments.pp_fig18 fmt (Crat.Experiments.fig18 fermi ctx.input_apps) )
+    , fun ctx ->
+        Crat.Experiments.pp_fig18 fmt
+          (Crat.Experiments.fig18 ctx.engine fermi ctx.input_apps) )
   ; ( "fig19"
     , "Fig 19: resource-insensitive applications"
     , fun ctx ->
-        let rows, _ = Crat.Experiments.fig13 fermi ctx.insensitive in
+        let rows, _ = Crat.Experiments.fig13 ctx.engine fermi ctx.insensitive in
         Format.fprintf fmt "Fig 19: resource-insensitive applications@.";
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig20"
     , "Fig 20: CRAT-profile vs CRAT-static"
-    , fun ctx -> Crat.Experiments.pp_fig20 fmt (Crat.Experiments.fig20 fermi ctx.sensitive) )
+    , fun ctx ->
+        Crat.Experiments.pp_fig20 fmt
+          (Crat.Experiments.fig20 ctx.engine fermi ctx.sensitive) )
   ; ( "energy"
     , "Energy: CRAT vs OptTLP"
     , fun ctx -> Crat.Experiments.pp_energy fmt (Crat.Experiments.energy (get_comparisons ctx)) )
   ; ( "overhead"
     , "Overhead: profiling vs static analysis"
     , fun ctx ->
-        Crat.Experiments.pp_overhead fmt (Crat.Experiments.overhead fermi ctx.sensitive) )
+        Crat.Experiments.pp_overhead fmt
+          (Crat.Experiments.overhead ctx.engine fermi ctx.sensitive) )
   ; ( "dyn-tlp"
     , "Baseline: online DynCTA-style throttling"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_dynamic_tlp fmt
-          (Crat.Experiments.dynamic_tlp fermi
+          (Crat.Experiments.dynamic_tlp ctx.engine fermi
              (List.map Workloads.Suite.find [ "KMN"; "STM"; "SPMV"; "CFD" ])) )
   ; ( "ext-bypass"
     , "Extension: CRAT + static L1 bypassing (CFD)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_extension_bypass fmt
-          (Crat.Experiments.extension_bypass fermi (Workloads.Suite.find "CFD")) )
+          (Crat.Experiments.extension_bypass ctx.engine fermi
+             (Workloads.Suite.find "CFD")) )
   ; ( "abl-sched"
     , "Ablation: GTO vs LRR warp scheduling"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_ablation_scheduler fmt
-          (Crat.Experiments.ablation_scheduler fermi
+          (Crat.Experiments.ablation_scheduler ctx.engine fermi
              (List.map Workloads.Suite.find [ "CFD"; "KMN"; "STM" ])) )
   ; ( "abl-chunk"
     , "Ablation: Algorithm 1 sub-stack granularity"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_ablation_chunk fmt
-          (Crat.Experiments.ablation_chunk fermi (Workloads.Suite.find "STE") ~reg:40) )
+          (Crat.Experiments.ablation_chunk ctx.engine fermi
+             (Workloads.Suite.find "STE") ~reg:40) )
   ; ( "gpu-scale"
     , "Multi-SM scaling (KMN, shared memory system)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_gpu_scaling fmt
-          (Crat.Experiments.gpu_scaling fermi (Workloads.Suite.find "KMN") ~tlp:2) )
+          (Crat.Experiments.gpu_scaling ctx.engine fermi
+             (Workloads.Suite.find "KMN") ~tlp:2) )
   ; ( "abl-alloc"
     , "Ablation: allocator extensions (coalescing, remat)"
-    , fun _ ->
+    , fun ctx ->
         Crat.Experiments.pp_ablation_allocator fmt
-          (Crat.Experiments.ablation_allocator fermi (Workloads.Suite.find "CFD") ~reg:48) )
+          (Crat.Experiments.ablation_allocator ctx.engine fermi
+             (Workloads.Suite.find "CFD") ~reg:48) )
   ; ( "abl-type"
     , "Ablation: type-affine colouring (register waste)"
     , fun ctx ->
@@ -192,22 +211,21 @@ let bechamel_mode () =
   let small_input = Workloads.App.default_input small in
   let test name f = Test.make ~name (Staged.stage f) in
   (* one Test.make per table/figure (scaled-down app set) plus the
-     library's hot paths *)
+     library's hot paths; a fresh engine per run keeps iterations
+     identical (no warm cache from the previous run) *)
   let tests =
     [ test "tab1" (fun () ->
-        Crat.Eval.clear_cache ();
-        ignore (Crat.Experiments.tab1 fermi mini))
+        ignore (Crat.Experiments.tab1 (Crat.Engine.create ()) fermi mini))
     ; test "fig1" (fun () ->
-        Crat.Eval.clear_cache ();
-        ignore (Crat.Experiments.fig1 fermi mini))
+        ignore (Crat.Experiments.fig1 (Crat.Engine.create ()) fermi mini))
     ; test "fig5" (fun () ->
-        Crat.Eval.clear_cache ();
-        ignore (Crat.Experiments.fig5 fermi mini))
-    ; test "fig6" (fun () -> ignore (Crat.Experiments.fig6 fermi small))
-    ; test "fig12" (fun () -> ignore (Crat.Experiments.fig12 fermi small))
+        ignore (Crat.Experiments.fig5 (Crat.Engine.create ()) fermi mini))
+    ; test "fig6" (fun () ->
+        ignore (Crat.Experiments.fig6 (Crat.Engine.create ()) fermi small))
+    ; test "fig12" (fun () ->
+        ignore (Crat.Experiments.fig12 (Crat.Engine.create ()) fermi small))
     ; test "fig13" (fun () ->
-        Crat.Eval.clear_cache ();
-        ignore (Crat.Experiments.fig13 fermi mini))
+        ignore (Crat.Experiments.fig13 (Crat.Engine.create ()) fermi mini))
     ; test "liveness" (fun () -> ignore (Cfg.Liveness.compute cfd_flow))
     ; test "interference" (fun () ->
         ignore (Regalloc.Interference.build cfd_flow cfd_live))
@@ -252,37 +270,151 @@ let bechamel_mode () =
        Printf.printf "%-28s %14.0f ns/run\n" name ns)
     results
 
+(* ---------- JSON run report ---------- *)
+
+type exp_record =
+  { rid : string
+  ; rdescr : string
+  ; wall_s : float
+  ; job_wall_s : float
+  ; sim_runs : int
+  ; sim_hits : int
+  ; alloc_runs : int
+  ; alloc_hits : int
+  ; max_queue_depth : int
+  ; batches : int
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~jobs ~total_s ~records ~(report : Crat.Engine.report) =
+  let oc = open_out path in
+  let speedup r = if r.wall_s > 0. then r.job_wall_s /. r.wall_s else 1. in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_wall_s\": %.3f,\n" total_s;
+  Printf.fprintf oc "  \"engine\": {\n";
+  Printf.fprintf oc "    \"sim_runs\": %d,\n" report.Crat.Engine.sim_runs;
+  Printf.fprintf oc "    \"sim_hits\": %d,\n" report.Crat.Engine.sim_hits;
+  Printf.fprintf oc "    \"alloc_runs\": %d,\n" report.Crat.Engine.alloc_runs;
+  Printf.fprintf oc "    \"alloc_hits\": %d,\n" report.Crat.Engine.alloc_hits;
+  Printf.fprintf oc "    \"job_wall_s\": %.3f,\n" report.Crat.Engine.job_wall;
+  Printf.fprintf oc "    \"max_queue_depth\": %d,\n"
+    report.Crat.Engine.max_queue_depth;
+  Printf.fprintf oc "    \"batches\": %d\n" report.Crat.Engine.batches;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+       Printf.fprintf oc
+         "    {\"id\": \"%s\", \"descr\": \"%s\", \"wall_s\": %.3f, \
+          \"job_wall_s\": %.3f, \"parallel_speedup\": %.2f, \"sim_runs\": %d, \
+          \"sim_hits\": %d, \"alloc_runs\": %d, \"alloc_hits\": %d, \
+          \"max_queue_depth\": %d, \"batches\": %d}%s\n"
+         (json_escape r.rid) (json_escape r.rdescr) r.wall_s r.job_wall_s
+         (speedup r) r.sim_runs r.sim_hits r.alloc_runs r.alloc_hits
+         r.max_queue_depth r.batches
+         (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 (* ---------- driver ---------- *)
 
 let () =
   let bechamel = ref false in
   let fast = ref false in
   let only = ref [] in
+  let jobs = ref 1 in
+  let json = ref "" in
   let spec =
     [ ("--bechamel", Arg.Set bechamel, " run Bechamel timing benchmarks")
     ; ("--fast", Arg.Set fast, " reduced application sets")
     ; ( "--only"
       , Arg.String (fun s -> only := String.split_on_char ',' s)
       , "IDS comma-separated experiment ids (e.g. fig13,tab1)" )
+    ; ( "--jobs"
+      , Arg.Set_int jobs
+      , "N fan independent allocations/simulations over N domains (default 1)" )
+    ; ( "--json"
+      , Arg.Set_string json
+      , "FILE write a machine-readable run report (per-experiment wall clock \
+         and engine statistics)" )
     ]
   in
-  Arg.parse spec (fun _ -> ()) "bench/main.exe [--bechamel] [--fast] [--only ids]";
+  Arg.parse spec
+    (fun _ -> ())
+    "bench/main.exe [--bechamel] [--fast] [--only ids] [--jobs N] [--json file]";
+  if !jobs < 1 then begin
+    prerr_endline "bench: --jobs must be >= 1";
+    exit 2
+  end;
+  (* fail on an unwritable report path now, not after the whole run *)
+  if !json <> "" then begin
+    match open_out_gen [ Open_wronly; Open_creat ] 0o644 !json with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "bench: cannot write --json report: %s\n" msg;
+      exit 2
+  end;
+  List.iter
+    (fun id ->
+       if not (List.exists (fun (id', _, _) -> id' = id) experiments) then begin
+         Printf.eprintf "bench: unknown experiment id %S (see --help)\n" id;
+         exit 2
+       end)
+    !only;
   if !bechamel then bechamel_mode ()
   else begin
-    let ctx = if !fast then fast_ctx else full_ctx in
+    let engine = Crat.Engine.create ~jobs:!jobs () in
+    let ctx = if !fast then fast_ctx engine else full_ctx engine in
     let wanted (id, _, _) = !only = [] || List.mem id !only in
     let t_all = Unix.gettimeofday () in
+    let records = ref [] in
     List.iter
       (fun ((id, descr, run) as e) ->
          if wanted e then begin
+           let before = Crat.Engine.report engine in
            let t0 = Unix.gettimeofday () in
            Format.fprintf fmt "==== %s: %s ====@." id descr;
            run ctx;
-           Format.fprintf fmt "(%.1fs)@.@." (Unix.gettimeofday () -. t0)
+           let wall = Unix.gettimeofday () -. t0 in
+           let after = Crat.Engine.report engine in
+           let d f = f after - f before in
+           records :=
+             { rid = id
+             ; rdescr = descr
+             ; wall_s = wall
+             ; job_wall_s =
+                 after.Crat.Engine.job_wall -. before.Crat.Engine.job_wall
+             ; sim_runs = d (fun r -> r.Crat.Engine.sim_runs)
+             ; sim_hits = d (fun r -> r.Crat.Engine.sim_hits)
+             ; alloc_runs = d (fun r -> r.Crat.Engine.alloc_runs)
+             ; alloc_hits = d (fun r -> r.Crat.Engine.alloc_hits)
+             ; max_queue_depth = after.Crat.Engine.max_queue_depth
+             ; batches = d (fun r -> r.Crat.Engine.batches)
+             }
+             :: !records;
+           Format.fprintf fmt "(%.1fs)@.@." wall
          end)
       experiments;
-    let hits, misses = Crat.Eval.cache_stats () in
-    Format.fprintf fmt "total %.1fs; %d simulations (%d cache hits)@."
-      (Unix.gettimeofday () -. t_all)
-      misses hits
+    let total_s = Unix.gettimeofday () -. t_all in
+    let report = Crat.Engine.report engine in
+    Format.fprintf fmt "total %.1fs; %a@." total_s Crat.Engine.pp_report report;
+    if !json <> "" then begin
+      write_json !json ~jobs:!jobs ~total_s ~records:(List.rev !records) ~report;
+      Format.fprintf fmt "wrote %s@." !json
+    end
   end

@@ -36,6 +36,18 @@ let regs_arg =
   Arg.(value & opt (some int) None & info [ "r"; "regs" ] ~docv:"N"
          ~doc:"Per-thread register limit (default: the app's default).")
 
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg "expected a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Fan independent allocations/simulations over $(docv) domains.")
+
 (* ---------- apps ---------- *)
 
 let apps_cmd =
@@ -54,7 +66,7 @@ let config_cmd =
 
 let analyze_cmd =
   let doc = "Resource-usage analysis: MaxReg/MinReg/MaxTLP/ShmSize + OptTLP." in
-  let run kepler abbr static =
+  let run kepler abbr static jobs =
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let r = Crat.Resource.analyze cfg app in
@@ -62,7 +74,8 @@ let analyze_cmd =
     let opt =
       if static then Crat.Opttlp.estimate_static cfg app ~max_tlp:r.Crat.Resource.max_tlp ()
       else
-        (Crat.Opttlp.profile cfg app ~max_tlp:r.Crat.Resource.max_tlp ())
+        let engine = Crat.Engine.create ~jobs () in
+        (Crat.Opttlp.profile engine cfg app ~max_tlp:r.Crat.Resource.max_tlp ())
           .Crat.Opttlp.opt_tlp
     in
     Format.printf "OptTLP (%s): %d@." (if static then "static" else "profiled") opt;
@@ -74,7 +87,8 @@ let analyze_cmd =
   let static =
     Arg.(value & flag & info [ "static" ] ~doc:"Estimate OptTLP statically instead of profiling.")
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ kepler_arg $ app_arg $ static)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ kepler_arg $ app_arg $ static $ jobs_arg)
 
 (* ---------- allocate ---------- *)
 
@@ -235,14 +249,19 @@ let optimize_cmd =
   let no_shared_arg =
     Arg.(value & flag & info [ "no-shared-spill" ] ~doc:"Disable Algorithm 1 (CRAT-local).")
   in
-  let run kepler abbr static no_shared =
+  let report_arg =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Print the engine's job/cache statistics after the run.")
+  in
+  let run kepler abbr static no_shared jobs report =
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let mode = if static then `Static else `Profile in
-    let m = Crat.Baselines.max_tlp cfg app () in
-    let o = Crat.Baselines.opt_tlp cfg app () in
+    let engine = Crat.Engine.create ~jobs () in
+    let m = Crat.Baselines.max_tlp engine cfg app () in
+    let o = Crat.Baselines.opt_tlp engine cfg app () in
     let c, plan =
-      Crat.Baselines.crat ~mode ~shared_spilling:(not no_shared) cfg app ()
+      Crat.Baselines.crat ~mode ~shared_spilling:(not no_shared) engine cfg app ()
     in
     Format.printf "%a@." Crat.Optimizer.pp_plan plan;
     let show (e : Crat.Baselines.evaluated) =
@@ -253,10 +272,13 @@ let optimize_cmd =
     in
     show m;
     show o;
-    show c
+    show c;
+    if report then
+      Format.printf "%a@." Crat.Engine.pp_report (Crat.Engine.report engine)
   in
   Cmd.v (Cmd.info "optimize" ~doc)
-    Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg)
+    Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg
+          $ jobs_arg $ report_arg)
 
 let () =
   let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in

@@ -21,8 +21,9 @@ let () =
   Format.printf "staircase:";
   List.iter (fun p -> Format.printf " %a" Crat.Design_space.pp_point p) stairs;
   Format.printf "@.";
+  let engine = Crat.Engine.create () in
   let pr =
-    Crat.Opttlp.profile cfg app ~max_tlp:resource.Crat.Resource.max_tlp ()
+    Crat.Opttlp.profile engine cfg app ~max_tlp:resource.Crat.Resource.max_tlp ()
   in
   let pruned = Crat.Design_space.prune cfg resource ~opt_tlp:pr.Crat.Opttlp.opt_tlp in
   Format.printf "OptTLP=%d -> %d candidate(s) after pruning:@."
@@ -31,7 +32,7 @@ let () =
   Format.printf "@.";
 
   (* the full surface, normalised to MaxTLP (Fig. 2) *)
-  let points = Crat.Experiments.fig2 cfg app in
+  let points = Crat.Experiments.fig2 engine cfg app in
   let regs =
     List.sort_uniq compare (List.map (fun p -> p.Crat.Experiments.reg2) points)
   in

@@ -32,14 +32,16 @@ let () =
   let resource = Crat.Resource.analyze cfg app in
   Format.printf "analysis: %a@.@." Crat.Resource.pp resource;
 
-  (* 3. the CRAT plan *)
-  let plan = Crat.Optimizer.plan cfg app in
+  (* 3. the CRAT plan (one engine shared by every evaluation below;
+        pass ~jobs to fan simulations over multiple domains) *)
+  let engine = Crat.Engine.create () in
+  let plan = Crat.Optimizer.plan engine cfg app in
   Format.printf "%a@." Crat.Optimizer.pp_plan plan;
 
   (* 4. head-to-head on the simulator *)
-  let max_tlp = Crat.Baselines.max_tlp cfg app () in
-  let opt_tlp = Crat.Baselines.opt_tlp cfg app () in
-  let crat, _ = Crat.Baselines.crat cfg app () in
+  let max_tlp = Crat.Baselines.max_tlp engine cfg app () in
+  let opt_tlp = Crat.Baselines.opt_tlp engine cfg app () in
+  let crat, _ = Crat.Baselines.crat engine cfg app () in
   let show (e : Crat.Baselines.evaluated) =
     Format.printf
       "  %-8s reg=%2d TLP=%d  %9d cycles  (%.2fx vs MaxTLP)  L1 hit %.2f@."

@@ -12,21 +12,21 @@ let cycles e = e.stats.Gpusim.Stats.cycles
 let speedup_over ~baseline e =
   float_of_int (cycles baseline) /. float_of_int (cycles e)
 
-let default_build (app : Workloads.App.t) =
-  let a = Eval.allocate app ~reg_limit:app.Workloads.App.default_regs in
-  (Printf.sprintf "default-r%d" app.Workloads.App.default_regs, a)
+let default_build engine (app : Workloads.App.t) =
+  Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs
 
 let resolve_input app = function
   | Some i -> i
   | None -> Workloads.App.default_input app
 
-let max_tlp cfg (app : Workloads.App.t) ?input () =
+let max_tlp engine cfg (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let variant, alloc = default_build app in
+  let alloc = default_build engine app in
   let r = Resource.analyze cfg app in
   let tlp = max 1 r.Resource.max_tlp in
   let stats =
-    Eval.run cfg app ~variant ~kernel:alloc.Regalloc.Allocator.kernel ~input ~tlp
+    Engine.run engine cfg app ~kernel:alloc.Regalloc.Allocator.kernel ~input
+      ~tlp
   in
   { label = "MaxTLP"
   ; reg = app.Workloads.App.default_regs
@@ -36,18 +36,19 @@ let max_tlp cfg (app : Workloads.App.t) ?input () =
   ; input
   }
 
-let opt_tlp cfg (app : Workloads.App.t) ?input () =
+let opt_tlp engine cfg (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let variant, alloc = default_build app in
+  let alloc = default_build engine app in
   let r = Resource.analyze cfg app in
   let pr =
-    Opttlp.profile cfg app ~input
-      ~kernel_variant:(variant, alloc.Regalloc.Allocator.kernel)
+    Opttlp.profile engine cfg app ~input
+      ~kernel:alloc.Regalloc.Allocator.kernel
       ~max_tlp:(max 1 r.Resource.max_tlp) ()
   in
   let tlp = pr.Opttlp.opt_tlp in
   let stats =
-    Eval.run cfg app ~variant ~kernel:alloc.Regalloc.Allocator.kernel ~input ~tlp
+    Engine.run engine cfg app ~kernel:alloc.Regalloc.Allocator.kernel ~input
+      ~tlp
   in
   { label = "OptTLP"
   ; reg = app.Workloads.App.default_regs
@@ -57,13 +58,13 @@ let opt_tlp cfg (app : Workloads.App.t) ?input () =
   ; input
   }
 
-let crat ?mode ?shared_spilling ?profile_input cfg (app : Workloads.App.t) ?input () =
+let crat ?mode ?shared_spilling ?profile_input engine cfg
+    (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let plan = Optimizer.plan ?mode ?shared_spilling ?profile_input cfg app in
+  let plan = Optimizer.plan ?mode ?shared_spilling ?profile_input engine cfg app in
   let c = plan.Optimizer.chosen in
   let stats =
-    Eval.run cfg app
-      ~variant:(Optimizer.variant_label c)
+    Engine.run engine cfg app
       ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel ~input
       ~tlp:c.Optimizer.point.Design_space.tlp
   in

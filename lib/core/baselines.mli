@@ -20,16 +20,27 @@ val cycles : evaluated -> int
 val speedup_over : baseline:evaluated -> evaluated -> float
 
 val max_tlp :
-  Gpusim.Config.t -> Workloads.App.t -> ?input:Workloads.App.input -> unit -> evaluated
+  Engine.t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> ?input:Workloads.App.input
+  -> unit
+  -> evaluated
 
 val opt_tlp :
-  Gpusim.Config.t -> Workloads.App.t -> ?input:Workloads.App.input -> unit -> evaluated
+  Engine.t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> ?input:Workloads.App.input
+  -> unit
+  -> evaluated
 (** Profiling (and the returned evaluation) use [input]. *)
 
 val crat :
   ?mode:Optimizer.mode
   -> ?shared_spilling:bool
   -> ?profile_input:Workloads.App.input
+  -> Engine.t
   -> Gpusim.Config.t
   -> Workloads.App.t
   -> ?input:Workloads.App.input

@@ -53,3 +53,28 @@ let stairs cfg (r : Resource.t) =
 let prune cfg r ~opt_tlp = stairs_below cfg r ~bound:opt_tlp
 
 let pp_point fmt p = Format.fprintf fmt "(reg=%d, TLP=%d)" p.reg p.tlp
+
+(* Evaluate a whole frontier: one allocation per distinct register count
+   (fanned across the engine's domains), then every simulation submitted
+   as a single batch. *)
+let evaluate engine cfg (app : Workloads.App.t) ?input points =
+  let input =
+    match input with
+    | Some i -> i
+    | None -> Workloads.App.default_input app
+  in
+  let regs = List.sort_uniq compare (List.map (fun p -> p.reg) points) in
+  let allocs =
+    Engine.map engine
+      (fun reg -> (reg, Engine.allocate engine app ~reg_limit:reg))
+      regs
+  in
+  let kernel_at reg = (List.assoc reg allocs).Regalloc.Allocator.kernel in
+  let stats =
+    Engine.run_batch engine
+      (List.map
+         (fun p ->
+            { Engine.cfg; app; kernel = kernel_at p.reg; input; tlp = p.tlp })
+         points)
+  in
+  List.combine points stats

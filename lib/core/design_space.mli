@@ -29,3 +29,15 @@ val max_reg_at_tlp : Gpusim.Config.t -> Resource.t -> tlp:int -> int option
     blocks, within [[MinReg, MaxReg]] and the hardware cap. *)
 
 val pp_point : Format.formatter -> point -> unit
+
+val evaluate :
+  Engine.t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> ?input:Workloads.App.input
+  -> point list
+  -> (point * Gpusim.Stats.t) list
+(** Batch-evaluate a frontier of points with the default (non-CRAT)
+    allocation at each register count: allocations fan across the
+    engine's domains, and all simulations are submitted as one batch.
+    Results keep the input order. *)

@@ -1,0 +1,277 @@
+type job =
+  { cfg : Gpusim.Config.t
+  ; app : Workloads.App.t
+  ; kernel : Ptx.Kernel.t
+  ; input : Workloads.App.input
+  ; tlp : int
+  }
+
+type report =
+  { jobs : int
+  ; sim_runs : int
+  ; sim_hits : int
+  ; alloc_runs : int
+  ; alloc_hits : int
+  ; job_wall : float
+  ; max_queue_depth : int
+  ; batches : int
+  }
+
+type t =
+  { n_jobs : int
+  ; lock : Mutex.t
+  ; sim_store : (string, Gpusim.Stats.t) Hashtbl.t
+  ; alloc_store : (string, Regalloc.Allocator.t) Hashtbl.t
+  ; mutable kernel_digests : (Ptx.Kernel.t * string) list
+      (** physical-identity memo: allocations are cached, so the same
+          kernel value is digested many times across a sweep *)
+  ; mutable sim_runs : int
+  ; mutable sim_hits : int
+  ; mutable alloc_runs : int
+  ; mutable alloc_hits : int
+  ; mutable job_wall : float
+  ; mutable max_queue_depth : int
+  ; mutable batches : int
+  }
+
+let create ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  { n_jobs = jobs
+  ; lock = Mutex.create ()
+  ; sim_store = Hashtbl.create 256
+  ; alloc_store = Hashtbl.create 64
+  ; kernel_digests = []
+  ; sim_runs = 0
+  ; sim_hits = 0
+  ; alloc_runs = 0
+  ; alloc_hits = 0
+  ; job_wall = 0.
+  ; max_queue_depth = 0
+  ; batches = 0
+  }
+
+let jobs t = t.n_jobs
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let now () = Unix.gettimeofday ()
+
+(* ---------- content addressing ---------- *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let kernel_digest t k =
+  match locked t (fun () -> List.assq_opt k t.kernel_digests) with
+  | Some d -> d
+  | None ->
+    let d = digest (Ptx.Printer.kernel_to_string k) in
+    locked t (fun () ->
+      (* bounded memo; dropping entries only costs a re-digest *)
+      let kept =
+        if List.length t.kernel_digests >= 512 then [] else t.kernel_digests
+      in
+      t.kernel_digests <- (k, d) :: kept);
+    d
+
+(* Config.t, App.t and App.input are pure-data records (ints, strings,
+   variants), so marshalling gives a stable structural fingerprint. *)
+let data_digest v = digest (Marshal.to_string v [])
+
+let sim_key t (j : job) =
+  digest
+    (String.concat "|"
+       [ kernel_digest t j.kernel
+       ; data_digest j.cfg
+       ; data_digest j.app
+       ; data_digest j.input
+       ; string_of_int j.tlp
+       ])
+
+let alloc_key t ~strategy ~shared_spare ~block_size ~reg_limit kernel =
+  String.concat "|"
+    [ kernel_digest t kernel
+    ; (match (strategy : Regalloc.Allocator.strategy) with
+       | Regalloc.Allocator.Chaitin_briggs -> "cb"
+       | Regalloc.Allocator.Linear_scan -> "ls")
+    ; string_of_int shared_spare
+    ; string_of_int block_size
+    ; string_of_int reg_limit
+    ]
+
+(* ---------- domain pool ---------- *)
+
+(* Set on worker domains (and on the main domain while it doubles as a
+   worker): nested engine calls from inside a job run serially instead
+   of spawning a second generation of domains. *)
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+let as_worker f =
+  let saved = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set worker_key saved) f
+
+(* Parallel array map: an atomic cursor feeds items to [width] workers
+   (the calling domain is one of them). Order of results is by index,
+   so the output is deterministic whatever the interleaving. *)
+let pmap t f arr =
+  let n = Array.length arr in
+  let width = min t.n_jobs n in
+  if width <= 1 || in_worker () then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      as_worker (fun () ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (try results.(i) <- Some (f arr.(i))
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            loop ()
+          end
+        in
+        loop ())
+    in
+    let domains = List.init (width - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false)
+      results
+  end
+
+let map t f xs = Array.to_list (pmap t f (Array.of_list xs))
+
+(* ---------- allocation ---------- *)
+
+let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
+    ?(shared_spare = 0) (app : Workloads.App.t) ~reg_limit =
+  let kernel = Workloads.App.kernel app in
+  let block_size = app.Workloads.App.block_size in
+  let key = alloc_key t ~strategy ~shared_spare ~block_size ~reg_limit kernel in
+  match locked t (fun () -> Hashtbl.find_opt t.alloc_store key) with
+  | Some a ->
+    locked t (fun () -> t.alloc_hits <- t.alloc_hits + 1);
+    a
+  | None ->
+    let shared_policy = if shared_spare > 0 then `Spare shared_spare else `Off in
+    let t0 = now () in
+    let a =
+      Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
+        ~reg_limit kernel
+    in
+    let dt = now () -. t0 in
+    locked t (fun () ->
+      t.alloc_runs <- t.alloc_runs + 1;
+      t.job_wall <- t.job_wall +. dt;
+      Hashtbl.replace t.alloc_store key a);
+    a
+
+(* ---------- simulation ---------- *)
+
+let simulate (j : job) =
+  let launch =
+    Workloads.App.sm_launch j.app ~kernel:j.kernel ~input:j.input ~tlp:j.tlp ()
+  in
+  Gpusim.Sm.run j.cfg launch
+
+let run_batch ?(cache = true) t jobs_list =
+  let jobs_a = Array.of_list jobs_list in
+  let keys = Array.map (sim_key t) jobs_a in
+  (* distinct uncached keys, in first-occurrence order *)
+  let seen = Hashtbl.create 16 in
+  let pending = ref [] in
+  Array.iteri
+    (fun i k ->
+       if not (Hashtbl.mem seen k) then begin
+         Hashtbl.add seen k ();
+         let stored =
+           cache && locked t (fun () -> Hashtbl.mem t.sim_store k)
+         in
+         if not stored then pending := (k, jobs_a.(i)) :: !pending
+       end)
+    keys;
+  let pending = Array.of_list (List.rev !pending) in
+  let depth = Array.length pending in
+  locked t (fun () ->
+    t.batches <- t.batches + 1;
+    if depth > t.max_queue_depth then t.max_queue_depth <- depth);
+  let computed =
+    pmap t
+      (fun (k, j) ->
+         let t0 = now () in
+         let st = simulate j in
+         (k, st, now () -. t0))
+      pending
+  in
+  let fresh = Hashtbl.create (max 1 depth) in
+  Array.iter
+    (fun (k, st, dt) ->
+       Hashtbl.replace fresh k st;
+       locked t (fun () ->
+         t.sim_runs <- t.sim_runs + 1;
+         t.job_wall <- t.job_wall +. dt;
+         if cache then Hashtbl.replace t.sim_store k st))
+    computed;
+  locked t (fun () ->
+    t.sim_hits <- t.sim_hits + (Array.length jobs_a - depth));
+  Array.to_list
+    (Array.map
+       (fun k ->
+          match Hashtbl.find_opt fresh k with
+          | Some st -> st
+          | None -> locked t (fun () -> Hashtbl.find t.sim_store k))
+       keys)
+
+let run ?cache t cfg app ~kernel ~input ~tlp =
+  match run_batch ?cache t [ { cfg; app; kernel; input; tlp } ] with
+  | [ st ] -> st
+  | _ -> assert false
+
+let cycles ?cache t cfg app ~kernel ~input ~tlp =
+  (run ?cache t cfg app ~kernel ~input ~tlp).Gpusim.Stats.cycles
+
+(* ---------- observability ---------- *)
+
+let report t =
+  locked t (fun () ->
+    { jobs = t.n_jobs
+    ; sim_runs = t.sim_runs
+    ; sim_hits = t.sim_hits
+    ; alloc_runs = t.alloc_runs
+    ; alloc_hits = t.alloc_hits
+    ; job_wall = t.job_wall
+    ; max_queue_depth = t.max_queue_depth
+    ; batches = t.batches
+    })
+
+let reset t =
+  locked t (fun () ->
+    Hashtbl.reset t.sim_store;
+    Hashtbl.reset t.alloc_store;
+    t.kernel_digests <- [];
+    t.sim_runs <- 0;
+    t.sim_hits <- 0;
+    t.alloc_runs <- 0;
+    t.alloc_hits <- 0;
+    t.job_wall <- 0.;
+    t.max_queue_depth <- 0;
+    t.batches <- 0)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "engine: jobs=%d, %d simulations (%d store hits), %d allocations (%d \
+     hits), %.1fs job wall-clock, %d batches, max queue depth %d"
+    r.jobs r.sim_runs r.sim_hits r.alloc_runs r.alloc_hits r.job_wall
+    r.batches r.max_queue_depth

@@ -1,0 +1,115 @@
+(** The evaluation engine: an explicit, thread-safe, content-addressed
+    store of allocation and simulation results, plus a work-queue
+    scheduler that fans independent jobs across OCaml domains.
+
+    Every experiment driver evaluates the same (kernel build, config,
+    input, TLP) points repeatedly across figures, and the points of one
+    sweep are independent of each other. The engine memoizes each
+    evaluation under a structural key — a digest of the allocated kernel
+    image, the simulated configuration, the application descriptor, the
+    input and the TLP — so two different kernel builds can never alias
+    (the old label-keyed cache could), and re-runnable batches fan out
+    across [jobs] domains.
+
+    Determinism: simulations are pure functions of their key, so the
+    statistics returned for any job are bit-identical whatever [jobs]
+    is; [~jobs:1] additionally executes batches serially in submission
+    order, matching the historical single-threaded behaviour exactly. *)
+
+type t
+
+(** One simulation request: run [kernel] (usually an allocated build of
+    [app]'s kernel) on [cfg] with a fresh memory image for [input],
+    under a TLP limit of [tlp] concurrent blocks. *)
+type job =
+  { cfg : Gpusim.Config.t
+  ; app : Workloads.App.t
+  ; kernel : Ptx.Kernel.t
+  ; input : Workloads.App.input
+  ; tlp : int
+  }
+
+(** Observability counters, cumulative since {!create}/{!reset}. *)
+type report =
+  { jobs : int  (** configured parallelism *)
+  ; sim_runs : int  (** simulations actually executed (store misses) *)
+  ; sim_hits : int  (** simulations answered from the store *)
+  ; alloc_runs : int
+  ; alloc_hits : int
+  ; job_wall : float
+      (** summed per-job wall-clock seconds (the serial-equivalent cost;
+          under parallel execution this exceeds elapsed time) *)
+  ; max_queue_depth : int
+      (** largest number of uncached jobs queued by one batch *)
+  ; batches : int  (** batch submissions (single runs count as one) *)
+  }
+
+val create : ?jobs:int -> unit -> t
+(** Fresh engine with empty stores. [jobs] (default 1) is the number of
+    worker domains batches may fan across; [jobs = 1] never spawns a
+    domain. @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val sim_key : t -> job -> string
+(** The content-addressed store key (hex digest) — exposed for the
+    key-injectivity tests. Structural: covers the kernel image (hence
+    register limit and spill layout), configuration, application
+    descriptor, input and TLP. *)
+
+val allocate :
+  t
+  -> ?strategy:Regalloc.Allocator.strategy
+  -> ?shared_spare:int
+  -> Workloads.App.t
+  -> reg_limit:int
+  -> Regalloc.Allocator.t
+(** Allocate the app's kernel at a per-thread limit, memoized on the
+    pre-allocation kernel image, strategy, block size, [reg_limit] and
+    [shared_spare]; [shared_spare > 0] enables Algorithm 1 with that
+    many spare shared bytes per block. *)
+
+val run :
+  ?cache:bool
+  -> t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> kernel:Ptx.Kernel.t
+  -> input:Workloads.App.input
+  -> tlp:int
+  -> Gpusim.Stats.t
+(** Simulate one job through the store. [~cache:false] bypasses the
+    store entirely (always simulates, stores nothing) — used by the
+    profiling-overhead experiment to pay the real cost. *)
+
+val cycles :
+  ?cache:bool
+  -> t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> kernel:Ptx.Kernel.t
+  -> input:Workloads.App.input
+  -> tlp:int
+  -> int
+
+val run_batch : ?cache:bool -> t -> job list -> Gpusim.Stats.t list
+(** Evaluate a whole frontier at once: results in submission order.
+    Duplicate and already-stored keys are answered from the store; the
+    remaining distinct jobs fan across up to [jobs] domains. Sweep-shaped
+    drivers (fig2, fig13, fig18, ...) should build their full job list
+    and submit it here rather than looping over {!run}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Domain-parallel [List.map] for coarse-grained independent work
+    (e.g. one full app comparison per item). [f] may itself use the
+    engine: nested calls detect that they already run on a worker
+    domain and execute serially instead of spawning. Results keep list
+    order; an exception in any [f] is re-raised after all workers
+    join. *)
+
+val report : t -> report
+val reset : t -> unit
+(** Drop both stores and zero all counters. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One-line summary, e.g. for the end of an experiment run. *)

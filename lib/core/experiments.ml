@@ -14,11 +14,11 @@ type comparison =
   ; plan : Optimizer.plan
   }
 
-let compare_app cfg app =
-  let max_tlp = Baselines.max_tlp cfg app () in
-  let opt_tlp = Baselines.opt_tlp cfg app () in
-  let crat_local, _ = Baselines.crat ~shared_spilling:false cfg app () in
-  let crat, plan = Baselines.crat cfg app () in
+let compare_app engine cfg app =
+  let max_tlp = Baselines.max_tlp engine cfg app () in
+  let opt_tlp = Baselines.opt_tlp engine cfg app () in
+  let crat_local, _ = Baselines.crat ~shared_spilling:false engine cfg app () in
+  let crat, plan = Baselines.crat engine cfg app () in
   { app; max_tlp; opt_tlp; crat_local; crat; plan }
 
 let speedup_vs_opt c e = Baselines.speedup_over ~baseline:c.opt_tlp e
@@ -32,11 +32,11 @@ type fig1_row =
   ; util_opt : float
   }
 
-let fig1 cfg apps =
-  List.map
+let fig1 engine cfg apps =
+  Engine.map engine
     (fun app ->
-       let m = Baselines.max_tlp cfg app () in
-       let o = Baselines.opt_tlp cfg app () in
+       let m = Baselines.max_tlp engine cfg app () in
+       let o = Baselines.opt_tlp engine cfg app () in
        { abbr = app.Workloads.App.abbr
        ; opt_over_max = Baselines.speedup_over ~baseline:m o
        ; util_max = Baselines.register_utilization cfg app m
@@ -66,28 +66,27 @@ type fig2_point =
   ; speedup_vs_max : float
   }
 
-let fig2 cfg app =
+let fig2 engine cfg app =
   let r = Resource.analyze cfg app in
-  let m = Baselines.max_tlp cfg app () in
+  let m = Baselines.max_tlp engine cfg app () in
   let base = float_of_int (Baselines.cycles m) in
-  let input = Workloads.App.default_input app in
   let stairs = Design_space.stairs cfg r in
   let regs = List.sort_uniq compare (List.map (fun p -> p.Design_space.reg) stairs) in
-  List.concat_map
-    (fun reg ->
-       let a = Eval.allocate app ~reg_limit:reg in
-       let occ =
-         Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg)
-       in
-       List.init occ (fun i ->
-         let tlp = i + 1 in
-         let cycles =
-           Eval.cycles cfg app
-             ~variant:(Printf.sprintf "sweep-r%d" reg)
-             ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp
-         in
-         { reg2 = reg; tlp2 = tlp; speedup_vs_max = base /. float_of_int cycles }))
-    regs
+  (* the whole (reg x TLP) surface is one frontier: submit it at once *)
+  let points =
+    List.concat_map
+      (fun reg ->
+         let occ = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg) in
+         List.init occ (fun i -> { Design_space.reg; tlp = i + 1 }))
+      regs
+  in
+  List.map
+    (fun ((p : Design_space.point), (st : Gpusim.Stats.t)) ->
+       { reg2 = p.Design_space.reg
+       ; tlp2 = p.Design_space.tlp
+       ; speedup_vs_max = base /. float_of_int st.Gpusim.Stats.cycles
+       })
+    (Design_space.evaluate engine cfg app points)
 
 let pp_fig2 fmt points =
   Format.fprintf fmt "Fig 2: design space (speedup vs MaxTLP)@.";
@@ -118,8 +117,8 @@ let row_of cfg app label (e : Baselines.evaluated) base =
   ; reg_util = Baselines.register_utilization cfg app e
   }
 
-let fig3 cfg app =
-  let c = compare_app cfg app in
+let fig3 engine cfg app =
+  let c = compare_app engine cfg app in
   let base = float_of_int (Baselines.cycles c.max_tlp) in
   let r = c.plan.Optimizer.resource in
   (* OptTLP+Reg: keep the throttled TLP, raise registers to the stair cap *)
@@ -127,12 +126,11 @@ let fig3 cfg app =
     match Design_space.max_reg_at_tlp cfg r ~tlp:c.opt_tlp.Baselines.tlp with
     | None -> []
     | Some reg ->
-      let a = Eval.allocate app ~reg_limit:reg in
+      let a = Engine.allocate engine app ~reg_limit:reg in
       let input = Workloads.App.default_input app in
       let stats =
-        Eval.run cfg app
-          ~variant:(Printf.sprintf "optreg-r%d" reg)
-          ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp:c.opt_tlp.Baselines.tlp
+        Engine.run engine cfg app ~kernel:a.Regalloc.Allocator.kernel ~input
+          ~tlp:c.opt_tlp.Baselines.tlp
       in
       let e =
         { Baselines.label = "OptTLP+Reg"
@@ -171,11 +169,11 @@ type fig5_row =
   ; stall_opt : float
   }
 
-let fig5 cfg apps =
-  List.map
+let fig5 engine cfg apps =
+  Engine.map engine
     (fun app ->
-       let m = Baselines.max_tlp cfg app () in
-       let o = Baselines.opt_tlp cfg app () in
+       let m = Baselines.max_tlp engine cfg app () in
+       let o = Baselines.opt_tlp engine cfg app () in
        { abbr = app.Workloads.App.abbr
        ; hit_max = Gpusim.Stats.l1_hit_rate m.Baselines.stats
        ; hit_opt = Gpusim.Stats.l1_hit_rate o.Baselines.stats
@@ -202,25 +200,24 @@ type fig6_row =
   ; instr_count : int
   }
 
-let fig6 cfg app =
-  let r = Resource.analyze cfg app in
+let reg_sweep (r : Resource.t) cfg =
   let lo = r.Resource.min_reg in
   let hi = min r.Resource.max_reg cfg.Gpusim.Config.max_regs_per_thread in
-  let rec sweep reg acc =
-    if reg > hi then List.rev acc
-    else begin
-      let a = Eval.allocate app ~reg_limit:reg in
-      let tlp = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg) in
-      let row =
-        { reg6 = reg
-        ; tlp6 = tlp
-        ; instr_count = Ptx.Kernel.instr_count a.Regalloc.Allocator.kernel
-        }
-      in
-      sweep (reg + 3) (row :: acc)
-    end
+  let rec collect reg acc =
+    if reg > hi then List.rev acc else collect (reg + 3) (reg :: acc)
   in
-  sweep lo []
+  collect lo []
+
+let fig6 engine cfg app =
+  let r = Resource.analyze cfg app in
+  Engine.map engine
+    (fun reg ->
+       let a = Engine.allocate engine app ~reg_limit:reg in
+       { reg6 = reg
+       ; tlp6 = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg)
+       ; instr_count = Ptx.Kernel.instr_count a.Regalloc.Allocator.kernel
+       })
+    (reg_sweep r cfg)
 
 let pp_fig6 fmt rows =
   Format.fprintf fmt "Fig 6: register per-thread vs TLP and instruction count@.";
@@ -267,10 +264,10 @@ type fig8_row =
   ; speedup8 : float
   }
 
-let fig8 cfg app =
+let fig8 engine cfg app =
   let r = Resource.analyze cfg app in
   let input = Workloads.App.default_input app in
-  let run_at ?(policy = `Off) ?(preference = `Cheap_first) ~label reg =
+  let build ?(policy = `Off) ?(preference = `Cheap_first) ~label reg =
     let tlp = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg) in
     let shared_policy =
       match policy with
@@ -286,22 +283,29 @@ let fig8 cfg app =
         ~block_size:app.Workloads.App.block_size ~reg_limit:reg
         (Workloads.App.kernel app)
     in
-    let cycles =
-      Eval.cycles cfg app ~variant:("fig8-" ^ label)
-        ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp
-    in
-    (label, cycles)
+    (label, a.Regalloc.Allocator.kernel, tlp)
   in
   let base_reg = min 48 r.Resource.max_reg in
-  let rows =
-    [ run_at ~label:(Printf.sprintf "Reg=%d" base_reg) base_reg
-    ; run_at ~label:"Reg=40" 40
-    ; run_at ~label:"Reg=32" 32
-    ; run_at ~policy:`Shared ~preference:`Expensive_first
+  let builds =
+    [ build ~label:(Printf.sprintf "Reg=%d" base_reg) base_reg
+    ; build ~label:"Reg=40" 40
+    ; build ~label:"Reg=32" 32
+    ; build ~policy:`Shared ~preference:`Expensive_first
         ~label:"Reg=32+shm, spill var1 (high-frequency)" 32
-    ; run_at ~policy:`Shared ~preference:`Cheap_first
+    ; build ~policy:`Shared ~preference:`Cheap_first
         ~label:"Reg=32+shm, spill var2 (Algorithm 1 default)" 32
     ]
+  in
+  let stats =
+    Engine.run_batch engine
+      (List.map
+         (fun (_, kernel, tlp) -> { Engine.cfg; app; kernel; input; tlp })
+         builds)
+  in
+  let rows =
+    List.map2
+      (fun (label, _, _) (st : Gpusim.Stats.t) -> (label, st.Gpusim.Stats.cycles))
+      builds stats
   in
   match rows with
   | [] -> []
@@ -318,11 +322,9 @@ let pp_fig8 fmt rows =
 
 (* ---------- fig 11 ---------- *)
 
-let fig11 cfg app =
+let fig11 engine cfg app =
   let r = Resource.analyze cfg app in
-  let pr =
-    Opttlp.profile cfg app ~max_tlp:r.Resource.max_tlp ()
-  in
+  let pr = Opttlp.profile engine cfg app ~max_tlp:r.Resource.max_tlp () in
   (Design_space.stairs cfg r, Design_space.prune cfg r ~opt_tlp:pr.Opttlp.opt_tlp)
 
 let pp_fig11 fmt (stairs, pruned) =
@@ -341,24 +343,20 @@ type fig12_row =
   ; bytes_crat : int
   }
 
-let fig12 cfg app =
+let fig12 engine cfg app =
   let r = Resource.analyze cfg app in
-  let lo = r.Resource.min_reg in
-  let hi = min r.Resource.max_reg cfg.Gpusim.Config.max_regs_per_thread in
-  let rec sweep reg acc =
-    if reg > hi then List.rev acc
-    else begin
-      let cb = Eval.allocate app ~reg_limit:reg in
-      let ls = Eval.allocate ~strategy:Regalloc.Allocator.Linear_scan app ~reg_limit:reg in
-      sweep (reg + 3)
-        ({ reg12 = reg
-         ; bytes_reference = Regalloc.Allocator.spill_bytes ls
-         ; bytes_crat = Regalloc.Allocator.spill_bytes cb
-         }
-         :: acc)
-    end
-  in
-  sweep lo []
+  Engine.map engine
+    (fun reg ->
+       let cb = Engine.allocate engine app ~reg_limit:reg in
+       let ls =
+         Engine.allocate ~strategy:Regalloc.Allocator.Linear_scan engine app
+           ~reg_limit:reg
+       in
+       { reg12 = reg
+       ; bytes_reference = Regalloc.Allocator.spill_bytes ls
+       ; bytes_crat = Regalloc.Allocator.spill_bytes cb
+       })
+    (reg_sweep r cfg)
 
 let pp_fig12 fmt rows =
   Format.fprintf fmt "Fig 12: spill load/store bytes, reference (linear scan) vs CRAT@.";
@@ -376,8 +374,9 @@ type fig13_row =
   ; s_crat : float
   }
 
-let fig13 cfg apps =
-  let comps = List.map (compare_app cfg) apps in
+let fig13 engine cfg apps =
+  (* apps are independent: one full comparison per domain *)
+  let comps = Engine.map engine (compare_app engine cfg) apps in
   let rows =
     List.map
       (fun c ->
@@ -488,33 +487,43 @@ type fig18_row =
   ; speedup : float
   }
 
-let fig18 cfg apps =
-  List.concat_map
-    (fun app ->
-       let inputs = app.Workloads.App.inputs in
-       List.concat_map
-         (fun pi ->
-            let _, plan = Baselines.crat ~profile_input:pi cfg app ~input:pi () in
-            let c = plan.Optimizer.chosen in
-            List.map
-              (fun ei ->
-                 let o = Baselines.opt_tlp cfg app ~input:ei () in
-                 let stats =
-                   Eval.run cfg app
-                     ~variant:(Optimizer.variant_label c)
-                     ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel
-                     ~input:ei ~tlp:c.Optimizer.point.Design_space.tlp
-                 in
-                 { abbr = app.Workloads.App.abbr
-                 ; profile_input = pi.Workloads.App.ilabel
-                 ; eval_input = ei.Workloads.App.ilabel
-                 ; speedup =
-                     float_of_int (Baselines.cycles o)
-                     /. float_of_int stats.Gpusim.Stats.cycles
-                 })
-              inputs)
-         inputs)
-    apps
+let fig18 engine cfg apps =
+  List.concat
+    (Engine.map engine
+       (fun (app : Workloads.App.t) ->
+          let inputs = app.Workloads.App.inputs in
+          List.concat_map
+            (fun pi ->
+               let _, plan =
+                 Baselines.crat ~profile_input:pi engine cfg app ~input:pi ()
+               in
+               let c = plan.Optimizer.chosen in
+               (* the chosen build across every evaluation input: one batch *)
+               let stats =
+                 Engine.run_batch engine
+                   (List.map
+                      (fun ei ->
+                         { Engine.cfg
+                         ; app
+                         ; kernel = c.Optimizer.alloc.Regalloc.Allocator.kernel
+                         ; input = ei
+                         ; tlp = c.Optimizer.point.Design_space.tlp
+                         })
+                      inputs)
+               in
+               List.map2
+                 (fun ei (st : Gpusim.Stats.t) ->
+                    let o = Baselines.opt_tlp engine cfg app ~input:ei () in
+                    { abbr = app.Workloads.App.abbr
+                    ; profile_input = pi.Workloads.App.ilabel
+                    ; eval_input = ei.Workloads.App.ilabel
+                    ; speedup =
+                        float_of_int (Baselines.cycles o)
+                        /. float_of_int st.Gpusim.Stats.cycles
+                    })
+                 inputs stats)
+            inputs)
+       apps)
 
 let pp_fig18 fmt rows =
   Format.fprintf fmt "Fig 18: input sensitivity (CRAT/OptTLP; profile input x eval input)@.";
@@ -535,12 +544,12 @@ type fig20_row =
   ; opt_static : int
   }
 
-let fig20 cfg apps =
-  List.map
+let fig20 engine cfg apps =
+  Engine.map engine
     (fun app ->
-       let o = Baselines.opt_tlp cfg app () in
-       let cp, plan_p = Baselines.crat cfg app () in
-       let cs, plan_s = Baselines.crat ~mode:`Static cfg app () in
+       let o = Baselines.opt_tlp engine cfg app () in
+       let cp, plan_p = Baselines.crat engine cfg app () in
+       let cs, plan_s = Baselines.crat ~mode:`Static engine cfg app () in
        { abbr = app.Workloads.App.abbr
        ; s_profile = Baselines.speedup_over ~baseline:o cp
        ; s_static = Baselines.speedup_over ~baseline:o cs
@@ -595,18 +604,17 @@ type overhead_row =
   ; static_seconds : float
   }
 
-let overhead cfg apps =
+let overhead engine cfg apps =
   List.map
     (fun app ->
        let r = Resource.analyze cfg app in
-       let a = Eval.allocate app ~reg_limit:app.Workloads.App.default_regs in
-       (* a distinct variant label defeats memoization so the profiling
-          cost is actually paid here *)
+       let a = Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs in
+       (* ~cache:false bypasses the store so the profiling cost is
+          actually paid here *)
        let t0 = Sys.time () in
        let _ =
-         Opttlp.profile cfg app
-           ~kernel_variant:("overhead-probe", a.Regalloc.Allocator.kernel)
-           ~max_tlp:r.Resource.max_tlp ()
+         Opttlp.profile engine cfg app ~cache:false
+           ~kernel:a.Regalloc.Allocator.kernel ~max_tlp:r.Resource.max_tlp ()
        in
        let t1 = Sys.time () in
        let _ = Opttlp.estimate_static cfg app ~max_tlp:r.Resource.max_tlp () in
@@ -636,11 +644,11 @@ type tab1_row =
   ; opt_static : int
   }
 
-let tab1 cfg apps =
-  List.map
+let tab1 engine cfg apps =
+  Engine.map engine
     (fun app ->
        let r = Resource.analyze cfg app in
-       let p = Opttlp.profile cfg app ~max_tlp:r.Resource.max_tlp () in
+       let p = Opttlp.profile engine cfg app ~max_tlp:r.Resource.max_tlp () in
        let s = Opttlp.estimate_static cfg app ~max_tlp:r.Resource.max_tlp () in
        { abbr = app.Workloads.App.abbr
        ; resource = r
@@ -670,10 +678,10 @@ type abl_sched_row =
   ; lrr_cycles : int
   }
 
-let ablation_scheduler cfg apps =
-  List.map
+let ablation_scheduler engine cfg apps =
+  Engine.map engine
     (fun (app : Workloads.App.t) ->
-       let o = Baselines.opt_tlp cfg app () in
+       let o = Baselines.opt_tlp engine cfg app () in
        let run scheduler =
          let launch =
            Workloads.App.sm_launch app
@@ -705,31 +713,37 @@ type abl_chunk_row =
   ; cycles : int
   }
 
-let ablation_chunk cfg (app : Workloads.App.t) ~reg =
+let ablation_chunk engine cfg (app : Workloads.App.t) ~reg =
   let r = Resource.analyze cfg app in
   let tlp = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg) in
   let spare =
     Gpusim.Occupancy.spare_shared_bytes cfg (Resource.usage_at r ~regs:reg) ~tlp
   in
   let input = Workloads.App.default_input app in
-  List.map
-    (fun chunk ->
-       let a =
-         Regalloc.Allocator.allocate ~shared_policy:(`Spare spare)
-           ~shared_chunk:chunk ~block_size:app.Workloads.App.block_size
-           ~reg_limit:reg (Workloads.App.kernel app)
-       in
-       let cycles =
-         Eval.cycles cfg app
-           ~variant:(Printf.sprintf "ablchunk-%d-r%d" chunk reg)
-           ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp
-       in
+  let builds =
+    List.map
+      (fun chunk ->
+         ( chunk
+         , Regalloc.Allocator.allocate ~shared_policy:(`Spare spare)
+             ~shared_chunk:chunk ~block_size:app.Workloads.App.block_size
+             ~reg_limit:reg (Workloads.App.kernel app) ))
+      [ 1; 4; 1000 ]
+  in
+  let stats =
+    Engine.run_batch engine
+      (List.map
+         (fun (_, a) ->
+            { Engine.cfg; app; kernel = a.Regalloc.Allocator.kernel; input; tlp })
+         builds)
+  in
+  List.map2
+    (fun (chunk, a) (st : Gpusim.Stats.t) ->
        { chunk
        ; shm_insts = a.Regalloc.Allocator.stats.Regalloc.Spill.num_shared
        ; local_insts = a.Regalloc.Allocator.stats.Regalloc.Spill.num_local
-       ; cycles
+       ; cycles = st.Gpusim.Stats.cycles
        })
-    [ 1; 4; 1000 ]
+    builds stats
 
 let pp_ablation_chunk fmt rows =
   Format.fprintf fmt
@@ -791,33 +805,39 @@ type abl_alloc_row =
   ; cycles : int
   }
 
-let ablation_allocator cfg (app : Workloads.App.t) ~reg =
+let ablation_allocator engine cfg (app : Workloads.App.t) ~reg =
   let r = Resource.analyze cfg app in
   let tlp = Gpusim.Occupancy.max_tlp cfg (Resource.usage_at r ~regs:reg) in
   let input = Workloads.App.default_input app in
-  List.map
-    (fun (variant, coalesce, remat) ->
-       let a =
-         Regalloc.Allocator.allocate ~coalesce ~remat
-           ~block_size:app.Workloads.App.block_size ~reg_limit:reg
-           (Workloads.App.kernel app)
-       in
-       let cycles =
-         Eval.cycles cfg app
-           ~variant:(Printf.sprintf "ablalloc-%s-r%d" variant reg)
-           ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp
-       in
+  let builds =
+    List.map
+      (fun (variant, coalesce, remat) ->
+         ( variant
+         , Regalloc.Allocator.allocate ~coalesce ~remat
+             ~block_size:app.Workloads.App.block_size ~reg_limit:reg
+             (Workloads.App.kernel app) ))
+      [ ("paper", false, false)
+      ; ("+coalesce", true, false)
+      ; ("+remat", false, true)
+      ; ("+both", true, true)
+      ]
+  in
+  let stats =
+    Engine.run_batch engine
+      (List.map
+         (fun (_, a) ->
+            { Engine.cfg; app; kernel = a.Regalloc.Allocator.kernel; input; tlp })
+         builds)
+  in
+  List.map2
+    (fun (variant, a) (st : Gpusim.Stats.t) ->
        { variant
        ; instrs = Ptx.Kernel.instr_count a.Regalloc.Allocator.kernel
        ; local_insts = a.Regalloc.Allocator.stats.Regalloc.Spill.num_local
        ; remat_insts = a.Regalloc.Allocator.stats.Regalloc.Spill.num_remat
-       ; cycles
+       ; cycles = st.Gpusim.Stats.cycles
        })
-    [ ("paper", false, false)
-    ; ("+coalesce", true, false)
-    ; ("+remat", false, true)
-    ; ("+both", true, true)
-    ]
+    builds stats
 
 let pp_ablation_allocator fmt rows =
   Format.fprintf fmt
@@ -838,7 +858,7 @@ type gpu_scale_row =
   ; ipc : float
   }
 
-let gpu_scaling cfg (app : Workloads.App.t) ~tlp =
+let gpu_scaling engine cfg (app : Workloads.App.t) ~tlp =
   (* the single-SM experiments model one SM's *share* of DRAM bandwidth;
      a whole-GPU run exposes the full pipe, shared between SMs *)
   let cfg =
@@ -849,10 +869,10 @@ let gpu_scaling cfg (app : Workloads.App.t) ~tlp =
   in
   let input = Workloads.App.default_input app in
   let kernel =
-    (Eval.allocate app ~reg_limit:app.Workloads.App.default_regs)
+    (Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs)
       .Regalloc.Allocator.kernel
   in
-  List.map
+  Engine.map engine
     (fun sms ->
        let grid = sms * input.Workloads.App.num_blocks in
        let mem = Workloads.App.memory app { input with Workloads.App.num_blocks = grid } in
@@ -886,10 +906,10 @@ type bypass_row =
   ; l1_hit_b : float
   }
 
-let extension_bypass cfg (app : Workloads.App.t) =
+let extension_bypass engine cfg (app : Workloads.App.t) =
   let input = Workloads.App.default_input app in
-  let m = Baselines.max_tlp cfg app () in
-  let c, _plan = Baselines.crat cfg app () in
+  let m = Baselines.max_tlp engine cfg app () in
+  let c, _plan = Baselines.crat engine cfg app () in
   let run label (e : Baselines.evaluated) bypass =
     (* bypass runs are not memoized: they use the raw simulator hook *)
     let stats =
@@ -932,12 +952,12 @@ type dyn_row =
   ; crat_cycles : int
   }
 
-let dynamic_tlp cfg apps =
-  List.map
+let dynamic_tlp engine cfg apps =
+  Engine.map engine
     (fun (app : Workloads.App.t) ->
-       let m = Baselines.max_tlp cfg app () in
-       let o = Baselines.opt_tlp cfg app () in
-       let c, _ = Baselines.crat cfg app () in
+       let m = Baselines.max_tlp engine cfg app () in
+       let o = Baselines.opt_tlp engine cfg app () in
+       let c, _ = Baselines.crat engine cfg app () in
        let dyn =
          Gpusim.Sm.run ~dynamic_tlp:true cfg
            (Workloads.App.sm_launch app

@@ -3,8 +3,10 @@
     that emits the same series the paper plots; `bench/main.exe` calls
     these, and EXPERIMENTS.md records paper-vs-measured.
 
-    All drivers share the memoized {!Eval} layer, so the full set runs
-    each (app, kernel-variant, TLP, input) simulation once. *)
+    All drivers share one {!Engine.t}: each (kernel image, config,
+    input, TLP) simulation runs once across the whole set, and
+    sweep-shaped drivers submit their frontier as a batch so
+    independent jobs fan across the engine's domains. *)
 
 val geomean : float list -> float
 
@@ -18,7 +20,7 @@ type comparison =
   ; plan : Optimizer.plan
   }
 
-val compare_app : Gpusim.Config.t -> Workloads.App.t -> comparison
+val compare_app : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> comparison
 val speedup_vs_opt : comparison -> Baselines.evaluated -> float
 
 (** {2 Characterisation (Section 1-2)} *)
@@ -30,7 +32,7 @@ type fig1_row =
   ; util_opt : float
   }
 
-val fig1 : Gpusim.Config.t -> Workloads.App.t list -> fig1_row list
+val fig1 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig1_row list
 val pp_fig1 : Format.formatter -> fig1_row list -> unit
 
 type fig2_point =
@@ -39,7 +41,7 @@ type fig2_point =
   ; speedup_vs_max : float
   }
 
-val fig2 : Gpusim.Config.t -> Workloads.App.t -> fig2_point list
+val fig2 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> fig2_point list
 (** The (reg, TLP) design-space surface (stair registers x feasible
     TLPs), speedups normalised to MaxTLP. *)
 
@@ -55,7 +57,7 @@ type fig3_row =
   ; reg_util : float
   }
 
-val fig3 : Gpusim.Config.t -> Workloads.App.t -> fig3_row list
+val fig3 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> fig3_row list
 (** MaxTLP / OptTLP / OptTLP+Reg / CRAT for one app (default: CFD). *)
 
 val pp_fig3 : Format.formatter -> fig3_row list -> unit
@@ -68,7 +70,7 @@ type fig5_row =
   ; stall_opt : float
   }
 
-val fig5 : Gpusim.Config.t -> Workloads.App.t list -> fig5_row list
+val fig5 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig5_row list
 val pp_fig5 : Format.formatter -> fig5_row list -> unit
 
 type fig6_row =
@@ -77,7 +79,7 @@ type fig6_row =
   ; instr_count : int  (** static instructions after allocation *)
   }
 
-val fig6 : Gpusim.Config.t -> Workloads.App.t -> fig6_row list
+val fig6 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> fig6_row list
 val pp_fig6 : Format.formatter -> fig6_row list -> unit
 
 type fig7_row =
@@ -94,7 +96,7 @@ type fig8_row =
   ; speedup8 : float  (** vs the 48-register build *)
   }
 
-val fig8 : Gpusim.Config.t -> Workloads.App.t -> fig8_row list
+val fig8 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> fig8_row list
 (** FDTD case study: register limit sweep plus the choice of which
     sub-stack to host in shared memory (best-gain vs worst-gain). *)
 
@@ -102,7 +104,7 @@ val pp_fig8 : Format.formatter -> fig8_row list -> unit
 
 (** {2 Framework internals (Sections 4-5)} *)
 
-val fig11 : Gpusim.Config.t -> Workloads.App.t -> Design_space.point list * Design_space.point list
+val fig11 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> Design_space.point list * Design_space.point list
 (** (full staircase, pruned candidates). *)
 
 val pp_fig11 :
@@ -114,7 +116,7 @@ type fig12_row =
   ; bytes_crat : int  (** Chaitin-Briggs allocator *)
   }
 
-val fig12 : Gpusim.Config.t -> Workloads.App.t -> fig12_row list
+val fig12 : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> fig12_row list
 val pp_fig12 : Format.formatter -> fig12_row list -> unit
 
 (** {2 Evaluation (Section 7)} *)
@@ -126,7 +128,7 @@ type fig13_row =
   ; s_crat : float  (** all normalised to OptTLP *)
   }
 
-val fig13 : Gpusim.Config.t -> Workloads.App.t list -> fig13_row list * comparison list
+val fig13 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig13_row list * comparison list
 val pp_fig13 : Format.formatter -> fig13_row list -> unit
 
 type fig14_row =
@@ -163,7 +165,7 @@ type fig18_row =
   ; speedup : float
   }
 
-val fig18 : Gpusim.Config.t -> Workloads.App.t list -> fig18_row list
+val fig18 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig18_row list
 val pp_fig18 : Format.formatter -> fig18_row list -> unit
 
 type fig20_row =
@@ -174,7 +176,7 @@ type fig20_row =
   ; opt_static : int
   }
 
-val fig20 : Gpusim.Config.t -> Workloads.App.t list -> fig20_row list
+val fig20 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig20_row list
 val pp_fig20 : Format.formatter -> fig20_row list -> unit
 
 type energy_row =
@@ -188,11 +190,11 @@ val pp_energy : Format.formatter -> energy_row list -> unit
 type overhead_row =
   { abbr : string
   ; profiling_runs : int
-  ; profiling_seconds : float
+  ; profiling_seconds : float  (** engine store bypassed: the real price *)
   ; static_seconds : float
   }
 
-val overhead : Gpusim.Config.t -> Workloads.App.t list -> overhead_row list
+val overhead : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> overhead_row list
 val pp_overhead : Format.formatter -> overhead_row list -> unit
 
 (** {2 Tables} *)
@@ -204,7 +206,7 @@ type tab1_row =
   ; opt_static : int
   }
 
-val tab1 : Gpusim.Config.t -> Workloads.App.t list -> tab1_row list
+val tab1 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> tab1_row list
 val pp_tab1 : Format.formatter -> tab1_row list -> unit
 
 (** {2 Ablations} — design choices called out in DESIGN.md *)
@@ -215,7 +217,7 @@ type abl_sched_row =
   ; lrr_cycles : int
   }
 
-val ablation_scheduler : Gpusim.Config.t -> Workloads.App.t list -> abl_sched_row list
+val ablation_scheduler : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> abl_sched_row list
 (** Greedy-then-oldest vs loose-round-robin warp scheduling at each
     app's OptTLP. *)
 
@@ -228,7 +230,7 @@ type abl_chunk_row =
   ; cycles : int
   }
 
-val ablation_chunk : Gpusim.Config.t -> Workloads.App.t -> reg:int -> abl_chunk_row list
+val ablation_chunk : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> reg:int -> abl_chunk_row list
 (** Algorithm 1 sub-stack granularity: whole-type stacks (the paper) vs
     finer chunks (our extension of the paper's "alternative split
     methods" future work). *)
@@ -256,7 +258,7 @@ type abl_alloc_row =
   ; cycles : int
   }
 
-val ablation_allocator : Gpusim.Config.t -> Workloads.App.t -> reg:int -> abl_alloc_row list
+val ablation_allocator : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> reg:int -> abl_alloc_row list
 (** Allocator-quality extensions over the paper: copy coalescing and
     rematerialisation, separately and together, at a spill-inducing
     register limit. *)
@@ -269,7 +271,7 @@ type gpu_scale_row =
   ; ipc : float  (** aggregate warp instructions per cycle *)
   }
 
-val gpu_scaling : Gpusim.Config.t -> Workloads.App.t -> tlp:int -> gpu_scale_row list
+val gpu_scaling : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> tlp:int -> gpu_scale_row list
 (** Whole-GPU runs with a growing SM count sharing one L2/DRAM: shows
     bandwidth, not SM count, bounding memory-bound kernels. *)
 
@@ -282,7 +284,7 @@ type bypass_row =
   ; l1_hit_b : float
   }
 
-val extension_bypass : Gpusim.Config.t -> Workloads.App.t -> bypass_row list
+val extension_bypass : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> bypass_row list
 (** CRAT composed with static L1 bypassing for global traffic (the
     paper's related-work suggestion): MaxTLP, MaxTLP+bypass, CRAT and
     CRAT+bypass. Bypassing frees the whole L1 for spill traffic. *)
@@ -297,7 +299,7 @@ type dyn_row =
   ; crat_cycles : int
   }
 
-val dynamic_tlp : Gpusim.Config.t -> Workloads.App.t list -> dyn_row list
+val dynamic_tlp : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> dyn_row list
 (** The paper's OptTLP baseline is the offline-profiled optimum of
     block-level throttling (Kayiran et al.); this runs the *online*
     DynCTA-style controller for comparison: MaxTLP vs dynamic throttling

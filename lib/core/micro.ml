@@ -48,6 +48,7 @@ let probe_kernel space =
   B.finish b
 
 let cache : (string, costs) Hashtbl.t = Hashtbl.create 4
+let cache_lock = Mutex.create ()
 
 let run_probe cfg space =
   let reps = 64 in
@@ -67,13 +68,21 @@ let run_probe cfg space =
   let accesses = 2 * reps in
   float_of_int st.Gpusim.Stats.cycles /. float_of_int accesses
 
+(* serialised: the optimizer may run on several domains at once, and the
+   probe itself is cheap enough to hold the lock across *)
 let measure cfg =
   let key = cfg.Gpusim.Config.name in
-  match Hashtbl.find_opt cache key with
-  | Some c -> c
-  | None ->
-    let c =
-      { cost_local = run_probe cfg T.Local; cost_shm = run_probe cfg T.Shared }
-    in
-    Hashtbl.replace cache key c;
-    c
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+       match Hashtbl.find_opt cache key with
+       | Some c -> c
+       | None ->
+         let c =
+           { cost_local = run_probe cfg T.Local
+           ; cost_shm = run_probe cfg T.Shared
+           }
+         in
+         Hashtbl.replace cache key c;
+         c)

@@ -21,19 +21,21 @@ type plan =
   }
 
 let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_counts)
-    ?profile_input cfg app =
+    ?profile_input engine cfg app =
   let resource = Resource.analyze cfg app in
   let max_tlp = resource.Resource.max_tlp in
   let opt_tlp =
     match mode with
     | `Profile ->
-      (Opttlp.profile cfg app ?input:profile_input ~max_tlp ()).Opttlp.opt_tlp
+      (Opttlp.profile engine cfg app ?input:profile_input ~max_tlp ())
+        .Opttlp.opt_tlp
     | `Static -> Opttlp.estimate_static cfg app ?input:profile_input ~max_tlp ()
   in
   let points = Design_space.prune cfg resource ~opt_tlp in
   let costs = Micro.measure cfg in
+  (* candidate allocations are independent: fan them across domains *)
   let candidates =
-    List.map
+    Engine.map engine
       (fun (p : Design_space.point) ->
          let spare =
            if shared_spilling then
@@ -42,7 +44,10 @@ let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_count
                ~tlp:p.Design_space.tlp
            else 0
          in
-         let alloc = Eval.allocate app ~reg_limit:p.Design_space.reg ~shared_spare:spare in
+         let alloc =
+           Engine.allocate engine app ~reg_limit:p.Design_space.reg
+             ~shared_spare:spare
+         in
          let tpsc =
            match metric with
            | `Static_counts ->
@@ -62,9 +67,6 @@ let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_count
       List.fold_left (fun best c -> if c.tpsc < best.tpsc then c else best) first rest
   in
   { app; resource; opt_tlp; mode; shared_spilling; candidates; chosen }
-
-let variant_label c =
-  Printf.sprintf "crat-r%d-shm%d" c.point.Design_space.reg c.spare_shm
 
 let pp_plan fmt p =
   Format.fprintf fmt "%s: %a; OptTLP=%d (%s)@." p.app.Workloads.App.abbr

@@ -33,14 +33,14 @@ val plan :
           depth, fixing a misprediction of the static formula (see
           {!Tpsc.tpsc_weighted}) *)
   -> ?profile_input:Workloads.App.input
+  -> Engine.t
   -> Gpusim.Config.t
   -> Workloads.App.t
   -> plan
 (** Defaults: [`Profile] mode with shared spilling enabled — the paper's
     full CRAT. [profile_input] is the input used to determine OptTLP
-    (defaults to the app's default input). *)
-
-val variant_label : candidate -> string
-(** Unique kernel-build label for {!Eval.run} memoization. *)
+    (defaults to the app's default input). Allocations and profiling
+    simulations go through [engine]: memoized, and fanned across its
+    domains. *)
 
 val pp_plan : Format.formatter -> plan -> unit

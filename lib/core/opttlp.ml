@@ -3,24 +3,27 @@ type profile_result =
   ; samples : (int * int) list
   }
 
-let profile cfg (app : Workloads.App.t) ?input ?kernel_variant ~max_tlp () =
+let profile engine cfg (app : Workloads.App.t) ?input ?kernel ?cache ~max_tlp () =
   let input =
     match input with
     | Some i -> i
     | None -> Workloads.App.default_input app
   in
-  let variant, kernel =
-    match kernel_variant with
-    | Some (v, k) -> (v, k)
+  let kernel =
+    match kernel with
+    | Some k -> k
     | None ->
-      let a = Eval.allocate app ~reg_limit:app.Workloads.App.default_regs in
-      ( Printf.sprintf "default-r%d" app.Workloads.App.default_regs
-      , a.Regalloc.Allocator.kernel )
+      (Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs)
+        .Regalloc.Allocator.kernel
+  in
+  (* the whole TLP ladder is one independent frontier: submit it at once *)
+  let tlps = List.init (max 1 max_tlp) (fun i -> i + 1) in
+  let stats =
+    Engine.run_batch ?cache engine
+      (List.map (fun tlp -> { Engine.cfg; app; kernel; input; tlp }) tlps)
   in
   let samples =
-    List.init (max 1 max_tlp) (fun i ->
-      let tlp = i + 1 in
-      (tlp, Eval.cycles cfg app ~variant ~kernel ~input ~tlp))
+    List.map2 (fun tlp st -> (tlp, st.Gpusim.Stats.cycles)) tlps stats
   in
   let opt_tlp, _ =
     List.fold_left

@@ -7,6 +7,10 @@ let fermi = Gpusim.Config.fermi
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* one engine shared across the suite: simulations repeated between
+   tests come from the content-addressed store *)
+let engine = Crat.Engine.create ()
+
 let small_app abbr =
   let a = Workloads.Suite.find abbr in
   let i = Workloads.App.default_input a in
@@ -169,7 +173,7 @@ let test_static_estimate_in_range () =
 
 let test_profile_finds_minimum () =
   let a = small_app "GAU" in
-  let pr = Crat.Opttlp.profile fermi a ~max_tlp:4 () in
+  let pr = Crat.Opttlp.profile engine fermi a ~max_tlp:4 () in
   check_int "all TLPs sampled" 4 (List.length pr.Crat.Opttlp.samples);
   let best_cycles =
     List.fold_left (fun acc (_, c) -> min acc c) max_int pr.Crat.Opttlp.samples
@@ -179,7 +183,7 @@ let test_profile_finds_minimum () =
 
 let test_optimizer_plan_structure () =
   let a = small_app "KMN" in
-  let plan = Crat.Optimizer.plan fermi a in
+  let plan = Crat.Optimizer.plan engine fermi a in
   check "candidates non-empty" true (plan.Crat.Optimizer.candidates <> []);
   check "chosen among candidates" true
     (List.exists
@@ -195,12 +199,12 @@ let test_optimizer_plan_structure () =
 
 let test_baselines_consistent () =
   let a = small_app "KMN" in
-  let m = Crat.Baselines.max_tlp fermi a () in
-  let o = Crat.Baselines.opt_tlp fermi a () in
+  let m = Crat.Baselines.max_tlp engine fermi a () in
+  let o = Crat.Baselines.opt_tlp engine fermi a () in
   check "OptTLP no slower than MaxTLP" true
     (Crat.Baselines.cycles o <= Crat.Baselines.cycles m);
   check "same register build" true (m.Crat.Baselines.reg = o.Crat.Baselines.reg);
-  let c, plan = Crat.Baselines.crat fermi a () in
+  let c, plan = Crat.Baselines.crat engine fermi a () in
   check "CRAT no slower than OptTLP (small run)" true
     (float_of_int (Crat.Baselines.cycles c)
      <= 1.05 *. float_of_int (Crat.Baselines.cycles o));
@@ -208,15 +212,19 @@ let test_baselines_consistent () =
     (c.Crat.Baselines.reg
      = plan.Crat.Optimizer.chosen.Crat.Optimizer.point.Crat.Design_space.reg)
 
-let test_eval_cache_hits () =
-  Crat.Eval.clear_cache ();
+let test_engine_cache_hits () =
+  let e = Crat.Engine.create () in
   let a = small_app "GAU" in
-  let _ = Crat.Baselines.opt_tlp fermi a () in
-  let _, m1 = Crat.Eval.cache_stats () in
-  let _ = Crat.Baselines.opt_tlp fermi a () in
-  let h2, m2 = Crat.Eval.cache_stats () in
-  check_int "no new simulations on repeat" m1 m2;
-  check "cache hits recorded" true (h2 > 0)
+  let _ = Crat.Baselines.opt_tlp e fermi a () in
+  let r1 = Crat.Engine.report e in
+  let _ = Crat.Baselines.opt_tlp e fermi a () in
+  let r2 = Crat.Engine.report e in
+  check_int "no new simulations on repeat" r1.Crat.Engine.sim_runs
+    r2.Crat.Engine.sim_runs;
+  check "cache hits recorded" true (r2.Crat.Engine.sim_hits > 0);
+  check "allocations also cached" true
+    (r2.Crat.Engine.alloc_runs = r1.Crat.Engine.alloc_runs
+     && r2.Crat.Engine.alloc_hits > 0)
 
 (* ---------- experiments plumbing ---------- *)
 
@@ -239,7 +247,7 @@ let test_fig7_structure () =
 
 let test_fig11_pruned_subset () =
   let a = small_app "KMN" in
-  let stairs, pruned = Crat.Experiments.fig11 fermi a in
+  let stairs, pruned = Crat.Experiments.fig11 engine fermi a in
   check "pruned points are stair points (same reg cap per TLP)" true
     (List.for_all
        (fun (p : Crat.Design_space.point) ->
@@ -268,7 +276,7 @@ let test_geomean () =
 
 let test_fig6_monotone () =
   let a = Workloads.Suite.find "CFD" in
-  let rows = Crat.Experiments.fig6 fermi a in
+  let rows = Crat.Experiments.fig6 engine fermi a in
   check "rows exist" true (List.length rows > 5);
   let rec decreasing = function
     | (x : Crat.Experiments.fig6_row) :: y :: rest ->
@@ -281,7 +289,7 @@ let test_fig6_monotone () =
 
 let test_fig12_reference_tracks () =
   let a = Workloads.Suite.find "CFD" in
-  let rows = Crat.Experiments.fig12 fermi a in
+  let rows = Crat.Experiments.fig12 engine fermi a in
   check "rows exist" true (List.length rows > 5);
   List.iter
     (fun (r : Crat.Experiments.fig12_row) ->
@@ -334,7 +342,7 @@ let () =
       , [ Alcotest.test_case "profile argmin" `Slow test_profile_finds_minimum
         ; Alcotest.test_case "plan structure" `Slow test_optimizer_plan_structure
         ; Alcotest.test_case "baselines consistent" `Slow test_baselines_consistent
-        ; Alcotest.test_case "evaluation cache" `Slow test_eval_cache_hits
+        ; Alcotest.test_case "evaluation cache" `Slow test_engine_cache_hits
         ] )
     ; ( "experiments"
       , [ Alcotest.test_case "geomean" `Quick test_geomean

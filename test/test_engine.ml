@@ -1,0 +1,236 @@
+(* The evaluation engine: content-addressed store, key structure,
+   jobs=1/jobs=N determinism and multi-domain stress. *)
+
+let fermi = Gpusim.Config.fermi
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_app abbr =
+  let a = Workloads.Suite.find abbr in
+  let i = Workloads.App.default_input a in
+  let small =
+    { i with
+      Workloads.App.num_blocks = 4
+    ; iters = min 2 i.Workloads.App.iters
+    ; passes = min 2 i.Workloads.App.passes
+    ; ilabel = "eng-small"
+    }
+  in
+  { a with Workloads.App.inputs = [ small ] }
+
+(* ---------- key structure ---------- *)
+
+(* Regression: the old evaluation cache was keyed on a free-form variant
+   label and ignored the kernel image, so two different builds of the
+   same app at the same TLP collided. Keys must cover kernel identity. *)
+let test_key_covers_kernel_identity () =
+  let e = Crat.Engine.create () in
+  let a = small_app "STM" in
+  let input = Workloads.App.default_input a in
+  let r = Crat.Resource.analyze fermi a in
+  let k_hi =
+    (Crat.Engine.allocate e a ~reg_limit:r.Crat.Resource.max_reg)
+      .Regalloc.Allocator.kernel
+  in
+  let k_lo =
+    (Crat.Engine.allocate e a ~reg_limit:(r.Crat.Resource.max_reg - 4))
+      .Regalloc.Allocator.kernel
+  in
+  check "builds differ" true
+    (Ptx.Printer.kernel_to_string k_hi <> Ptx.Printer.kernel_to_string k_lo);
+  let job kernel = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp = 2 } in
+  check "keys separate the two builds" true
+    (Crat.Engine.sim_key e (job k_hi) <> Crat.Engine.sim_key e (job k_lo));
+  let s_hi = Crat.Engine.run e fermi a ~kernel:k_hi ~input ~tlp:2 in
+  let s_lo = Crat.Engine.run e fermi a ~kernel:k_lo ~input ~tlp:2 in
+  let rep = Crat.Engine.report e in
+  check_int "both builds simulated" 2 rep.Crat.Engine.sim_runs;
+  (* the spilling build executes more instructions *)
+  check "stats are per-build" true
+    (s_lo.Gpusim.Stats.thread_instrs > s_hi.Gpusim.Stats.thread_instrs)
+
+let test_key_covers_config_input_tlp () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let input = Workloads.App.default_input a in
+  let kernel =
+    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
+      .Regalloc.Allocator.kernel
+  in
+  let base = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp = 2 } in
+  let key = Crat.Engine.sim_key e base in
+  check "TLP in key" true
+    (key <> Crat.Engine.sim_key e { base with Crat.Engine.tlp = 3 });
+  check "config in key" true
+    (key <> Crat.Engine.sim_key e { base with Crat.Engine.cfg = Gpusim.Config.kepler });
+  let other =
+    { input with Workloads.App.num_blocks = input.Workloads.App.num_blocks + 1 }
+  in
+  check "input in key" true
+    (key <> Crat.Engine.sim_key e { base with Crat.Engine.input = other })
+
+(* QCheck: distinct kernel images get distinct keys *)
+let test_key_injective =
+  QCheck.Test.make ~count:60 ~name:"sim_key injective on kernel image"
+    QCheck.(pair Testsupport.Gen.arbitrary_kernel Testsupport.Gen.arbitrary_kernel)
+    (fun (k1, k2) ->
+       let e = Crat.Engine.create () in
+       let a = small_app "GAU" in
+       let input = Workloads.App.default_input a in
+       let job k = { Crat.Engine.cfg = fermi; app = a; kernel = k; input; tlp = 1 } in
+       let same_image =
+         Ptx.Printer.kernel_to_string k1 = Ptx.Printer.kernel_to_string k2
+       in
+       let same_key = Crat.Engine.sim_key e (job k1) = Crat.Engine.sim_key e (job k2) in
+       same_image = same_key)
+
+(* ---------- store behaviour ---------- *)
+
+let test_batch_dedups () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let input = Workloads.App.default_input a in
+  let kernel =
+    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
+      .Regalloc.Allocator.kernel
+  in
+  let job tlp = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp } in
+  let stats = Crat.Engine.run_batch e [ job 1; job 2; job 1; job 2; job 1 ] in
+  check_int "five results" 5 (List.length stats);
+  let rep = Crat.Engine.report e in
+  check_int "two distinct simulations" 2 rep.Crat.Engine.sim_runs;
+  check "duplicates answered from the store" true (rep.Crat.Engine.sim_hits >= 3);
+  check "results scattered in submission order" true
+    (List.nth stats 0 = List.nth stats 2
+     && List.nth stats 0 = List.nth stats 4
+     && List.nth stats 1 = List.nth stats 3
+     && List.nth stats 0 <> List.nth stats 1)
+
+let test_cache_false_bypasses_store () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let input = Workloads.App.default_input a in
+  let kernel =
+    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
+      .Regalloc.Allocator.kernel
+  in
+  let s1 = Crat.Engine.run ~cache:false e fermi a ~kernel ~input ~tlp:1 in
+  let s2 = Crat.Engine.run ~cache:false e fermi a ~kernel ~input ~tlp:1 in
+  let rep = Crat.Engine.report e in
+  check_int "every uncached run simulates" 2 rep.Crat.Engine.sim_runs;
+  check "simulation is deterministic anyway" true (s1 = s2)
+
+(* ---------- determinism across jobs ---------- *)
+
+let test_jobs_determinism () =
+  let apps = List.map small_app [ "GAU"; "KMN"; "STM" ] in
+  let run jobs =
+    let e = Crat.Engine.create ~jobs () in
+    let rows, comps = Crat.Experiments.fig13 e fermi apps in
+    (rows, List.map (fun c -> c.Crat.Experiments.crat.Crat.Baselines.stats) comps)
+  in
+  let rows1, stats1 = run 1 in
+  let rows4, stats4 = run 4 in
+  check "fig13 rows bit-identical (jobs=1 vs jobs=4)" true (rows1 = rows4);
+  check "underlying stats bit-identical" true (stats1 = stats4)
+
+let test_design_space_batch_determinism () =
+  let a = small_app "BLK" in
+  let r = Crat.Resource.analyze fermi a in
+  let points = Crat.Design_space.stairs fermi r in
+  let eval jobs =
+    Crat.Design_space.evaluate (Crat.Engine.create ~jobs ()) fermi a points
+  in
+  check "frontier evaluation identical across jobs" true (eval 1 = eval 3)
+
+(* ---------- multi-domain stress ---------- *)
+
+let test_parallel_stress () =
+  let e = Crat.Engine.create ~jobs:8 () in
+  let a = small_app "GAU" in
+  let input = Workloads.App.default_input a in
+  (* many tasks, few distinct keys: domains race on the same store
+     entries and on the allocation cache *)
+  let tasks = List.init 32 (fun i -> i) in
+  let results =
+    Crat.Engine.map e
+      (fun i ->
+         let reg = a.Workloads.App.default_regs - (i mod 2) in
+         let al = Crat.Engine.allocate e a ~reg_limit:reg in
+         let st =
+           Crat.Engine.run e fermi a ~kernel:al.Regalloc.Allocator.kernel ~input
+             ~tlp:(1 + (i mod 3))
+         in
+         (i, st.Gpusim.Stats.cycles))
+      tasks
+  in
+  check_int "all tasks returned" 32 (List.length results);
+  check "order preserved" true (List.map fst results = tasks);
+  (* serial reference *)
+  let serial = Crat.Engine.create () in
+  List.iter
+    (fun (i, cycles) ->
+       let reg = a.Workloads.App.default_regs - (i mod 2) in
+       let al = Crat.Engine.allocate serial a ~reg_limit:reg in
+       let st =
+         Crat.Engine.run serial fermi a ~kernel:al.Regalloc.Allocator.kernel
+           ~input ~tlp:(1 + (i mod 3))
+       in
+       check_int (Printf.sprintf "task %d matches serial" i)
+         st.Gpusim.Stats.cycles cycles)
+    results;
+  (* racing domains may duplicate a simulation whose key is in flight,
+     but every request is accounted as exactly one run or one hit *)
+  let rep = Crat.Engine.report e in
+  check "every request accounted" true
+    (rep.Crat.Engine.sim_runs + rep.Crat.Engine.sim_hits = 32
+     && rep.Crat.Engine.alloc_runs + rep.Crat.Engine.alloc_hits = 32);
+  check "at least the distinct work ran" true
+    (rep.Crat.Engine.sim_runs >= 6 && rep.Crat.Engine.alloc_runs >= 2);
+  check "store still absorbed most of the load" true
+    (rep.Crat.Engine.sim_hits > 0 && rep.Crat.Engine.alloc_hits > 0)
+
+let test_reset () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let _ = Crat.Baselines.max_tlp e fermi a () in
+  check "work recorded" true ((Crat.Engine.report e).Crat.Engine.sim_runs > 0);
+  Crat.Engine.reset e;
+  let rep = Crat.Engine.report e in
+  check_int "counters cleared" 0 rep.Crat.Engine.sim_runs;
+  let _ = Crat.Baselines.max_tlp e fermi a () in
+  check "store cleared too: simulation re-runs" true
+    ((Crat.Engine.report e).Crat.Engine.sim_runs > 0)
+
+let test_create_validates () =
+  check "jobs=0 rejected" true
+    (try
+       ignore (Crat.Engine.create ~jobs:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "keys"
+      , [ Alcotest.test_case "kernel identity in key (collision regression)"
+            `Slow test_key_covers_kernel_identity
+        ; Alcotest.test_case "config/input/TLP in key" `Quick
+            test_key_covers_config_input_tlp
+        ; QCheck_alcotest.to_alcotest test_key_injective
+        ] )
+    ; ( "store"
+      , [ Alcotest.test_case "batch dedup" `Slow test_batch_dedups
+        ; Alcotest.test_case "cache:false bypasses" `Slow
+            test_cache_false_bypasses_store
+        ; Alcotest.test_case "reset" `Slow test_reset
+        ; Alcotest.test_case "create validates jobs" `Quick test_create_validates
+        ] )
+    ; ( "parallel"
+      , [ Alcotest.test_case "fig13 determinism across jobs" `Slow
+            test_jobs_determinism
+        ; Alcotest.test_case "frontier determinism across jobs" `Slow
+            test_design_space_batch_determinism
+        ; Alcotest.test_case "8-domain stress vs serial" `Slow
+            test_parallel_stress
+        ] )
+    ]

@@ -27,7 +27,7 @@ let test_crat_kernels_semantically_equal () =
     (fun abbr ->
        let a = small_app abbr in
        let i = Workloads.App.default_input a in
-       let _, plan = Crat.Baselines.crat fermi a () in
+       let _, plan = Crat.Baselines.crat (Crat.Engine.create ()) fermi a () in
        let chosen = plan.Crat.Optimizer.chosen in
        let run kernel =
          let mem = Workloads.App.memory a i in
@@ -50,9 +50,9 @@ let test_crat_kernels_semantically_equal () =
 (* headline shape: CRAT never loses to OptTLP, and beats it where the
    paper says it should *)
 let test_fig13_shape_small () =
-  Crat.Eval.clear_cache ();
+  let engine = Crat.Engine.create () in
   let apps = List.map small_app [ "CFD"; "KMN"; "STM" ] in
-  let rows, comps = Crat.Experiments.fig13 fermi apps in
+  let rows, comps = Crat.Experiments.fig13 engine fermi apps in
   List.iter
     (fun (r : Crat.Experiments.fig13_row) ->
        check (r.Crat.Experiments.abbr ^ ": CRAT >= 0.95x OptTLP") true
@@ -68,9 +68,9 @@ let test_fig13_shape_small () =
     (Crat.Experiments.fig14 comps)
 
 let test_insensitive_apps_flat () =
-  Crat.Eval.clear_cache ();
+  let engine = Crat.Engine.create () in
   let apps = List.map small_app [ "GAU"; "PATH" ] in
-  let rows, _ = Crat.Experiments.fig13 fermi apps in
+  let rows, _ = Crat.Experiments.fig13 engine fermi apps in
   List.iter
     (fun (r : Crat.Experiments.fig13_row) ->
        check (r.Crat.Experiments.abbr ^ ": insensitive stays near 1.0") true
@@ -78,9 +78,8 @@ let test_insensitive_apps_flat () =
     rows
 
 let test_kepler_runs () =
-  Crat.Eval.clear_cache ();
   let a = small_app "KMN" in
-  let c, plan = Crat.Baselines.crat kepler a () in
+  let c, plan = Crat.Baselines.crat (Crat.Engine.create ()) kepler a () in
   check "kepler MinReg doubles the register budget" true
     (Gpusim.Config.min_reg kepler > Gpusim.Config.min_reg fermi + 5);
   check "kepler plan valid" true
@@ -89,30 +88,30 @@ let test_kepler_runs () =
   check "kepler run completed" true (Crat.Baselines.cycles c > 0)
 
 let test_shared_spill_reduces_local_traffic () =
-  Crat.Eval.clear_cache ();
+  let engine = Crat.Engine.create () in
   (* STE spills even at the register cap; Algorithm 1 must strictly
      reduce the dynamic local-memory traffic *)
   let a = small_app "STE" in
-  let cl, _ = Crat.Baselines.crat ~shared_spilling:false fermi a () in
-  let c, _ = Crat.Baselines.crat fermi a () in
+  let cl, _ = Crat.Baselines.crat ~shared_spilling:false engine fermi a () in
+  let c, _ = Crat.Baselines.crat engine fermi a () in
   let local_l = Gpusim.Stats.local_accesses cl.Crat.Baselines.stats in
   let local_s = Gpusim.Stats.local_accesses c.Crat.Baselines.stats in
   check "CRAT-local has local spill traffic" true (local_l > 0);
   check "Algorithm 1 reduces local traffic" true (local_s < local_l)
 
 let test_static_mode_runs () =
-  Crat.Eval.clear_cache ();
   let a = small_app "KMN" in
-  let c, plan = Crat.Baselines.crat ~mode:`Static fermi a () in
+  let c, plan =
+    Crat.Baselines.crat ~mode:`Static (Crat.Engine.create ()) fermi a ()
+  in
   check "static mode completes" true (Crat.Baselines.cycles c > 0);
   check "static opt in range" true
     (plan.Crat.Optimizer.opt_tlp >= 1
      && plan.Crat.Optimizer.opt_tlp <= plan.Crat.Optimizer.resource.Crat.Resource.max_tlp)
 
 let test_energy_not_worse () =
-  Crat.Eval.clear_cache ();
   let apps = List.map small_app [ "KMN"; "CFD" ] in
-  let _, comps = Crat.Experiments.fig13 fermi apps in
+  let _, comps = Crat.Experiments.fig13 (Crat.Engine.create ()) fermi apps in
   let rows = Crat.Experiments.energy comps in
   List.iter
     (fun (r : Crat.Experiments.energy_row) ->
