@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke bench-perf clean
 
 all: build
 
@@ -14,6 +14,11 @@ bench:
 # cheap smoke check of the parallel evaluation path
 bench-smoke:
 	dune exec bench/main.exe -- --only fig1 --jobs 2 --fast
+
+# reduced full sweep with a machine-readable report, for tracking
+# simulator performance over time (see BENCH_PR2.json for a reference)
+bench-perf:
+	dune exec bench/main.exe -- --fast --json bench-perf.json
 
 clean:
 	dune clean

@@ -270,67 +270,6 @@ let bechamel_mode () =
        Printf.printf "%-28s %14.0f ns/run\n" name ns)
     results
 
-(* ---------- JSON run report ---------- *)
-
-type exp_record =
-  { rid : string
-  ; rdescr : string
-  ; wall_s : float
-  ; job_wall_s : float
-  ; sim_runs : int
-  ; sim_hits : int
-  ; alloc_runs : int
-  ; alloc_hits : int
-  ; max_queue_depth : int
-  ; batches : int
-  }
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let write_json path ~jobs ~total_s ~records ~(report : Crat.Engine.report) =
-  let oc = open_out path in
-  let speedup r = if r.wall_s > 0. then r.job_wall_s /. r.wall_s else 1. in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
-  Printf.fprintf oc "  \"total_wall_s\": %.3f,\n" total_s;
-  Printf.fprintf oc "  \"engine\": {\n";
-  Printf.fprintf oc "    \"sim_runs\": %d,\n" report.Crat.Engine.sim_runs;
-  Printf.fprintf oc "    \"sim_hits\": %d,\n" report.Crat.Engine.sim_hits;
-  Printf.fprintf oc "    \"alloc_runs\": %d,\n" report.Crat.Engine.alloc_runs;
-  Printf.fprintf oc "    \"alloc_hits\": %d,\n" report.Crat.Engine.alloc_hits;
-  Printf.fprintf oc "    \"job_wall_s\": %.3f,\n" report.Crat.Engine.job_wall;
-  Printf.fprintf oc "    \"max_queue_depth\": %d,\n"
-    report.Crat.Engine.max_queue_depth;
-  Printf.fprintf oc "    \"batches\": %d\n" report.Crat.Engine.batches;
-  Printf.fprintf oc "  },\n";
-  Printf.fprintf oc "  \"experiments\": [\n";
-  List.iteri
-    (fun i r ->
-       Printf.fprintf oc
-         "    {\"id\": \"%s\", \"descr\": \"%s\", \"wall_s\": %.3f, \
-          \"job_wall_s\": %.3f, \"parallel_speedup\": %.2f, \"sim_runs\": %d, \
-          \"sim_hits\": %d, \"alloc_runs\": %d, \"alloc_hits\": %d, \
-          \"max_queue_depth\": %d, \"batches\": %d}%s\n"
-         (json_escape r.rid) (json_escape r.rdescr) r.wall_s r.job_wall_s
-         (speedup r) r.sim_runs r.sim_hits r.alloc_runs r.alloc_hits
-         r.max_queue_depth r.batches
-         (if i = List.length records - 1 then "" else ","))
-    records;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
-
 (* ---------- driver ---------- *)
 
 let () =
@@ -363,9 +302,9 @@ let () =
   end;
   (* fail on an unwritable report path now, not after the whole run *)
   if !json <> "" then begin
-    match open_out_gen [ Open_wronly; Open_creat ] 0o644 !json with
-    | oc -> close_out oc
-    | exception Sys_error msg ->
+    match Crat.Report.probe !json with
+    | Ok () -> ()
+    | Error msg ->
       Printf.eprintf "bench: cannot write --json report: %s\n" msg;
       exit 2
   end;
@@ -394,8 +333,8 @@ let () =
            let after = Crat.Engine.report engine in
            let d f = f after - f before in
            records :=
-             { rid = id
-             ; rdescr = descr
+             { Crat.Report.id
+             ; descr
              ; wall_s = wall
              ; job_wall_s =
                  after.Crat.Engine.job_wall -. before.Crat.Engine.job_wall
@@ -414,7 +353,12 @@ let () =
     let report = Crat.Engine.report engine in
     Format.fprintf fmt "total %.1fs; %a@." total_s Crat.Engine.pp_report report;
     if !json <> "" then begin
-      write_json !json ~jobs:!jobs ~total_s ~records:(List.rev !records) ~report;
+      Crat.Report.write !json
+        { Crat.Report.jobs = !jobs
+        ; total_wall_s = total_s
+        ; engine = report
+        ; experiments = List.rev !records
+        };
       Format.fprintf fmt "wrote %s@." !json
     end
   end

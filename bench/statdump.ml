@@ -1,0 +1,76 @@
+(* Canonical Stats.t fingerprint over the synthetic workload suite.
+
+   Runs every workload through the cycle-level SM simulator — both the
+   default-register kernel and a register-allocated variant with
+   local/shared spill code — and prints every Stats.t field in a fixed
+   textual format. Two builds of the simulator are semantics-equivalent
+   iff their fingerprints are byte-identical, which is how the
+   predecoded/unboxed fast path is validated against the reference
+   interpreter (see DESIGN.md).
+
+   Usage: dune exec bench/statdump.exe [-- --blocks N] [--tlp T,T,...] *)
+
+let fermi = Gpusim.Config.fermi
+
+let pp_stats name (st : Gpusim.Stats.t) =
+  Printf.printf
+    "%s cycles=%d wi=%d ti=%d issue=%d sb=%d memc=%d bar=%d idle=%d replay=%d \
+     gld=%d gst=%d lld=%d lst=%d sld=%d sst=%d bankc=%d gseg=%d lseg=%d \
+     l1r=%d l1rh=%d l1w=%d l1wh=%d l1rf=%d l1wb=%d l1f=%d \
+     l2r=%d l2rh=%d l2w=%d l2wh=%d l2rf=%d l2wb=%d l2f=%d \
+     dram=%d blocks=%d maxblk=%d sfu=%d alu=%d\n"
+    name st.Gpusim.Stats.cycles st.warp_instrs st.thread_instrs st.issue_cycles
+    st.stall_scoreboard st.stall_mem_congestion st.stall_barrier st.stall_idle
+    st.lsu_replay_cycles st.global_load_lanes st.global_store_lanes
+    st.local_load_lanes st.local_store_lanes st.shared_load_lanes
+    st.shared_store_lanes st.shared_bank_conflicts st.global_segments
+    st.local_segments st.l1.Gpusim.Cache.reads st.l1.Gpusim.Cache.read_hits
+    st.l1.Gpusim.Cache.writes st.l1.Gpusim.Cache.write_hits
+    st.l1.Gpusim.Cache.reserve_fails st.l1.Gpusim.Cache.writebacks
+    st.l1.Gpusim.Cache.fills st.l2.Gpusim.Cache.reads
+    st.l2.Gpusim.Cache.read_hits st.l2.Gpusim.Cache.writes
+    st.l2.Gpusim.Cache.write_hits st.l2.Gpusim.Cache.reserve_fails
+    st.l2.Gpusim.Cache.writebacks st.l2.Gpusim.Cache.fills st.dram_bytes
+    st.blocks_completed st.max_concurrent_blocks st.sfu_instrs st.alu_instrs
+
+let fingerprint ~blocks ~tlps (app : Workloads.App.t) =
+  let input =
+    { (Workloads.App.default_input app) with Workloads.App.num_blocks = blocks }
+  in
+  List.iter
+    (fun tlp ->
+       let launch = Workloads.App.sm_launch app ~input ~tlp () in
+       let st = Gpusim.Sm.run fermi launch in
+       pp_stats (Printf.sprintf "%s/default/tlp%d" app.Workloads.App.abbr tlp) st;
+       (* allocated kernel with a tight register budget: exercises the
+          local-spill (and, with spare shared, shared-spill) paths *)
+       let alloc =
+         Regalloc.Allocator.allocate
+           ~block_size:app.Workloads.App.block_size
+           ~shared_policy:(`Spare 512) ~reg_limit:20
+           (Workloads.App.kernel app)
+       in
+       let launch =
+         Workloads.App.sm_launch app ~kernel:alloc.Regalloc.Allocator.kernel
+           ~input ~tlp ()
+       in
+       let st = Gpusim.Sm.run fermi launch in
+       pp_stats (Printf.sprintf "%s/r20/tlp%d" app.Workloads.App.abbr tlp) st)
+    tlps
+
+let () =
+  let blocks = ref 2 in
+  let tlps = ref [ 1; 3 ] in
+  let spec =
+    [ ("--blocks", Arg.Set_int blocks, "N blocks per workload (default 2)")
+    ; ( "--tlp"
+      , Arg.String
+          (fun s ->
+             tlps := List.map int_of_string (String.split_on_char ',' s))
+      , "T,T TLP limits to sweep (default 1,3)" )
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/statdump.exe [--blocks N] [--tlp T,T]";
+  List.iter
+    (fun app -> fingerprint ~blocks:!blocks ~tlps:!tlps app)
+    Workloads.Suite.all

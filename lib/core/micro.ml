@@ -47,8 +47,18 @@ let probe_kernel space =
   B.st b T.Global T.U32 (B.reg out64) 0 (B.reg v0);
   B.finish b
 
-let cache : (string, costs) Hashtbl.t = Hashtbl.create 4
-let cache_lock = Mutex.create ()
+(* Per-config once-cell: the short [registry_lock] only guards cell
+   lookup/creation, while each cell's own mutex serialises the (slow)
+   probe runs for that config — two domains probing different configs
+   no longer serialise behind one global lock. Not a [Lazy.t]: forcing
+   a lazy concurrently from several domains raises [Lazy.Undefined]. *)
+type cell =
+  { m : Mutex.t
+  ; mutable v : costs option
+  }
+
+let cells : (string, cell) Hashtbl.t = Hashtbl.create 4
+let registry_lock = Mutex.create ()
 
 let run_probe cfg space =
   let reps = 64 in
@@ -68,15 +78,25 @@ let run_probe cfg space =
   let accesses = 2 * reps in
   float_of_int st.Gpusim.Stats.cycles /. float_of_int accesses
 
-(* serialised: the optimizer may run on several domains at once, and the
-   probe itself is cheap enough to hold the lock across *)
-let measure cfg =
-  let key = cfg.Gpusim.Config.name in
-  Mutex.lock cache_lock;
+let cell_of key =
+  Mutex.lock registry_lock;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock cache_lock)
+    ~finally:(fun () -> Mutex.unlock registry_lock)
     (fun () ->
-       match Hashtbl.find_opt cache key with
+       match Hashtbl.find_opt cells key with
+       | Some c -> c
+       | None ->
+         let c = { m = Mutex.create (); v = None } in
+         Hashtbl.replace cells key c;
+         c)
+
+let measure cfg =
+  let cell = cell_of cfg.Gpusim.Config.name in
+  Mutex.lock cell.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cell.m)
+    (fun () ->
+       match cell.v with
        | Some c -> c
        | None ->
          let c =
@@ -84,5 +104,5 @@ let measure cfg =
            ; cost_shm = run_probe cfg T.Shared
            }
          in
-         Hashtbl.replace cache key c;
+         cell.v <- Some c;
          c)

@@ -1,0 +1,82 @@
+type experiment =
+  { id : string
+  ; descr : string
+  ; wall_s : float
+  ; job_wall_s : float
+  ; sim_runs : int
+  ; sim_hits : int
+  ; alloc_runs : int
+  ; alloc_hits : int
+  ; max_queue_depth : int
+  ; batches : int
+  }
+
+type t =
+  { jobs : int
+  ; total_wall_s : float
+  ; engine : Engine.report
+  ; experiments : experiment list
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  let speedup r = if r.wall_s > 0. then r.job_wall_s /. r.wall_s else 1. in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" t.jobs;
+  Printf.bprintf b "  \"total_wall_s\": %.3f,\n" t.total_wall_s;
+  Buffer.add_string b "  \"engine\": {\n";
+  Printf.bprintf b "    \"sim_runs\": %d,\n" t.engine.Engine.sim_runs;
+  Printf.bprintf b "    \"sim_hits\": %d,\n" t.engine.Engine.sim_hits;
+  Printf.bprintf b "    \"alloc_runs\": %d,\n" t.engine.Engine.alloc_runs;
+  Printf.bprintf b "    \"alloc_hits\": %d,\n" t.engine.Engine.alloc_hits;
+  Printf.bprintf b "    \"job_wall_s\": %.3f,\n" t.engine.Engine.job_wall;
+  Printf.bprintf b "    \"max_queue_depth\": %d,\n" t.engine.Engine.max_queue_depth;
+  Printf.bprintf b "    \"batches\": %d\n" t.engine.Engine.batches;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"experiments\": [\n";
+  let last = List.length t.experiments - 1 in
+  List.iteri
+    (fun i r ->
+       Printf.bprintf b
+         "    {\"id\": \"%s\", \"descr\": \"%s\", \"wall_s\": %.3f, \
+          \"job_wall_s\": %.3f, \"parallel_speedup\": %.2f, \"sim_runs\": %d, \
+          \"sim_hits\": %d, \"alloc_runs\": %d, \"alloc_hits\": %d, \
+          \"max_queue_depth\": %d, \"batches\": %d}%s\n"
+         (json_escape r.id) (json_escape r.descr) r.wall_s r.job_wall_s
+         (speedup r) r.sim_runs r.sim_hits r.alloc_runs r.alloc_hits
+         r.max_queue_depth r.batches
+         (if i = last then "" else ","))
+    t.experiments;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* Open_trunc matters in both paths: a report rewritten into an existing
+   path must not keep the tail of a longer previous report. *)
+let flags = [ Open_wronly; Open_creat; Open_trunc ]
+
+let write path t =
+  let oc = open_out_gen flags 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let probe path =
+  match open_out_gen flags 0o644 path with
+  | oc ->
+    close_out oc;
+    Ok ()
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,34 @@
+(** Machine-readable run reports for the benchmark harness ([--json]):
+    per-experiment wall clock and engine cache statistics. *)
+
+type experiment =
+  { id : string
+  ; descr : string
+  ; wall_s : float
+  ; job_wall_s : float
+  ; sim_runs : int
+  ; sim_hits : int
+  ; alloc_runs : int
+  ; alloc_hits : int
+  ; max_queue_depth : int
+  ; batches : int
+  }
+
+type t =
+  { jobs : int
+  ; total_wall_s : float
+  ; engine : Engine.report
+  ; experiments : experiment list
+  }
+
+val to_string : t -> string
+(** The report as a JSON document (trailing newline included). *)
+
+val write : string -> t -> unit
+(** Write the JSON report, truncating any existing file — rewriting a
+    shorter report over a longer one must not leave a stale tail.
+    @raise Sys_error if the path is not writable. *)
+
+val probe : string -> (unit, string) result
+(** Check the path is writable (creating/truncating the file), so a bad
+    [--json] argument fails before the run instead of after. *)

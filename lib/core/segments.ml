@@ -58,13 +58,15 @@ let trace (cfg : Gpusim.Config.t) app input =
     | Gpusim.Interp.E_exit -> ()
     | Gpusim.Interp.E_mem { space = Ptx.Types.Shared; _ } ->
       cur := !cur + cfg.Gpusim.Config.shared_latency
-    | Gpusim.Interp.E_mem { lane_addrs; _ } ->
-      let segs =
-        List.sort_uniq compare
-          (List.map (fun (_, a) -> Int64.div a (Int64.of_int line)) lane_addrs)
-      in
-      List.iter (fun ln -> Hashtbl.replace lines ln ()) segs;
-      let n = List.length segs in
+    | Gpusim.Interp.E_mem _ ->
+      let line64 = Int64.of_int line in
+      let segs = ref [] in
+      for i = 0 to Gpusim.Interp.mem_count w - 1 do
+        let ln = Int64.div (Gpusim.Interp.mem_addr w i) line64 in
+        if not (List.mem ln !segs) then segs := ln :: !segs
+      done;
+      List.iter (fun ln -> Hashtbl.replace lines ln ()) !segs;
+      let n = List.length !segs in
       total_refs := !total_refs + n;
       flush ();
       segments := Mem n :: !segments

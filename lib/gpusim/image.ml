@@ -6,6 +6,7 @@ type t =
   ; shared_decl_bytes : int
   ; local_offsets : (string * int) list
   ; local_frame_bytes : int
+  ; code : Dcode.t
   }
 
 let align_up x a = (x + a - 1) / a * a
@@ -43,6 +44,7 @@ let prepare (k : Ptx.Kernel.t) =
       ());
   let shared_offsets, shared_decl_bytes = layout_decls k.decls Ptx.Types.Shared in
   let local_offsets, local_frame_bytes = layout_decls k.decls Ptx.Types.Local in
+  let code = Dcode.build ~flow ~reconv ~shared_offsets ~local_offsets in
   { kernel = k
   ; flow
   ; reconv
@@ -50,6 +52,7 @@ let prepare (k : Ptx.Kernel.t) =
   ; shared_decl_bytes
   ; local_offsets
   ; local_frame_bytes
+  ; code
   }
 
 let num_instrs t = Cfg.Flow.num_instrs t.flow

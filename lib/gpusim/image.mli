@@ -13,6 +13,8 @@ type t =
   ; shared_decl_bytes : int  (** bytes of declared shared arrays per block *)
   ; local_offsets : (string * int) list
   ; local_frame_bytes : int  (** per-thread local frame *)
+  ; code : Dcode.t
+      (** predecoded execution form of [flow.instrs] (see {!Dcode}) *)
   }
 
 val prepare : Ptx.Kernel.t -> t

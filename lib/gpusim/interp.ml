@@ -1,3 +1,20 @@
+(* SIMT interpreter, allocation-free fast path.
+
+   Executes the predecoded form ({!Dcode}) built once per {!Image}:
+   registers live in a flat per-warp [float array] of raw 64-bit
+   patterns (plus a per-slot lane bitmask carrying the I/F constructor
+   tag, which is observable only through predicate reads and
+   integer-from-float conversions — see {!Value}), the reconvergence
+   stack is a trio of growable int arrays, and memory-instruction lane
+   addresses go into a reusable scratch buffer exposed through
+   accessors instead of per-step lists. The steady-state [step] touches
+   only preallocated state; the returned [exec] blocks are preallocated
+   per pc at predecode time.
+
+   Semantics are defined by {!Refinterp} (the original boxed
+   interpreter); the differential property tests keep the two in
+   lockstep agreement. *)
+
 type launch_ctx =
   { image : Image.t
   ; global : Memory.t
@@ -11,12 +28,9 @@ type block_ctx =
   ; ctaid : int
   ; shared : Memory.t
   ; nwarps : int
-  }
-
-type stack_entry =
-  { mutable next_pc : int
-  ; reconv_pc : int
-  ; mask : int
+  ; param_bits : int64 array (* per Dcode param index: raw value bits *)
+  ; param_isf : bool array (* float-tagged? *)
+  ; param_ok : bool array (* bound in the launch? (checked at use) *)
   }
 
 type warp =
@@ -24,40 +38,71 @@ type warp =
   ; wid : int
   ; base_tid : int
   ; nlanes : int
-  ; regs : (int, Value.t array) Hashtbl.t
-  ; mutable stack : stack_entry list
+  ; code : Dcode.t
+  ; rf : float array (* nslots × nlanes raw 64-bit patterns *)
+  ; ftag : int array (* per slot: lane bitmask of float tags *)
+  ; mutable stk_pc : int array (* SIMT stack, entries 0..sp *)
+  ; mutable stk_reconv : int array
+  ; mutable stk_mask : int array
+  ; mutable sp : int
+  ; addr_buf : float array (* lane-address scratch (bit patterns) *)
+  ; addr_lane : int array
+  ; mutable addr_n : int
   ; mutable done_ : bool
   }
 
-let reg_key r =
-  let cls =
-    match Ptx.Types.reg_class (Ptx.Reg.ty r) with
-    | Ptx.Types.Cpred -> 0
-    | Ptx.Types.C32 -> 1
-    | Ptx.Types.C64 -> 2
-  in
-  (cls lsl 24) lor Ptx.Reg.id r
-
+let reg_key = Dcode.reg_key
 let full_mask n = (1 lsl n) - 1
 
 let make_block launch ~ctaid ~warp_size =
   if launch.block_size <= 0 || launch.block_size mod warp_size <> 0 then
     invalid_arg "Interp.make_block: block size must be a multiple of warp size";
   let nwarps = launch.block_size / warp_size in
-  let block = { launch; ctaid; shared = Memory.create (); nwarps } in
+  let code = launch.image.Image.code in
+  let np = Dcode.num_params code in
+  let param_bits = Array.make np 0L in
+  let param_isf = Array.make np false in
+  let param_ok = Array.make np false in
+  for i = 0 to np - 1 do
+    match List.assoc_opt (Dcode.param_name code i) launch.params with
+    | Some v ->
+      param_bits.(i) <- Value.to_bits v;
+      param_isf.(i) <- Value.is_f v;
+      param_ok.(i) <- true
+    | None -> ()
+  done;
+  let block =
+    { launch
+    ; ctaid
+    ; shared = Memory.create ()
+    ; nwarps
+    ; param_bits
+    ; param_isf
+    ; param_ok
+    }
+  in
+  let nslots = Dcode.num_slots code in
   let warps =
     List.init nwarps (fun w ->
+      let stk_pc = Array.make 8 0 in
+      let stk_reconv = Array.make 8 0 in
+      let stk_mask = Array.make 8 0 in
+      stk_reconv.(0) <- -1;
+      stk_mask.(0) <- full_mask warp_size;
       { block
       ; wid = w
       ; base_tid = w * warp_size
       ; nlanes = warp_size
-      ; regs = Hashtbl.create 64
-      ; stack =
-          [ { next_pc = 0
-            ; reconv_pc = -1
-            ; mask = full_mask warp_size
-            }
-          ]
+      ; code
+      ; rf = Array.make (max 1 (nslots * warp_size)) 0.0
+      ; ftag = Array.make (max 1 nslots) 0
+      ; stk_pc
+      ; stk_reconv
+      ; stk_mask
+      ; sp = 0
+      ; addr_buf = Array.make warp_size 0.0
+      ; addr_lane = Array.make warp_size 0
+      ; addr_n = 0
       ; done_ = false
       })
   in
@@ -65,23 +110,16 @@ let make_block launch ~ctaid ~warp_size =
 
 let is_done w = w.done_
 
-let tos w =
-  match w.stack with
-  | e :: _ -> e
-  | [] -> failwith "Interp: empty SIMT stack"
-
 let normalize w =
-  let rec loop () =
-    match w.stack with
-    | e :: (_ :: _ as rest) when e.next_pc = e.reconv_pc ->
-      w.stack <- rest;
-      loop ()
-    | _ :: _ | [] -> ()
-  in
-  loop ()
+  while
+    w.sp > 0
+    && Array.unsafe_get w.stk_pc w.sp = Array.unsafe_get w.stk_reconv w.sp
+  do
+    w.sp <- w.sp - 1
+  done
 
-let pc w = (tos w).next_pc
-let active_mask w = (tos w).mask
+let pc w = w.stk_pc.(w.sp)
+let active_mask w = w.stk_mask.(w.sp)
 let block_of w = w.block
 let warp_id w = w.wid
 
@@ -96,21 +134,44 @@ let peek w =
     if p >= Array.length arr then None else Some arr.(p)
   end
 
-let read_reg w r =
-  let key = reg_key r in
-  match Hashtbl.find_opt w.regs key with
-  | Some a -> a
-  | None ->
-    let a = Array.make w.nlanes Value.zero in
-    Hashtbl.replace w.regs key a;
-    a
+let fetch w =
+  if w.done_ then -1
+  else begin
+    normalize w;
+    let p = pc w in
+    if p >= Array.length w.code.Dcode.code then -1 else p
+  end
 
-let read_reg_values w r = Array.copy (read_reg w r)
+(* ------------------------------------------------------------------ *)
+(* Register file *)
+
+let[@inline] rf_get w slot lane =
+  Int64.bits_of_float (Array.unsafe_get w.rf ((slot * w.nlanes) + lane))
+
+let[@inline] rf_isf w slot lane =
+  Array.unsafe_get w.ftag slot land (1 lsl lane) <> 0
+
+let[@inline] rf_set w slot lane ~isf bits =
+  Array.unsafe_set w.rf ((slot * w.nlanes) + lane) (Int64.float_of_bits bits);
+  let t = Array.unsafe_get w.ftag slot in
+  let b = 1 lsl lane in
+  Array.unsafe_set w.ftag slot (if isf then t lor b else t land lnot b)
+
+let read_reg_values w r =
+  match Dcode.slot_of_reg w.code r with
+  | None -> Array.make w.nlanes Value.zero
+  | Some s ->
+    Array.init w.nlanes (fun l ->
+      let bits = rf_get w s l in
+      if rf_isf w s l then Value.F (Int64.float_of_bits bits) else Value.I bits)
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation *)
 
 let global_tid w lane =
   (w.block.ctaid * w.block.launch.block_size) + w.base_tid + lane
 
-let eval_special w lane s =
+let special_bits w lane s =
   let v =
     match s with
     | Ptx.Reg.Tid_x -> w.base_tid + lane
@@ -124,215 +185,282 @@ let eval_special w lane s =
     | Ptx.Reg.Laneid -> lane
     | Ptx.Reg.Warpid -> w.wid
   in
-  Value.of_int v
+  Int64.of_int v
 
-let param_value w name =
-  match List.assoc_opt name w.block.launch.params with
-  | Some v -> v
-  | None -> invalid_arg (Printf.sprintf "Interp: unbound parameter %s" name)
+let param_bits_checked w i =
+  if Array.unsafe_get w.block.param_ok i then
+    Array.unsafe_get w.block.param_bits i
+  else
+    invalid_arg
+      (Printf.sprintf "Interp: unbound parameter %s"
+         (Dcode.param_name w.code i))
 
-let sym_value w lane name =
-  (* shared symbols resolve to an offset inside the block's shared region;
-     local symbols resolve to a globally-unique per-thread address *)
-  let image = w.block.launch.image in
-  match List.assoc_opt name image.Image.shared_offsets with
-  | Some off -> Value.of_int off
-  | None ->
-    (match List.assoc_opt name image.Image.local_offsets with
-     | Some off ->
-       Value.I (Image.local_addr image ~global_tid:(global_tid w lane) ~sym_offset:off)
-     | None -> invalid_arg (Printf.sprintf "Interp: unknown symbol %s" name))
-
-let eval w lane (op : Ptx.Instr.operand) =
+let eval_bits w lane (op : Dcode.dop) =
   match op with
-  | Ptx.Instr.Oreg r -> (read_reg w r).(lane)
-  | Ptx.Instr.Oimm i -> Value.I i
-  | Ptx.Instr.Ofimm f -> Value.F f
-  | Ptx.Instr.Ospecial s -> eval_special w lane s
-  | Ptx.Instr.Osym s -> sym_value w lane s
-  | Ptx.Instr.Oparam p -> param_value w p
+  | Dcode.Dreg s -> rf_get w s lane
+  | Dcode.Dimm i | Dcode.Dfimm i -> i
+  | Dcode.Dspecial s -> special_bits w lane s
+  | Dcode.Dlocal off ->
+    Image.local_addr w.block.launch.image ~global_tid:(global_tid w lane)
+      ~sym_offset:off
+  | Dcode.Dparam i -> param_bits_checked w i
+  | Dcode.Dbad msg -> invalid_arg msg
 
-let addr_of w lane (a : Ptx.Instr.address) =
-  Int64.add (Value.to_int64 (eval w lane a.base)) (Int64.of_int a.offset)
+let eval_isf w lane (op : Dcode.dop) =
+  match op with
+  | Dcode.Dreg s -> rf_isf w s lane
+  | Dcode.Dfimm _ -> true
+  | Dcode.Dparam i ->
+    ignore (param_bits_checked w i);
+    Array.unsafe_get w.block.param_isf i
+  | Dcode.Dimm _ | Dcode.Dspecial _ | Dcode.Dlocal _ -> false
+  | Dcode.Dbad msg -> invalid_arg msg
 
-type exec =
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let mem_read_bits mem a ty =
+  let bits = Memory.load_bits mem a in
+  let isf =
+    match ty with Ptx.Types.Pred -> Memory.load_isf mem a | _ -> false
+  in
+  Value.truncate_bits ty ~isf bits
+
+let[@inline] record_addr w lane a =
+  let n = w.addr_n in
+  Array.unsafe_set w.addr_lane n lane;
+  Array.unsafe_set w.addr_buf n (Int64.float_of_bits a);
+  w.addr_n <- n + 1
+
+let mem_count w = w.addr_n
+let mem_addr w i = Int64.bits_of_float w.addr_buf.(i)
+let mem_lane w i = w.addr_lane.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+type exec = Dcode.exec =
   | E_alu of Ptx.Instr.op_class
   | E_mem of
       { space : Ptx.Types.space
       ; write : bool
       ; width : int
-      ; lane_addrs : (int * int64) list
       }
   | E_barrier
   | E_exit
 
-let iter_active mask nlanes f =
-  for lane = 0 to nlanes - 1 do
-    if mask land (1 lsl lane) <> 0 then f lane
-  done
-
+(* branch-free SWAR popcount over OCaml's 63-bit ints: pairwise, then
+   nibble-wise sums, then one multiply gathers the byte counts *)
 let popcount m =
-  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
-  loop m 0
+  let m = m - ((m lsr 1) land 0x1555555555555555) in
+  let m = (m land 0x3333333333333333) + ((m lsr 2) land 0x3333333333333333) in
+  let m = (m + (m lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (m * 0x0101010101010101) lsr 56 land 0x7F
+
+let ensure_stack w n =
+  let cap = Array.length w.stk_pc in
+  if n > cap then begin
+    let ncap = max (2 * cap) n in
+    let grow a =
+      let b = Array.make ncap 0 in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    w.stk_pc <- grow w.stk_pc;
+    w.stk_reconv <- grow w.stk_reconv;
+    w.stk_mask <- grow w.stk_mask
+  end
 
 let step w =
   if w.done_ then invalid_arg "Interp.step: warp already done";
   normalize w;
-  let e = tos w in
-  let this_pc = e.next_pc in
-  let arr = instrs w in
-  if this_pc >= Array.length arr then begin
+  let this_pc = Array.unsafe_get w.stk_pc w.sp in
+  let code = w.code in
+  if this_pc >= Array.length code.Dcode.code then begin
     w.done_ <- true;
-    E_exit
+    Dcode.E_exit
   end
   else begin
-    let ins = arr.(this_pc) in
-    let mask = e.mask in
-    e.next_pc <- this_pc + 1;
-    let set_reg r lane v =
-      (read_reg w r).(lane) <- Value.truncate (Ptx.Reg.ty r) v
-    in
-    let result =
-      match ins with
-      | Ptx.Instr.Mov (ty, d, a) ->
-        iter_active mask w.nlanes (fun l -> set_reg d l (Value.truncate ty (eval w l a)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Binop (op, ty, d, a, b) ->
-        iter_active mask w.nlanes (fun l ->
-          set_reg d l (Value.binop op ty (eval w l a) (eval w l b)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Mad (ty, d, a, b, c) ->
-        iter_active mask w.nlanes (fun l ->
-          set_reg d l (Value.mad ty (eval w l a) (eval w l b) (eval w l c)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Unop (op, ty, d, a) ->
-        iter_active mask w.nlanes (fun l -> set_reg d l (Value.unop op ty (eval w l a)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Cvt (dt, st, d, a) ->
-        iter_active mask w.nlanes (fun l ->
-          set_reg d l (Value.convert ~dst:dt ~src:st (eval w l a)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Setp (c, ty, d, a, b) ->
-        iter_active mask w.nlanes (fun l ->
-          let r = Value.compare_values c ty (eval w l a) (eval w l b) in
-          set_reg d l (Value.I (if r then 1L else 0L)));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Selp (ty, d, a, b, p) ->
-        iter_active mask w.nlanes (fun l ->
-          let pv = (read_reg w p).(l) in
-          let v = if Value.to_bool pv then eval w l a else eval w l b in
-          set_reg d l (Value.truncate ty v));
-        E_alu (Ptx.Instr.classify ins)
-      | Ptx.Instr.Ld (Ptx.Types.Param, ty, d, addr) ->
-        (match addr.Ptx.Instr.base with
-         | Ptx.Instr.Oparam p ->
-           iter_active mask w.nlanes (fun l ->
-             set_reg d l (Value.truncate ty (param_value w p));
-             ignore l)
-         | Ptx.Instr.Oreg _ | Ptx.Instr.Oimm _ | Ptx.Instr.Ofimm _
-         | Ptx.Instr.Ospecial _ | Ptx.Instr.Osym _ ->
-           invalid_arg "Interp: ld.param requires a parameter base");
-        E_alu Ptx.Instr.Mem_const_param
-      | Ptx.Instr.Ld (Ptx.Types.Const, ty, d, addr) ->
-        iter_active mask w.nlanes (fun l ->
-          let a = addr_of w l addr in
-          set_reg d l (Memory.read w.block.launch.global a ty));
-        E_alu Ptx.Instr.Mem_const_param
-      | Ptx.Instr.Ld (Ptx.Types.Shared, ty, d, addr) ->
-        let lane_addrs = ref [] in
-        iter_active mask w.nlanes (fun l ->
-          let a = addr_of w l addr in
-          lane_addrs := (l, a) :: !lane_addrs;
-          set_reg d l (Memory.read w.block.shared a ty));
-        E_mem
-          { space = Ptx.Types.Shared
-          ; write = false
-          ; width = Ptx.Types.width_bytes ty
-          ; lane_addrs = List.rev !lane_addrs
-          }
-      | Ptx.Instr.Ld (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, d, addr) ->
-        let lane_addrs = ref [] in
-        iter_active mask w.nlanes (fun l ->
-          let a = addr_of w l addr in
-          let a =
-            match sp with
-            | Ptx.Types.Local ->
-              Image.remap_local w.block.launch.image ~global_tid:(global_tid w l) a
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> a
-          in
-          lane_addrs := (l, a) :: !lane_addrs;
-          set_reg d l (Memory.read w.block.launch.global a ty));
-        E_mem
-          { space = sp
-          ; write = false
-          ; width = Ptx.Types.width_bytes ty
-          ; lane_addrs = List.rev !lane_addrs
-          }
-      | Ptx.Instr.Ld ((Ptx.Types.Reg as sp), _, _, _) ->
-        invalid_arg
-          (Printf.sprintf "Interp: ld.%s unsupported" (Ptx.Types.space_to_string sp))
-      | Ptx.Instr.St (Ptx.Types.Shared, ty, addr, v) ->
-        let lane_addrs = ref [] in
-        iter_active mask w.nlanes (fun l ->
-          let a = addr_of w l addr in
-          lane_addrs := (l, a) :: !lane_addrs;
-          Memory.write w.block.shared a ty (eval w l v));
-        E_mem
-          { space = Ptx.Types.Shared
-          ; write = true
-          ; width = Ptx.Types.width_bytes ty
-          ; lane_addrs = List.rev !lane_addrs
-          }
-      | Ptx.Instr.St (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, addr, v) ->
-        let lane_addrs = ref [] in
-        iter_active mask w.nlanes (fun l ->
-          let a = addr_of w l addr in
-          let a =
-            match sp with
-            | Ptx.Types.Local ->
-              Image.remap_local w.block.launch.image ~global_tid:(global_tid w l) a
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> a
-          in
-          lane_addrs := (l, a) :: !lane_addrs;
-          Memory.write w.block.launch.global a ty (eval w l v));
-        E_mem
-          { space = sp
-          ; write = true
-          ; width = Ptx.Types.width_bytes ty
-          ; lane_addrs = List.rev !lane_addrs
-          }
-      | Ptx.Instr.St ((Ptx.Types.Reg | Ptx.Types.Param | Ptx.Types.Const), _, _, _)
-        -> invalid_arg "Interp: unsupported store space"
-      | Ptx.Instr.Bra l ->
-        e.next_pc <- Cfg.Flow.target_index w.block.launch.image.Image.flow l;
-        E_alu Ptx.Instr.Ctrl
-      | Ptx.Instr.Bra_pred (p, sense, l) ->
-        let target = Cfg.Flow.target_index w.block.launch.image.Image.flow l in
-        let taken = ref 0 in
-        iter_active mask w.nlanes (fun lane ->
-          let pv = Value.to_bool (read_reg w p).(lane) in
-          if pv = sense then taken := !taken lor (1 lsl lane));
-        let fall = mask land lnot !taken in
-        if !taken = 0 then () (* next_pc already pc+1 *)
-        else if fall = 0 then e.next_pc <- target
-        else begin
-          let reconv = w.block.launch.image.Image.reconv.(this_pc) in
-          e.next_pc <- reconv;
-          w.stack <-
-            { next_pc = target; reconv_pc = reconv; mask = !taken }
-            :: { next_pc = this_pc + 1; reconv_pc = reconv; mask = fall }
-            :: w.stack
-        end;
-        E_alu Ptx.Instr.Ctrl
-      | Ptx.Instr.Bar_sync -> E_barrier
-      | Ptx.Instr.Ret ->
-        if List.length w.stack > 1 then
-          failwith "Interp: divergent ret is not supported";
-        w.done_ <- true;
-        E_exit
-    in
+    let mask = Array.unsafe_get w.stk_mask w.sp in
+    Array.unsafe_set w.stk_pc w.sp (this_pc + 1);
+    let nlanes = w.nlanes in
+    (match Array.unsafe_get code.Dcode.code this_pc with
+     | Dcode.DMov { ty; dst; dty; a } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let bits =
+             Value.truncate_bits ty ~isf:(eval_isf w l a) (eval_bits w l a)
+           in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf bits)
+       done
+     | Dcode.DBinop { op; ty; dst; dty; a; b } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let r = Value.binop_bits op ty (eval_bits w l a) (eval_bits w l b) in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf r)
+       done
+     | Dcode.DMad { ty; dst; dty; a; b; c } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let r =
+             Value.mad_bits ty (eval_bits w l a) (eval_bits w l b)
+               (eval_bits w l c)
+           in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf r)
+       done
+     | Dcode.DUnop { op; ty; dst; dty; a } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let r = Value.unop_bits op ty (eval_bits w l a) in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf r)
+       done
+     | Dcode.DCvt { dt; st; dst; dty; a } ->
+       let visf = Ptx.Types.is_float dt in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let r = Value.convert_bits ~dst:dt ~src:st (eval_bits w l a) in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf r)
+       done
+     | Dcode.DSetp { cmp; ty; dst; dty; a; b } ->
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           let r =
+             Value.compare_bits cmp ty (eval_bits w l a) (eval_bits w l b)
+           in
+           rf_set w dst l ~isf:disf
+             (Value.truncate_bits dty ~isf:false (if r then 1L else 0L))
+       done
+     | Dcode.DSelp { ty; dst; dty; a; b; p } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then begin
+           (* only the selected operand is evaluated, as in Refinterp *)
+           let src =
+             if Value.to_bool_bits ~isf:(rf_isf w p l) (rf_get w p l) then a
+             else b
+           in
+           let bits =
+             Value.truncate_bits ty ~isf:(eval_isf w l src) (eval_bits w l src)
+           in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf bits)
+         end
+       done
+     | Dcode.DLd_param { ty; dst; dty; pidx } ->
+       if mask <> 0 then begin
+         let visf = Ptx.Types.is_float ty in
+         let disf = Ptx.Types.is_float dty in
+         let pb = param_bits_checked w pidx in
+         let pisf = Array.unsafe_get w.block.param_isf pidx in
+         let bits =
+           Value.truncate_bits dty ~isf:visf
+             (Value.truncate_bits ty ~isf:pisf pb)
+         in
+         for l = 0 to nlanes - 1 do
+           if mask land (1 lsl l) <> 0 then rf_set w dst l ~isf:disf bits
+         done
+       end
+     | Dcode.DLd { space; ty; dst; dty; base; off } ->
+       let visf = Ptx.Types.is_float ty in
+       let disf = Ptx.Types.is_float dty in
+       let image = w.block.launch.image in
+       let off64 = Int64.of_int off in
+       w.addr_n <- 0;
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then begin
+           let a =
+             Int64.add
+               (Value.to_int64_bits ~isf:(eval_isf w l base)
+                  (eval_bits w l base))
+               off64
+           in
+           let bits =
+             match space with
+             | Ptx.Types.Const -> mem_read_bits w.block.launch.global a ty
+             | Ptx.Types.Shared ->
+               record_addr w l a;
+               mem_read_bits w.block.shared a ty
+             | Ptx.Types.Global ->
+               record_addr w l a;
+               mem_read_bits w.block.launch.global a ty
+             | Ptx.Types.Local | Ptx.Types.Reg | Ptx.Types.Param ->
+               (* only Local reaches here (see Dcode.build) *)
+               let a = Image.remap_local image ~global_tid:(global_tid w l) a in
+               record_addr w l a;
+               mem_read_bits w.block.launch.global a ty
+           in
+           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf bits)
+         end
+       done
+     | Dcode.DSt { space; ty; base; off; src } ->
+       let sisf = Ptx.Types.is_float ty in
+       let image = w.block.launch.image in
+       let off64 = Int64.of_int off in
+       w.addr_n <- 0;
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then begin
+           let a =
+             Int64.add
+               (Value.to_int64_bits ~isf:(eval_isf w l base)
+                  (eval_bits w l base))
+               off64
+           in
+           let mem, a =
+             match space with
+             | Ptx.Types.Shared -> (w.block.shared, a)
+             | Ptx.Types.Local ->
+               ( w.block.launch.global
+               , Image.remap_local image ~global_tid:(global_tid w l) a )
+             | Ptx.Types.Global | Ptx.Types.Reg | Ptx.Types.Param
+             | Ptx.Types.Const ->
+               (* only Global reaches here (see Dcode.build) *)
+               (w.block.launch.global, a)
+           in
+           record_addr w l a;
+           Memory.store_bits mem a ~isf:sisf
+             (Value.truncate_bits ty ~isf:(eval_isf w l src)
+                (eval_bits w l src))
+         end
+       done
+     | Dcode.DBra target -> Array.unsafe_set w.stk_pc w.sp target
+     | Dcode.DBra_pred { p; sense; target; reconv } ->
+       let taken = ref 0 in
+       for l = 0 to nlanes - 1 do
+         if mask land (1 lsl l) <> 0 then
+           if Value.to_bool_bits ~isf:(rf_isf w p l) (rf_get w p l) = sense
+           then taken := !taken lor (1 lsl l)
+       done;
+       let taken = !taken in
+       let fall = mask land lnot taken in
+       if taken = 0 then () (* next pc already this_pc + 1 *)
+       else if fall = 0 then Array.unsafe_set w.stk_pc w.sp target
+       else begin
+         Array.unsafe_set w.stk_pc w.sp reconv;
+         ensure_stack w (w.sp + 3);
+         let s = w.sp + 1 in
+         w.stk_pc.(s) <- this_pc + 1;
+         w.stk_reconv.(s) <- reconv;
+         w.stk_mask.(s) <- fall;
+         w.stk_pc.(s + 1) <- target;
+         w.stk_reconv.(s + 1) <- reconv;
+         w.stk_mask.(s + 1) <- taken;
+         w.sp <- s + 1
+       end
+     | Dcode.DBar -> ()
+     | Dcode.DRet ->
+       if w.sp > 0 then failwith "Interp: divergent ret is not supported";
+       w.done_ <- true
+     | Dcode.DBad msg -> invalid_arg msg);
     normalize w;
-    result
+    Array.unsafe_get code.Dcode.exec_of this_pc
   end

@@ -1,28 +1,173 @@
-type t = (int64, Value.t) Hashtbl.t
+(* Paged flat value store.
 
-let create () : t = Hashtbl.create 1024
+   The simulated memory is word-granular: each 4-byte-aligned address
+   holds one full value (the interpreter never splits a value across
+   addresses — wide types simply stride by their width). The hot
+   representation is a page table of flat chunks: 1024 word slots per
+   page, each slot a raw 64-bit pattern in a [float array] (unboxed
+   flat storage) plus a meta byte recording whether the slot was
+   written and whether the stored value was float-tagged (the tag is
+   observable only through predicate reads, see {!Value}). A one-entry
+   page cache makes streaming access a couple of array ops. Unaligned
+   or out-of-range addresses — absent from every shipped workload —
+   fall back to a boxed side table with identical semantics. *)
 
-let read (t : t) addr ty =
-  match Hashtbl.find_opt t addr with
-  | Some v -> Value.truncate ty v
-  | None -> Value.truncate ty Value.zero
+let page_bits = 10
+let page_slots = 1 lsl page_bits
+let slot_mask = page_slots - 1
 
-let write (t : t) addr ty v = Hashtbl.replace t addr (Value.truncate ty v)
-let copy (t : t) = Hashtbl.copy t
-let size (t : t) = Hashtbl.length t
+type page = {
+  vals : float array; (* raw 64-bit patterns, [Int64.float_of_bits] *)
+  meta : Bytes.t; (* per slot: bit0 = written, bit1 = float-tagged *)
+}
 
-let equal (a : t) (b : t) =
+type t = {
+  pages : (int, page) Hashtbl.t;
+  side : (int64, Value.t) Hashtbl.t; (* unaligned / negative / huge addrs *)
+  mutable last_idx : int;
+  mutable last_page : page;
+  mutable count : int; (* distinct written locations *)
+}
+
+let new_page () =
+  { vals = Array.make page_slots 0.0; meta = Bytes.make page_slots '\000' }
+
+let create () =
+  { pages = Hashtbl.create 64
+  ; side = Hashtbl.create 16
+  ; last_idx = -1
+  ; last_page = new_page () (* dummy; never indexed (-1 can't match) *)
+  ; count = 0
+  }
+
+(* fits in the page table: non-negative, below 2^62 (so the word index
+   fits an OCaml int) and 4-byte aligned *)
+let in_range addr =
+  Int64.logand addr 0x4000_0000_0000_0003L = 0L && addr >= 0L
+
+let word_of addr = Int64.to_int (Int64.shift_right_logical addr 2)
+
+let find_page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p ->
+    t.last_idx <- idx;
+    t.last_page <- p;
+    Some p
+  | None -> None
+
+let get_page t idx =
+  if idx = t.last_idx then t.last_page
+  else
+    match find_page t idx with
+    | Some p -> p
+    | None ->
+      let p = new_page () in
+      Hashtbl.replace t.pages idx p;
+      t.last_idx <- idx;
+      t.last_page <- p;
+      p
+
+let load_bits t addr =
+  if in_range addr then begin
+    let word = word_of addr in
+    let idx = word lsr page_bits in
+    if idx = t.last_idx then
+      Int64.bits_of_float
+        (Array.unsafe_get t.last_page.vals (word land slot_mask))
+    else
+      match find_page t idx with
+      | Some p -> Int64.bits_of_float p.vals.(word land slot_mask)
+      | None -> 0L
+  end
+  else
+    match Hashtbl.find_opt t.side addr with
+    | Some v -> Value.to_bits v
+    | None -> 0L
+
+let load_isf t addr =
+  if in_range addr then begin
+    let word = word_of addr in
+    let idx = word lsr page_bits in
+    let meta_at p = Bytes.get_uint8 p.meta (word land slot_mask) land 2 <> 0 in
+    if idx = t.last_idx then meta_at t.last_page
+    else match find_page t idx with Some p -> meta_at p | None -> false
+  end
+  else
+    match Hashtbl.find_opt t.side addr with
+    | Some (Value.F _) -> true
+    | Some (Value.I _) | None -> false
+
+let store_bits t addr ~isf bits =
+  if in_range addr then begin
+    let word = word_of addr in
+    let p = get_page t (word lsr page_bits) in
+    let slot = word land slot_mask in
+    let m = Bytes.get_uint8 p.meta slot in
+    if m land 1 = 0 then t.count <- t.count + 1;
+    Bytes.unsafe_set p.meta slot (Char.unsafe_chr (if isf then 3 else 1));
+    Array.unsafe_set p.vals slot (Int64.float_of_bits bits)
+  end
+  else begin
+    if not (Hashtbl.mem t.side addr) then t.count <- t.count + 1;
+    Hashtbl.replace t.side addr
+      (if isf then Value.F (Int64.float_of_bits bits) else Value.I bits)
+  end
+
+let read t addr ty =
+  let bits = load_bits t addr in
+  let isf = if ty = Ptx.Types.Pred then load_isf t addr else false in
+  Value.of_bits ty (Value.truncate_bits ty ~isf bits)
+
+let write t addr ty v =
+  store_bits t addr
+    ~isf:(Ptx.Types.is_float ty)
+    (Value.truncate_bits ty ~isf:(Value.is_f v) (Value.to_bits v))
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun idx p ->
+       Hashtbl.replace pages idx
+         { vals = Array.copy p.vals; meta = Bytes.copy p.meta })
+    t.pages;
+  { pages
+  ; side = Hashtbl.copy t.side
+  ; last_idx = -1
+  ; last_page = new_page ()
+  ; count = t.count
+  }
+
+let value_at p slot =
+  let bits = Int64.bits_of_float p.vals.(slot) in
+  if Bytes.get_uint8 p.meta slot land 2 <> 0 then
+    Value.F (Int64.float_of_bits bits)
+  else Value.I bits
+
+let addr_at idx slot = Int64.of_int (((idx lsl page_bits) lor slot) * 4)
+
+let fold f t init =
+  let acc = ref (Hashtbl.fold f t.side init) in
+  Hashtbl.iter
+    (fun idx p ->
+       for slot = 0 to page_slots - 1 do
+         if Bytes.get_uint8 p.meta slot land 1 <> 0 then
+           acc := f (addr_at idx slot) (value_at p slot) !acc
+       done)
+    t.pages;
+  !acc
+
+let size t = t.count
+
+let equal a b =
   let nonzero m =
-    Hashtbl.fold
+    fold
       (fun k v acc -> if Value.equal v Value.zero then acc else (k, v) :: acc)
       m []
-    |> List.sort compare
+    |> List.sort (fun (k1, _) (k2, _) -> Int64.compare k1 k2)
   in
   let la = nonzero a and lb = nonzero b in
   List.length la = List.length lb
   && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && Value.equal v1 v2) la lb
-
-let fold f (t : t) init = Hashtbl.fold f t init
 
 let write_f32_array t ~base xs =
   Array.iteri

@@ -17,6 +17,18 @@ val equal : t -> t -> bool
 
 val fold : (int64 -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
 
+(** {2 Raw accessors}
+
+    Bit-pattern interface used by the interpreter's allocation-free
+    fast path. [load_bits] returns the raw stored 64-bit pattern (zero
+    for never-written locations); [load_isf] its float tag (observable
+    only through predicate reads); [store_bits] stores an
+    already-truncated pattern with an explicit tag. *)
+
+val load_bits : t -> int64 -> int64
+val load_isf : t -> int64 -> bool
+val store_bits : t -> int64 -> isf:bool -> int64 -> unit
+
 (** {2 Buffer helpers} *)
 
 val write_f32_array : t -> base:int64 -> float array -> unit

@@ -11,7 +11,7 @@ exception Cycle_limit of Stats.t
 
 (* an in-flight load: registers become ready when all segments return *)
 type pending_load =
-  { defs : int list  (** scoreboard keys *)
+  { defs : int array  (** scoreboard slots (shared with Dcode, read-only) *)
   ; wslot : wstate
   ; mutable remaining : int
   ; mutable ready_at : int
@@ -19,7 +19,7 @@ type pending_load =
 
 and wstate =
   { w : Interp.warp
-  ; sb : (int, int) Hashtbl.t  (** scoreboard: slot key -> ready cycle *)
+  ; sb : int array  (** scoreboard: register slot -> ready cycle *)
   ; mutable waiting_barrier : bool
   ; bstate : bstate
   ; age : int  (** global age for oldest-first ordering *)
@@ -32,15 +32,6 @@ and bstate =
   ; mutable paused : bool
       (** dynamic throttling: a paused block's warps are not scheduled *)
   ; seq : int
-  }
-
-type seg =
-  { addr : int64
-  ; write : bool
-  ; write_alloc : bool
-  ; load : pending_load option
-  ; local : bool
-  ; bypass : bool  (** skip the L1, go straight to the interconnect/L2 *)
   }
 
 type blocked =
@@ -92,10 +83,16 @@ let shared_l2_stats m = Cache.stats m.l2
 
 (* ---------- SM state ---------- *)
 
+(* The LSU segment queue is a ring of parallel arrays (addresses as bit
+   patterns in a float array; write/write_alloc/bypass packed into flag
+   bits) so the steady state pushes and pops without allocating. The
+   shared [pending_load option] is allocated once per load instruction,
+   not per segment. *)
 type t =
   { cfg : Config.t
   ; st : Stats.t
   ; lctx : Interp.launch_ctx
+  ; code : Dcode.t
   ; shared : shared_memsys
   ; l1 : Cache.t
   ; remote : cycle:int -> addr:int64 -> Cache.result
@@ -108,7 +105,14 @@ type t =
   ; pools : wstate array array
   ; mutable pools_dirty : bool
   ; mutable live_blocks : bstate list
-  ; lsu : seg Queue.t
+  ; mutable lsu_addr : float array  (* segment address bit patterns *)
+  ; mutable lsu_flags : int array  (* bit0 write, bit1 write_alloc, bit2 bypass *)
+  ; mutable lsu_load : pending_load option array
+  ; mutable lsu_head : int
+  ; mutable lsu_len : int
+  ; seg_buf : int array  (* coalescing scratch: line indices *)
+  ; word_buf : int array  (* bank-conflict scratch: distinct words *)
+  ; bank_counts : int array  (* per signed-mod bank class *)
   ; mutable active_blocks : int
   ; mutable dispenser_dry : bool
   ; mutable age_counter : int
@@ -135,12 +139,13 @@ let launch_block sm =
         ; seq = ctaid
         }
       in
+      let nslots = max 1 (Dcode.num_slots sm.code) in
       bs.warps <-
         List.map
           (fun w ->
              sm.age_counter <- sm.age_counter + 1;
              { w
-             ; sb = Hashtbl.create 32
+             ; sb = Array.make nslots 0
              ; waiting_barrier = false
              ; bstate = bs
              ; age = sm.age_counter
@@ -196,10 +201,12 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
       ~line:cfg.Config.l1_line ~mshrs:cfg.Config.l1_mshrs
       ~hit_latency:cfg.Config.l1_hit_latency ~next:l1_next
   in
+  let lsu_cap = 128 (* > capacity + headroom slack + one warp's segments *) in
   let sm =
     { cfg
     ; st = Stats.create ()
     ; lctx
+    ; code = image.Image.code
     ; shared
     ; l1
     ; remote = l1_next
@@ -212,7 +219,14 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
     ; pools = Array.make cfg.Config.num_schedulers [||]
     ; pools_dirty = true
     ; live_blocks = []
-    ; lsu = Queue.create ()
+    ; lsu_addr = Array.make lsu_cap 0.0
+    ; lsu_flags = Array.make lsu_cap 0
+    ; lsu_load = Array.make lsu_cap None
+    ; lsu_head = 0
+    ; lsu_len = 0
+    ; seg_buf = Array.make cfg.Config.warp_size 0
+    ; word_buf = Array.make cfg.Config.warp_size 0
+    ; bank_counts = Array.make ((2 * cfg.Config.shared_banks) + 1) 0
     ; active_blocks = 0
     ; dispenser_dry = false
     ; age_counter = 0
@@ -227,41 +241,100 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
 
 let busy sm = sm.active_blocks > 0 || not sm.dispenser_dry
 
+(* ---------- LSU ring ---------- *)
+
+let lsu_grow sm =
+  let cap = Array.length sm.lsu_addr in
+  let ncap = 2 * cap in
+  let gaddr = Array.make ncap 0.0 in
+  let gflags = Array.make ncap 0 in
+  let gload = Array.make ncap None in
+  for i = 0 to sm.lsu_len - 1 do
+    let j = (sm.lsu_head + i) mod cap in
+    gaddr.(i) <- sm.lsu_addr.(j);
+    gflags.(i) <- sm.lsu_flags.(j);
+    gload.(i) <- sm.lsu_load.(j)
+  done;
+  sm.lsu_addr <- gaddr;
+  sm.lsu_flags <- gflags;
+  sm.lsu_load <- gload;
+  sm.lsu_head <- 0
+
+let lsu_push sm addr ~write ~write_alloc ~bypass load =
+  if sm.lsu_len = Array.length sm.lsu_addr then lsu_grow sm;
+  let cap = Array.length sm.lsu_addr in
+  let i = (sm.lsu_head + sm.lsu_len) mod cap in
+  sm.lsu_addr.(i) <- Int64.float_of_bits addr;
+  sm.lsu_flags.(i) <-
+    (if write then 1 else 0)
+    lor (if write_alloc then 2 else 0)
+    lor (if bypass then 4 else 0);
+  sm.lsu_load.(i) <- load;
+  sm.lsu_len <- sm.lsu_len + 1
+
+let lsu_pop sm =
+  sm.lsu_load.(sm.lsu_head) <- None;
+  sm.lsu_head <- (sm.lsu_head + 1) mod Array.length sm.lsu_addr;
+  sm.lsu_len <- sm.lsu_len - 1
+
 (* ---------- per-cycle machinery ---------- *)
 
-let slot_ready sm ws key =
-  match Hashtbl.find_opt ws.sb key with
-  | Some c -> c <= sm.now
-  | None -> true
+let sb_ready sm ws pc =
+  let now = sm.now in
+  let sb = ws.sb in
+  let ok slots =
+    let n = Array.length slots in
+    let rec loop i =
+      i >= n
+      || (Array.unsafe_get sb (Array.unsafe_get slots i) <= now && loop (i + 1))
+    in
+    loop 0
+  in
+  ok sm.code.Dcode.uses.(pc) && ok sm.code.Dcode.defs.(pc)
 
-let set_pending ws key ready = Hashtbl.replace ws.sb key ready
-
-let sb_ready sm ws ins =
-  let ok r = slot_ready sm ws (Interp.reg_key r) in
-  List.for_all ok (Ptx.Instr.uses ins) && List.for_all ok (Ptx.Instr.defs ins)
+let set_pending ws slot ready = ws.sb.(slot) <- ready
 
 let status sm ws : blocked =
   if Interp.is_done ws.w then Done
   else if ws.waiting_barrier then Barrier
-  else
-    match Interp.peek ws.w with
-    | None -> Done
-    | Some ins ->
-      if not (sb_ready sm ws ins) then Scoreboard
-      else begin
-        match Ptx.Instr.classify ins with
-        | Ptx.Instr.Mem_global | Ptx.Instr.Mem_local ->
-          if Queue.length sm.lsu + lsu_headroom > lsu_capacity then Mem_queue
-          else Ready
-        | Ptx.Instr.Alu | Ptx.Instr.Alu_heavy | Ptx.Instr.Sfu
-        | Ptx.Instr.Mem_shared | Ptx.Instr.Mem_const_param | Ptx.Instr.Ctrl
-        | Ptx.Instr.Barrier -> Ready
-      end
+  else begin
+    let pc = Interp.fetch ws.w in
+    if pc < 0 then Done
+    else if not (sb_ready sm ws pc) then Scoreboard
+    else if
+      Array.unsafe_get sm.code.Dcode.is_gl_mem pc
+      && sm.lsu_len + lsu_headroom > lsu_capacity
+    then Mem_queue
+    else Ready
+  end
 
-let coalesce sm lane_addrs =
+(* Coalescing: the warp's recorded lane addresses, reduced to the sorted
+   set of distinct L1-line indices (in [seg_buf]; ascending, as the
+   reference [List.sort_uniq] produced). Returns the segment count. *)
+let coalesce sm (w : Interp.warp) =
   let line = Int64.of_int sm.cfg.Config.l1_line in
-  List.sort_uniq compare (List.map (fun (_, a) -> Int64.div a line) lane_addrs)
-  |> List.map (fun ln -> Int64.mul ln line)
+  let n = Interp.mem_count w in
+  let buf = sm.seg_buf in
+  for i = 0 to n - 1 do
+    buf.(i) <- Int64.to_int (Int64.div (Interp.mem_addr w i) line)
+  done;
+  for i = 1 to n - 1 do
+    let x = buf.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && buf.(!j) > x do
+      buf.(!j + 1) <- buf.(!j);
+      decr j
+    done;
+    buf.(!j + 1) <- x
+  done;
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if !m = 0 || buf.(i) <> buf.(!m - 1) then begin
+      buf.(!m) <- buf.(i);
+      incr m
+    end
+  done;
+  !m
 
 let release_barrier bs =
   if bs.at_barrier = bs.live_warps && bs.live_warps > 0 then begin
@@ -287,26 +360,45 @@ let finish_warp sm ws =
   end
   else release_barrier bs
 
-let bank_conflict_degree sm lane_addrs =
-  let banks = Hashtbl.create 32 in
-  List.iter
-    (fun (_, a) ->
-       let word = Int64.div a 4L in
-       let bank =
-         Int64.to_int (Int64.rem word (Int64.of_int sm.cfg.Config.shared_banks))
-       in
-       let words = Option.value ~default:[] (Hashtbl.find_opt banks bank) in
-       if not (List.mem word words) then Hashtbl.replace banks bank (word :: words))
-    lane_addrs;
-  Hashtbl.fold (fun _ ws' acc -> max acc (List.length ws')) banks 1
+(* Bank conflicts: lanes hitting the same bank with different word
+   addresses serialise into multiple passes (same-word accesses
+   broadcast for free). Degree = max distinct words on one bank — the
+   bank of a word is its signed remainder, so counts index
+   [bank + shared_banks] to keep negative classes distinct, as the
+   reference Hashtbl keying did. *)
+let bank_conflict_degree sm (w : Interp.warp) =
+  let n = Interp.mem_count w in
+  let words = sm.word_buf in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let word = Int64.to_int (Int64.div (Interp.mem_addr w i) 4L) in
+    let dup = ref false in
+    for j = 0 to !m - 1 do
+      if words.(j) = word then dup := true
+    done;
+    if not !dup then begin
+      words.(!m) <- word;
+      incr m
+    end
+  done;
+  let banks = sm.cfg.Config.shared_banks in
+  Array.fill sm.bank_counts 0 (Array.length sm.bank_counts) 0;
+  let degree = ref 1 in
+  for j = 0 to !m - 1 do
+    let k = (words.(j) mod banks) + banks in
+    let c = sm.bank_counts.(k) + 1 in
+    sm.bank_counts.(k) <- c;
+    if c > !degree then degree := c
+  done;
+  !degree
 
 let issue sm ws =
   let st = sm.st in
   let cfg = sm.cfg in
   let mask = Interp.active_mask ws.w in
   let lanes = Interp.popcount mask in
-  let ins = Option.get (Interp.peek ws.w) in
-  let defs = List.map Interp.reg_key (Ptx.Instr.defs ins) in
+  let pc = Interp.fetch ws.w in
+  let defs = sm.code.Dcode.defs.(pc) in
   let exec = Interp.step ws.w in
   st.Stats.warp_instrs <- st.Stats.warp_instrs + 1;
   st.Stats.thread_instrs <- st.Stats.thread_instrs + lanes;
@@ -319,50 +411,49 @@ let issue sm ws =
      | Ptx.Instr.Mem_shared | Ptx.Instr.Barrier ->
        st.Stats.alu_instrs <- st.Stats.alu_instrs + 1);
     let ready = sm.now + latency_of cfg cls in
-    List.iter (fun k -> set_pending ws k ready) defs
-  | Interp.E_mem { space = Ptx.Types.Shared; write; lane_addrs; _ } ->
-    let n = List.length lane_addrs in
-    (* bank conflicts: lanes hitting the same bank with different word
-       addresses serialise into multiple passes (same-word accesses
-       broadcast for free) *)
-    let degree = bank_conflict_degree sm lane_addrs in
+    for i = 0 to Array.length defs - 1 do
+      set_pending ws defs.(i) ready
+    done
+  | Interp.E_mem { space = Ptx.Types.Shared; write; _ } ->
+    let n = Interp.mem_count ws.w in
+    let degree = bank_conflict_degree sm ws.w in
     st.Stats.shared_bank_conflicts <-
       st.Stats.shared_bank_conflicts + (degree - 1);
     if write then st.Stats.shared_store_lanes <- st.Stats.shared_store_lanes + n
     else begin
       st.Stats.shared_load_lanes <- st.Stats.shared_load_lanes + n;
       let ready = sm.now + cfg.Config.shared_latency + (2 * (degree - 1)) in
-      List.iter (fun k -> set_pending ws k ready) defs
+      for i = 0 to Array.length defs - 1 do
+        set_pending ws defs.(i) ready
+      done
     end
-  | Interp.E_mem { space; write; lane_addrs; _ } ->
+  | Interp.E_mem { space; write; _ } ->
     let local = Ptx.Types.equal_space space Ptx.Types.Local in
-    let n = List.length lane_addrs in
+    let n = Interp.mem_count ws.w in
     (match (local, write) with
      | true, true -> st.Stats.local_store_lanes <- st.Stats.local_store_lanes + n
      | true, false -> st.Stats.local_load_lanes <- st.Stats.local_load_lanes + n
      | false, true -> st.Stats.global_store_lanes <- st.Stats.global_store_lanes + n
      | false, false -> st.Stats.global_load_lanes <- st.Stats.global_load_lanes + n);
-    let segments = coalesce sm lane_addrs in
-    let nsegs = List.length segments in
+    let nsegs = coalesce sm ws.w in
     if local then st.Stats.local_segments <- st.Stats.local_segments + nsegs
     else st.Stats.global_segments <- st.Stats.global_segments + nsegs;
     let bypass = sm.bypass_global && not local in
+    let line = Int64.of_int cfg.Config.l1_line in
     if write then
-      List.iter
-        (fun a ->
-           Queue.add
-             { addr = a; write = true; write_alloc = local; load = None; local; bypass }
-             sm.lsu)
-        segments
+      for i = 0 to nsegs - 1 do
+        let a = Int64.mul (Int64.of_int sm.seg_buf.(i)) line in
+        lsu_push sm a ~write:true ~write_alloc:local ~bypass None
+      done
     else begin
-      let pl = { defs; wslot = ws; remaining = nsegs; ready_at = 0 } in
-      List.iter (fun k -> set_pending ws k infinity_cycle) defs;
-      List.iter
-        (fun a ->
-           Queue.add
-             { addr = a; write = false; write_alloc = true; load = Some pl; local; bypass }
-             sm.lsu)
-        segments
+      let pl = Some { defs; wslot = ws; remaining = nsegs; ready_at = 0 } in
+      for i = 0 to Array.length defs - 1 do
+        set_pending ws defs.(i) infinity_cycle
+      done;
+      for i = 0 to nsegs - 1 do
+        let a = Int64.mul (Int64.of_int sm.seg_buf.(i)) line in
+        lsu_push sm a ~write:false ~write_alloc:true ~bypass pl
+      done
     end
   | Interp.E_barrier ->
     ws.waiting_barrier <- true;
@@ -374,18 +465,21 @@ let issue sm ws =
 let service_lsu sm =
   let ports = ref sm.cfg.Config.l1_ports in
   let blocked = ref false in
-  while (not !blocked) && !ports > 0 && not (Queue.is_empty sm.lsu) do
-    let seg = Queue.peek sm.lsu in
+  while (not !blocked) && !ports > 0 && sm.lsu_len > 0 do
+    let h = sm.lsu_head in
+    let addr = Int64.bits_of_float sm.lsu_addr.(h) in
+    let flags = sm.lsu_flags.(h) in
     let outcome =
-      if seg.bypass then sm.remote ~cycle:sm.now ~addr:seg.addr
+      if flags land 4 <> 0 then sm.remote ~cycle:sm.now ~addr
       else
-        Cache.access sm.l1 ~cycle:sm.now ~addr:seg.addr ~write:seg.write
-          ~write_alloc:seg.write_alloc
+        Cache.access sm.l1 ~cycle:sm.now ~addr ~write:(flags land 1 <> 0)
+          ~write_alloc:(flags land 2 <> 0)
     in
     (match outcome with
      | (Cache.Hit | Cache.Miss _) as r ->
-       ignore (Queue.pop sm.lsu);
-       (match seg.load with
+       let load = sm.lsu_load.(h) in
+       lsu_pop sm;
+       (match load with
         | Some pl ->
           let c =
             match r with
@@ -396,7 +490,9 @@ let service_lsu sm =
           pl.ready_at <- max pl.ready_at c;
           pl.remaining <- pl.remaining - 1;
           if pl.remaining = 0 then
-            List.iter (fun k -> set_pending pl.wslot k pl.ready_at) pl.defs
+            for i = 0 to Array.length pl.defs - 1 do
+              set_pending pl.wslot pl.defs.(i) pl.ready_at
+            done
         | None -> ())
      | Cache.Reserve_fail ->
        sm.st.Stats.lsu_replay_cycles <- sm.st.Stats.lsu_replay_cycles + 1;
@@ -441,7 +537,9 @@ let schedulers_issue sm =
       in
       match pick with
       | Some ws ->
-        sm.greedy.(s) <- Some ws;
+        (match sm.greedy.(s) with
+         | Some g when g == ws -> ()
+         | Some _ | None -> sm.greedy.(s) <- Some ws);
         sm.st.Stats.issue_cycles <- sm.st.Stats.issue_cycles + 1;
         issue sm ws
       | None ->

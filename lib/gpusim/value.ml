@@ -19,6 +19,24 @@ let to_int64 = function
 
 let to_bool v = to_int64 v <> 0L
 
+let is_f = function
+  | F _ -> true
+  | I _ -> false
+
+(* ---------------------------------------------------------------------
+   Bit-pattern kernels.
+
+   A value is equivalently a 64-bit pattern [bits] plus a constructor tag
+   [isf]: for [I i] the pattern is [i], for [F f] it is
+   [Int64.bits_of_float f]. Both the float view ([to_float_bits_aware])
+   and the integer-bits view ([to_int_bits_aware]) depend only on the
+   pattern, so almost every operation below is tag-insensitive; the tag
+   matters solely for the *value* conversion [to_int64] (and hence
+   [to_bool] and predicate truncation). The boxed API is a thin wrapper
+   over these kernels, and the interpreter's unboxed fast path calls
+   them directly on flat register files — keeping one source of truth
+   for the simulated arithmetic. *)
+
 let mask_width w i =
   match w with
   | 1 -> Int64.logand i 0xFFL
@@ -35,40 +53,32 @@ let sign_extend w i =
 
 let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
 
-(* moving a float value through an integer-typed slot (or vice versa)
-   reinterprets the bits, as a real register file would *)
-let to_float_bits_aware = function
-  | F f -> f
-  | I i -> Int64.float_of_bits i
+let to_int64_bits ~isf bits =
+  if isf then Int64.of_float (Int64.float_of_bits bits) else bits
 
-let to_int_bits_aware = function
-  | I i -> i
-  | F f -> Int64.bits_of_float f
+let to_bool_bits ~isf bits = to_int64_bits ~isf bits <> 0L
 
-let truncate ty v =
-  let w = Ptx.Types.width_bytes ty in
+let truncate_bits ty ~isf bits =
   match ty with
-  | Ptx.Types.F32 -> F (round_f32 (to_float_bits_aware v))
-  | Ptx.Types.F64 -> F (to_float_bits_aware v)
-  | Ptx.Types.Pred -> I (if to_bool v then 1L else 0L)
-  | Ptx.Types.S16 | Ptx.Types.S32 | Ptx.Types.S64 ->
-    I (sign_extend w (to_int_bits_aware v))
-  | Ptx.Types.U16 | Ptx.Types.U32 | Ptx.Types.U64 | Ptx.Types.B8
-  | Ptx.Types.B16 | Ptx.Types.B32 | Ptx.Types.B64 ->
-    I (mask_width w (to_int_bits_aware v))
+  | Ptx.Types.F32 ->
+    Int64.bits_of_float (round_f32 (Int64.float_of_bits bits))
+  | Ptx.Types.F64 -> bits
+  | Ptx.Types.Pred -> if to_bool_bits ~isf bits then 1L else 0L
+  | Ptx.Types.S16 -> sign_extend 2 bits
+  | Ptx.Types.S32 -> sign_extend 4 bits
+  | Ptx.Types.S64 -> bits
+  | Ptx.Types.U16 | Ptx.Types.B16 -> mask_width 2 bits
+  | Ptx.Types.U32 | Ptx.Types.B32 -> mask_width 4 bits
+  | Ptx.Types.U64 | Ptx.Types.B64 -> bits
+  | Ptx.Types.B8 -> mask_width 1 bits
 
-let as_signed ty v =
-  let w = Ptx.Types.width_bytes ty in
-  sign_extend w (to_int_bits_aware v)
+let as_signed_bits ty bits = sign_extend (Ptx.Types.width_bytes ty) bits
+let as_unsigned_bits ty bits = mask_width (Ptx.Types.width_bytes ty) bits
 
-let as_unsigned ty v =
-  let w = Ptx.Types.width_bytes ty in
-  mask_width w (to_int_bits_aware v)
-
-let int_binop op ty a b =
+let int_binop_bits op ty a b =
   let signed = Ptx.Types.is_signed ty in
-  let x = if signed then as_signed ty a else as_unsigned ty a in
-  let y = if signed then as_signed ty b else as_unsigned ty b in
+  let x = if signed then as_signed_bits ty a else as_unsigned_bits ty a in
+  let y = if signed then as_signed_bits ty b else as_unsigned_bits ty b in
   let r =
     match op with
     | Ptx.Instr.Add -> Int64.add x y
@@ -86,10 +96,10 @@ let int_binop op ty a b =
       let s = Int64.to_int (Int64.logand y 63L) in
       if signed then Int64.shift_right x s else Int64.shift_right_logical x s
   in
-  truncate ty (I r)
+  truncate_bits ty ~isf:false r
 
-let float_binop op ty a b =
-  let x = to_float_bits_aware a and y = to_float_bits_aware b in
+let float_binop_bits op ty a b =
+  let x = Int64.float_of_bits a and y = Int64.float_of_bits b in
   let r =
     match op with
     | Ptx.Instr.Add -> x +. y
@@ -103,14 +113,15 @@ let float_binop op ty a b =
     | Ptx.Instr.Shr ->
       invalid_arg "Value: bitwise op on float type"
   in
-  truncate ty (F r)
+  truncate_bits ty ~isf:true (Int64.bits_of_float r)
 
-let binop op ty a b =
-  if Ptx.Types.is_float ty then float_binop op ty a b else int_binop op ty a b
+let binop_bits op ty a b =
+  if Ptx.Types.is_float ty then float_binop_bits op ty a b
+  else int_binop_bits op ty a b
 
-let unop op ty a =
-  if Ptx.Types.is_float ty then
-    let x = to_float_bits_aware a in
+let unop_bits op ty a =
+  if Ptx.Types.is_float ty then begin
+    let x = Int64.float_of_bits a in
     let r =
       match op with
       | Ptx.Instr.Neg -> -.x
@@ -121,9 +132,10 @@ let unop op ty a =
       | Ptx.Instr.Lg2 -> Float.log2 x
       | Ptx.Instr.Not -> invalid_arg "Value: not on float type"
     in
-    truncate ty (F r)
-  else
-    let x = as_signed ty a in
+    truncate_bits ty ~isf:true (Int64.bits_of_float r)
+  end
+  else begin
+    let x = as_signed_bits ty a in
     let r =
       match op with
       | Ptx.Instr.Neg -> Int64.neg x
@@ -132,21 +144,24 @@ let unop op ty a =
       | Ptx.Instr.Sqrt | Ptx.Instr.Rcp | Ptx.Instr.Ex2 | Ptx.Instr.Lg2 ->
         invalid_arg "Value: SFU op on integer type"
     in
-    truncate ty (I r)
+    truncate_bits ty ~isf:false r
+  end
 
-let mad ty a b c =
+let mad_bits ty a b c =
   if Ptx.Types.is_float ty then
-    truncate ty
-      (F ((to_float_bits_aware a *. to_float_bits_aware b) +. to_float_bits_aware c))
-  else binop Ptx.Instr.Add ty (binop Ptx.Instr.Mul_lo ty a b) c
+    truncate_bits ty ~isf:true
+      (Int64.bits_of_float
+         ((Int64.float_of_bits a *. Int64.float_of_bits b)
+          +. Int64.float_of_bits c))
+  else binop_bits Ptx.Instr.Add ty (binop_bits Ptx.Instr.Mul_lo ty a b) c
 
-let compare_values cmp ty a b =
+let compare_bits cmp ty a b =
   let r =
     if Ptx.Types.is_float ty then
-      Stdlib.compare (to_float_bits_aware a) (to_float_bits_aware b)
+      Stdlib.compare (Int64.float_of_bits a) (Int64.float_of_bits b)
     else if Ptx.Types.is_signed ty then
-      Int64.compare (as_signed ty a) (as_signed ty b)
-    else Int64.unsigned_compare (as_unsigned ty a) (as_unsigned ty b)
+      Int64.compare (as_signed_bits ty a) (as_signed_bits ty b)
+    else Int64.unsigned_compare (as_unsigned_bits ty a) (as_unsigned_bits ty b)
   in
   match cmp with
   | Ptx.Instr.Eq -> r = 0
@@ -156,22 +171,41 @@ let compare_values cmp ty a b =
   | Ptx.Instr.Gt -> r > 0
   | Ptx.Instr.Ge -> r >= 0
 
-let convert ~dst ~src v =
+let convert_bits ~dst ~src bits =
   match (Ptx.Types.is_float dst, Ptx.Types.is_float src) with
-  | true, true -> truncate dst (F (to_float_bits_aware v))
+  | true, true -> truncate_bits dst ~isf:true bits
   | true, false ->
     let i =
-      if Ptx.Types.is_signed src then as_signed src v else as_unsigned src v
+      if Ptx.Types.is_signed src then as_signed_bits src bits
+      else as_unsigned_bits src bits
     in
-    truncate dst (F (Int64.to_float i))
+    truncate_bits dst ~isf:true (Int64.bits_of_float (Int64.to_float i))
   | false, true ->
     (* float to int: round toward zero, as PTX cvt.rzi does by default *)
-    truncate dst (I (Int64.of_float (to_float_bits_aware v)))
+    truncate_bits dst ~isf:false (Int64.of_float (Int64.float_of_bits bits))
   | false, false ->
     let i =
-      if Ptx.Types.is_signed src then as_signed src v else as_unsigned src v
+      if Ptx.Types.is_signed src then as_signed_bits src bits
+      else as_unsigned_bits src bits
     in
-    truncate dst (I i)
+    truncate_bits dst ~isf:false i
+
+(* ---------------------------------------------------------------------
+   Boxed wrappers: the original [Value.t] API, expressed through the
+   bit-pattern kernels so the two can never drift apart. A result is
+   [F]-tagged exactly when the operation's scalar type is a float type
+   (moving a float value through an integer-typed slot, or vice versa,
+   reinterprets the bits, as a real register file would). *)
+
+let of_bits ty bits =
+  if Ptx.Types.is_float ty then F (Int64.float_of_bits bits) else I bits
+
+let truncate ty v = of_bits ty (truncate_bits ty ~isf:(is_f v) (to_bits v))
+let binop op ty a b = of_bits ty (binop_bits op ty (to_bits a) (to_bits b))
+let unop op ty a = of_bits ty (unop_bits op ty (to_bits a))
+let mad ty a b c = of_bits ty (mad_bits ty (to_bits a) (to_bits b) (to_bits c))
+let compare_values cmp ty a b = compare_bits cmp ty (to_bits a) (to_bits b)
+let convert ~dst ~src v = of_bits dst (convert_bits ~dst ~src (to_bits v))
 
 let equal a b =
   match (a, b) with

@@ -10,6 +10,7 @@ type t =
 val zero : t
 val to_bits : t -> int64
 val of_int : int -> t
+val is_f : t -> bool
 
 val truncate : Ptx.Types.scalar -> t -> t
 (** Normalise a value to the given type: mask integers to the width (with
@@ -27,3 +28,27 @@ val compare_values : Ptx.Instr.cmp -> Ptx.Types.scalar -> t -> t -> bool
 val convert : dst:Ptx.Types.scalar -> src:Ptx.Types.scalar -> t -> t
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Bit-pattern kernels}
+
+    A value is equivalently a 64-bit pattern plus a constructor tag
+    [isf] ([I i] ↔ pattern [i]; [F f] ↔ pattern [Int64.bits_of_float f]).
+    The interpreter's allocation-free fast path stores only patterns (and
+    a per-lane tag bit where the tag is observable) in flat register
+    files, and evaluates instructions through these kernels. The boxed
+    API above is defined in terms of them, so the two representations
+    cannot drift apart. The tag is observable only through [to_int64]
+    — i.e. [to_int64_bits], [to_bool_bits] and predicate truncation. *)
+
+val of_bits : Ptx.Types.scalar -> int64 -> t
+(** Box a bit pattern: [F]-tagged iff the type is a float type. *)
+
+val to_int64_bits : isf:bool -> int64 -> int64
+val to_bool_bits : isf:bool -> int64 -> bool
+val truncate_bits : Ptx.Types.scalar -> isf:bool -> int64 -> int64
+val binop_bits : Ptx.Instr.binop -> Ptx.Types.scalar -> int64 -> int64 -> int64
+val unop_bits : Ptx.Instr.unop -> Ptx.Types.scalar -> int64 -> int64
+val mad_bits : Ptx.Types.scalar -> int64 -> int64 -> int64 -> int64
+val compare_bits : Ptx.Instr.cmp -> Ptx.Types.scalar -> int64 -> int64 -> bool
+val convert_bits : dst:Ptx.Types.scalar -> src:Ptx.Types.scalar -> int64 -> int64
+val round_f32 : float -> float
