@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-perf clean
+.PHONY: all build test verify bench bench-smoke bench-perf clean
 
 all: build
 
@@ -7,6 +7,11 @@ build:
 
 test:
 	dune runtest
+
+# static-verifier sweep: every workload kernel at every compiler stage,
+# plus the seeded known-bad corpus; fails on any error-severity diagnostic
+verify:
+	dune exec bin/crat_cli.exe -- verify --all --corpus
 
 bench:
 	dune exec bench/main.exe

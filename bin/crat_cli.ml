@@ -9,7 +9,11 @@
      simulate APP [-t TLP] [...]  one timing-simulator run with statistics
      optimize APP [...]           the full CRAT pipeline + comparison
      trace APP [-w N] [-n N]      per-warp execution trace
-     passes APP                   run the ptxopt cleanup pipeline *)
+     passes APP                   run the ptxopt cleanup pipeline
+     verify APP | --all [...]     static verifier / allocation auditor
+
+   The allocate/simulate/optimize/passes commands also take [--verify],
+   which arms the in-pipeline verifier gate (same as CRAT_VERIFY=1). *)
 
 open Cmdliner
 
@@ -47,6 +51,16 @@ let positive_int =
 let jobs_arg =
   Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Fan independent allocations/simulations over $(docv) domains.")
+
+let gate_arg =
+  let doc =
+    "Arm the static-verifier gate: every pipeline stage is re-verified and \
+     the command aborts on the first error-severity diagnostic (same as \
+     setting CRAT_VERIFY=1)."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let arm_gate enabled = if enabled then Verify.Gate.set true
 
 (* ---------- apps ---------- *)
 
@@ -98,10 +112,12 @@ let do_allocate kernel ~block_size ~regs ~spare ~linear_scan ~dump =
     else Regalloc.Allocator.Chaitin_briggs
   in
   let shared_policy = if spare > 0 then `Spare spare else `Off in
+  Verify.Gate.check_kernel ~stage:"cli:pre-alloc" ~block_size kernel;
   let a =
     Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
       ~reg_limit:regs kernel
   in
+  Verify.Gate.check_allocation ~stage:"cli:post-alloc" a;
   Format.printf
     "allocated at limit %d: %d units used, %d predicates, %d spilled@." regs
     a.Regalloc.Allocator.units_used a.Regalloc.Allocator.pred_used
@@ -127,14 +143,16 @@ let dump_arg =
 
 let allocate_cmd =
   let doc = "Allocate registers for a suite kernel at a per-thread limit." in
-  let run abbr regs spare linear_scan dump =
+  let run abbr regs spare linear_scan dump gate =
+    arm_gate gate;
     let app = find_app abbr in
     let regs = Option.value ~default:app.Workloads.App.default_regs regs in
     do_allocate (Workloads.App.kernel app)
       ~block_size:app.Workloads.App.block_size ~regs ~spare ~linear_scan ~dump
   in
   Cmd.v (Cmd.info "allocate" ~doc)
-    Term.(const run $ app_arg $ regs_arg $ spare_arg $ ls_arg $ dump_arg)
+    Term.(const run $ app_arg $ regs_arg $ spare_arg $ ls_arg $ dump_arg
+          $ gate_arg)
 
 let allocate_file_cmd =
   let doc = "Allocate registers for an external PTX kernel file." in
@@ -147,7 +165,8 @@ let allocate_file_cmd =
   let block =
     Arg.(value & opt int 128 & info [ "block" ] ~docv:"N" ~doc:"Thread-block size.")
   in
-  let run file regs block spare linear_scan dump =
+  let run file regs block spare linear_scan dump gate =
+    arm_gate gate;
     let src = In_channel.with_open_text file In_channel.input_all in
     match Ptx.Parser.parse_kernel src with
     | Error msg ->
@@ -157,7 +176,8 @@ let allocate_file_cmd =
       do_allocate kernel ~block_size:block ~regs ~spare ~linear_scan ~dump
   in
   Cmd.v (Cmd.info "allocate-file" ~doc)
-    Term.(const run $ file $ regs $ block $ spare_arg $ ls_arg $ dump_arg)
+    Term.(const run $ file $ regs $ block $ spare_arg $ ls_arg $ dump_arg
+          $ gate_arg)
 
 (* ---------- simulate ---------- *)
 
@@ -171,7 +191,8 @@ let simulate_cmd =
     Arg.(value & opt string "default" & info [ "input" ] ~docv:"LABEL"
            ~doc:"Input label (see the app's descriptor).")
   in
-  let run kepler abbr regs tlp input_label =
+  let run kepler abbr regs tlp input_label gate =
+    arm_gate gate;
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let regs = Option.value ~default:app.Workloads.App.default_regs regs in
@@ -180,6 +201,8 @@ let simulate_cmd =
       Regalloc.Allocator.allocate ~block_size:app.Workloads.App.block_size
         ~reg_limit:regs (Workloads.App.kernel app)
     in
+    Verify.Gate.check_allocation
+      ~stage:(abbr ^ ":post-alloc") a;
     let r = Crat.Resource.analyze cfg app in
     let occ = Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at r ~regs) in
     let tlp = Option.value ~default:occ tlp in
@@ -192,13 +215,15 @@ let simulate_cmd =
     Format.printf "energy: %a@." Energy.pp (Energy.of_stats st)
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ kepler_arg $ app_arg $ regs_arg $ tlp_arg $ input_arg)
+    Term.(const run $ kepler_arg $ app_arg $ regs_arg $ tlp_arg $ input_arg
+          $ gate_arg)
 
 (* ---------- passes ---------- *)
 
 let passes_cmd =
   let doc = "Run the cleanup pipeline (const-fold, copy-prop, DCE) on a kernel." in
-  let run abbr dump =
+  let run abbr dump gate =
+    arm_gate gate;
     let app = find_app abbr in
     let k = Workloads.App.kernel app in
     let k', report = Ptxopt.Pipeline.run k in
@@ -207,7 +232,8 @@ let passes_cmd =
       Ptxopt.Pipeline.pp_report report;
     if dump then print_string (Ptx.Printer.kernel_to_string k')
   in
-  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ app_arg $ dump_arg)
+  Cmd.v (Cmd.info "passes" ~doc)
+    Term.(const run $ app_arg $ dump_arg $ gate_arg)
 
 (* ---------- trace ---------- *)
 
@@ -253,7 +279,8 @@ let optimize_cmd =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the engine's job/cache statistics after the run.")
   in
-  let run kepler abbr static no_shared jobs report =
+  let run kepler abbr static no_shared jobs report gate =
+    arm_gate gate;
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let mode = if static then `Static else `Profile in
@@ -278,7 +305,123 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg
-          $ jobs_arg $ report_arg)
+          $ jobs_arg $ report_arg $ gate_arg)
+
+(* ---------- verify ---------- *)
+
+let print_diags diags =
+  List.iter
+    (fun d -> Format.printf "    %s@." (Verify.Diagnostic.to_string d))
+    (Verify.Diagnostic.sort diags)
+
+(* Verify one stage; prints a one-line summary (plus the diagnostics when
+   there are any) and returns whether an error-severity one fired. *)
+let verify_stage abbr stage diags =
+  let errs = List.length (Verify.Diagnostic.errors diags) in
+  let warns = List.length (Verify.Diagnostic.warnings diags) in
+  if diags = [] then Format.printf "%-5s %-10s ok@." abbr stage
+  else begin
+    Format.printf "%-5s %-10s %d error(s), %d warning(s)@." abbr stage errs
+      warns;
+    print_diags diags
+  end;
+  errs > 0
+
+let verify_app ~regs ~linear_scan ~spare (app : Workloads.App.t) =
+  let abbr = app.Workloads.App.abbr in
+  let block_size = app.Workloads.App.block_size in
+  let regs = Option.value ~default:app.Workloads.App.default_regs regs in
+  let strategy =
+    if linear_scan then Regalloc.Allocator.Linear_scan
+    else Regalloc.Allocator.Chaitin_briggs
+  in
+  let shared_policy = if spare > 0 then `Spare spare else `Off in
+  let k = Workloads.App.kernel app in
+  let pre = verify_stage abbr "pre-opt" (Verify.Checker.check_kernel ~block_size k) in
+  let k', _ = Ptxopt.Pipeline.run k in
+  let post =
+    verify_stage abbr "post-opt" (Verify.Checker.check_kernel ~block_size k')
+  in
+  let a =
+    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
+      ~reg_limit:regs k
+  in
+  let alloc =
+    verify_stage abbr "post-alloc" (Verify.Checker.check_allocation a)
+  in
+  pre || post || alloc
+
+let verify_corpus () =
+  List.fold_left
+    (fun bad (c : Verify.Corpus.case) ->
+       let diags = Verify.Corpus.diagnostics_of c in
+       let hit =
+         List.exists
+           (fun d ->
+              Verify.Diagnostic.is_error d
+              && d.Verify.Diagnostic.code = c.Verify.Corpus.expect)
+           diags
+       in
+       Format.printf "corpus %-9s expecting %s: %s@." c.Verify.Corpus.label
+         c.Verify.Corpus.expect
+         (if hit then "rejected as expected" else "NOT CAUGHT");
+       print_diags diags;
+       bad || not hit)
+    false
+    (Verify.Corpus.cases ())
+
+let verify_cmd =
+  let doc =
+    "Statically verify a kernel at every compiler stage (pre-opt, post-opt, \
+     post-allocation) and audit the register allocation."
+  in
+  let app_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
+           ~doc:"Application abbreviation; omit with $(b,--all).")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Sweep every suite kernel; exit 1 on any error diagnostic.")
+  in
+  let corpus_arg =
+    Arg.(value & flag & info [ "corpus" ]
+           ~doc:"Also run the seeded known-bad corpus; each case must be \
+                 rejected with its documented code.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ]
+           ~doc:"List the documented diagnostic codes and exit.")
+  in
+  let run abbr all corpus codes regs linear_scan spare =
+    if codes then
+      List.iter
+        (fun (c, d) -> Format.printf "%s  %s@." c d)
+        Verify.Diagnostic.all_codes
+    else begin
+      let apps =
+        if all then Workloads.Suite.all
+        else
+          match abbr with
+          | Some a -> [ find_app a ]
+          | None ->
+            if corpus then []
+            else begin
+              Format.eprintf "verify: name an APP or pass --all@.";
+              exit 2
+            end
+      in
+      let bad =
+        List.fold_left
+          (fun acc app -> verify_app ~regs ~linear_scan ~spare app || acc)
+          false apps
+      in
+      let bad = if corpus then verify_corpus () || bad else bad in
+      if bad then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ app_opt $ all_arg $ corpus_arg $ codes_arg $ regs_arg
+          $ ls_arg $ spare_arg)
 
 let () =
   let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in
@@ -286,6 +429,6 @@ let () =
   let group =
     Cmd.group info
       [ apps_cmd; config_cmd; analyze_cmd; allocate_cmd; allocate_file_cmd
-      ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd ]
+      ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd; verify_cmd ]
   in
   exit (Cmd.eval group)

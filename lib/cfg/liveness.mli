@@ -11,6 +11,11 @@ type t =
 
 val compute : Flow.t -> t
 
+val block_use_def : Flow.t -> Flow.block -> Ptx.Reg.Set.t * Ptx.Reg.Set.t
+(** Block-level [(use, def)]: registers read before any write in the
+    block, and registers written — the transfer-function ingredients,
+    exported so forward dataflow passes (lib/verify) can reuse them. *)
+
 val pressure_at : Ptx.Reg.Set.t -> int
 (** Register-file units (32-bit registers) occupied by a live set;
     predicates cost nothing. *)

@@ -166,11 +166,18 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
     a
   | None ->
     let shared_policy = if shared_spare > 0 then `Spare shared_spare else `Off in
+    (* debug gate: verify the input kernel and audit the allocation; both
+       are no-ops unless CRAT_VERIFY / Verify.Gate.set enables them *)
+    Verify.Gate.check_kernel
+      ~stage:(app.Workloads.App.abbr ^ ":pre-alloc")
+      ~block_size kernel;
     let t0 = now () in
     let a =
       Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
         ~reg_limit kernel
     in
+    Verify.Gate.check_allocation
+      ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
     let dt = now () -. t0 in
     locked t (fun () ->
       t.alloc_runs <- t.alloc_runs + 1;

@@ -5,11 +5,21 @@ type report =
   ; iterations : int
   }
 
+(* The verifier gate is a no-op unless enabled (CRAT_VERIFY=1 or
+   Verify.Gate.set); when enabled, every pass output is re-checked and a
+   miscompile surfaces as Verify.Gate.Rejected at the offending stage
+   instead of as a silently wrong simulation. *)
+let gate stage k = Verify.Gate.check_kernel ~stage k
+
 let run k =
+  gate "opt:input" k;
   let rec loop k acc iters =
     let k, f = Constfold.run k in
+    gate "opt:constfold" k;
     let k, p = Copyprop.run k in
+    gate "opt:copyprop" k;
     let k, e = Dce.run k in
+    gate "opt:dce" k;
     let acc =
       { folded = acc.folded + f
       ; propagated = acc.propagated + p

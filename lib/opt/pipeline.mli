@@ -1,6 +1,11 @@
 (** The standard cleanup pipeline run after kernel construction or spill
     insertion: constant folding, copy propagation, then dead-code
-    elimination, iterated until nothing changes. *)
+    elimination, iterated until nothing changes.
+
+    When the verifier gate is enabled ([CRAT_VERIFY=1] or
+    [Verify.Gate.set true]), the output of every pass is statically
+    re-verified and {!run} raises [Verify.Gate.Rejected] if a pass
+    produced an error-severity diagnostic. *)
 
 type report =
   { folded : int

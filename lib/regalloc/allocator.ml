@@ -14,6 +14,9 @@ type shared_policy =
 type t =
   { kernel : Ptx.Kernel.t
   ; original : Ptx.Kernel.t
+  ; virtual_kernel : Ptx.Kernel.t
+  ; assignment : Ptx.Reg.t RMap.t
+  ; block_size : int
   ; reg_limit : int
   ; units_used : int
   ; pred_used : int
@@ -180,6 +183,11 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
         | None -> r
       in
       let allocated = Ptx.Kernel.map_instrs (Ptx.Instr.map_regs lookup) k' in
+      let assignment =
+        RSet.fold
+          (fun r acc -> RMap.add r (lookup r) acc)
+          (Ptx.Kernel.registers k') RMap.empty
+      in
       let weighted space =
         List.fold_left
           (fun acc (p : Spill.placement) ->
@@ -189,6 +197,9 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
       in
       { kernel = allocated
       ; original = k
+      ; virtual_kernel = k'
+      ; assignment
+      ; block_size
       ; reg_limit
       ; units_used = r32.Coloring.colors_used + (2 * r64.Coloring.colors_used)
       ; pred_used = rp.Coloring.colors_used

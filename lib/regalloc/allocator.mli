@@ -31,6 +31,16 @@ type t =
   { kernel : Ptx.Kernel.t
       (** allocated kernel: physical registers, spill code inserted *)
   ; original : Ptx.Kernel.t
+  ; virtual_kernel : Ptx.Kernel.t
+      (** the post-spill kernel, still on virtual registers — the input
+          of the final colouring, kept so an independent auditor
+          (lib/verify) can re-derive live ranges and re-check the
+          assignment *)
+  ; assignment : Ptx.Reg.t Ptx.Reg.Map.t
+      (** virtual register -> physical register, covering every register
+          of [virtual_kernel]; [kernel] is exactly [virtual_kernel] under
+          this substitution *)
+  ; block_size : int  (** the launch block size the spill layout assumed *)
   ; reg_limit : int  (** the requested per-thread limit, in 32-bit units *)
   ; units_used : int
       (** 32-bit register units actually occupied per thread *)

@@ -43,6 +43,14 @@ type stats =
   ; num_remat : int  (** rematerialisation moves inserted *)
   }
 
+val local_stack_sym : string
+(** Name of the per-thread local spill-stack symbol ([SpillStack]). *)
+
+val shared_stack_sym : string
+(** Name of the block-wide shared spill-stack symbol ([SpillShm]);
+    address analyses (lib/verify) recognise the per-thread sub-stack
+    addressing pattern through it. *)
+
 val apply : block_size:int -> Ptx.Kernel.t -> spec -> Ptx.Kernel.t * stats
 (** Rewrite the kernel: every use of a spilled register loads it into a
     fresh temporary first; every def stores it back afterwards.

@@ -1,0 +1,99 @@
+open Ptx
+
+type form =
+  { sym : string option
+  ; tid : int
+  ; base : int
+  ; exact : bool
+  }
+
+let opaque = { sym = None; tid = 0; base = 0; exact = false }
+let const n = { sym = None; tid = 0; base = n; exact = true }
+
+type env =
+  { flow : Cfg.Flow.t
+  ; defs : int list Reg.Tbl.t  (** all definition sites, ascending *)
+  }
+
+let env_of (flow : Cfg.Flow.t) =
+  let defs = Reg.Tbl.create 64 in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    List.iter
+      (fun r ->
+         let prev = Option.value ~default:[] (Reg.Tbl.find_opt defs r) in
+         Reg.Tbl.replace defs r (prev @ [ i ]))
+      (Instr.defs ins));
+  { flow; defs }
+
+(* The definition of [r] whose value instruction [i] observes: nearest
+   preceding def in the same block, else the unique kernel-wide def. *)
+let reaching_def env i r =
+  let flow = env.flow in
+  let b = flow.Cfg.Flow.blocks.(flow.Cfg.Flow.block_of_instr.(i)) in
+  let rec back j =
+    if j < b.Cfg.Flow.first then None
+    else if List.exists (Reg.equal r) (Instr.defs flow.Cfg.Flow.instrs.(j))
+    then Some j
+    else back (j - 1)
+  in
+  match back (i - 1) with
+  | Some j -> Some j
+  | None ->
+    (match Reg.Tbl.find_opt env.defs r with
+     | Some [ j ] -> Some j
+     | Some _ | None -> None)
+
+let add_form a b =
+  if not (a.exact && b.exact) then opaque
+  else
+    match (a.sym, b.sym) with
+    | Some _, Some _ -> opaque
+    | s, None | None, s ->
+      { sym = s; tid = a.tid + b.tid; base = a.base + b.base; exact = true }
+
+let sub_form a b =
+  if not (a.exact && b.exact) || b.sym <> None then opaque
+  else { a with tid = a.tid - b.tid; base = a.base - b.base }
+
+let scale_form a c =
+  if not a.exact || a.sym <> None then opaque
+  else { a with tid = a.tid * c; base = a.base * c }
+
+let mul_form a b =
+  if not (a.exact && b.exact) then opaque
+  else if a.sym = None && a.tid = 0 then scale_form b a.base
+  else if b.sym = None && b.tid = 0 then scale_form a b.base
+  else opaque
+
+let rec eval env i op depth =
+  if depth <= 0 then opaque
+  else
+    match op with
+    | Instr.Oimm n -> const (Int64.to_int n)
+    | Instr.Ospecial Reg.Tid_x -> { sym = None; tid = 1; base = 0; exact = true }
+    | Instr.Ospecial _ | Instr.Ofimm _ | Instr.Oparam _ -> opaque
+    | Instr.Osym s -> { sym = Some s; tid = 0; base = 0; exact = true }
+    | Instr.Oreg r ->
+      (match reaching_def env i r with
+       | None -> opaque
+       | Some d -> eval_def env d depth)
+
+and eval_def env d depth =
+  let ev op = eval env d op (depth - 1) in
+  match env.flow.Cfg.Flow.instrs.(d) with
+  | Instr.Mov (_, _, a) | Instr.Cvt (_, _, _, a) -> ev a
+  | Instr.Binop (Instr.Add, _, _, a, b) -> add_form (ev a) (ev b)
+  | Instr.Binop (Instr.Sub, _, _, a, b) -> sub_form (ev a) (ev b)
+  | Instr.Binop (Instr.Mul_lo, _, _, a, b) -> mul_form (ev a) (ev b)
+  | Instr.Binop (Instr.Shl, _, _, a, b) ->
+    (match ev b with
+     | { sym = None; tid = 0; base = c; exact = true } when c >= 0 && c < 31 ->
+       scale_form (ev a) (1 lsl c)
+     | _ -> opaque)
+  | Instr.Mad (_, _, a, b, c) -> add_form (mul_form (ev a) (ev b)) (ev c)
+  | _ -> opaque
+
+let eval_operand env i op = eval env i op 64
+
+let eval_address env i (addr : Instr.address) =
+  add_form (eval_operand env i addr.Instr.base) (const addr.Instr.offset)

@@ -1,0 +1,29 @@
+(** Symbolic address analysis: best-effort evaluation of an operand at a
+    program point into the affine form [sym + tid_coeff * tid.x + base].
+    Register values are chased through the nearest preceding definition
+    in the same block, falling back to a unique whole-kernel definition;
+    anything else (loads, [rem], multiple reaching defs, ...) is opaque.
+
+    [exact = false] means the form is unknown — only conservative
+    conclusions may be drawn. The analysis never claims exactness
+    wrongly, so disjointness proofs built on exact forms are sound. *)
+
+type form =
+  { sym : string option
+  ; tid : int  (** coefficient of [tid.x] *)
+  ; base : int  (** constant byte offset *)
+  ; exact : bool
+  }
+
+val opaque : form
+
+type env
+
+val env_of : Cfg.Flow.t -> env
+
+val eval_operand : env -> int -> Ptx.Instr.operand -> form
+(** [eval_operand env i op]: the form of [op] as observed by instruction
+    [i] (a flat instruction index). *)
+
+val eval_address : env -> int -> Ptx.Instr.address -> form
+(** Base form plus the constant address offset. *)

@@ -1,0 +1,255 @@
+open Ptx
+module D = Diagnostic
+module A = Regalloc.Allocator
+module RMap = Reg.Map
+module RSet = Reg.Set
+module ISet = Set.Make (Int)
+
+let subst (a : A.t) r =
+  match RMap.find_opt r a.A.assignment with
+  | Some p -> p
+  | None -> r
+
+(* slots are keyed by (space, offset); encode shared slots as odd ints *)
+let slot_key space offset =
+  (offset * 2) + (if Types.equal_space space Types.Shared then 1 else 0)
+
+let slot_name key =
+  Printf.sprintf "%s+%d"
+    (if key land 1 = 1 then Regalloc.Spill.shared_stack_sym
+     else Regalloc.Spill.local_stack_sym)
+    (key asr 1)
+
+(* a resolved access into one of the two spill stacks, if any *)
+let slot_of env i ins =
+  match ins with
+  | Instr.Ld (((Types.Local | Types.Shared) as sp), ty, _, addr)
+  | Instr.St (((Types.Local | Types.Shared) as sp), ty, addr, _) ->
+    let form = Affine.eval_address env i addr in
+    let stack_sym =
+      match sp with
+      | Types.Shared -> Regalloc.Spill.shared_stack_sym
+      | _ -> Regalloc.Spill.local_stack_sym
+    in
+    if form.Affine.exact && form.Affine.sym = Some stack_sym then
+      Some
+        ( slot_key sp form.Affine.base
+        , sp
+        , form.Affine.base
+        , Types.width_bytes ty
+        , Instr.is_store ins )
+    else None
+  | _ -> None
+
+let check (a : A.t) =
+  let kernel = a.A.kernel.Kernel.name in
+  let vk = a.A.virtual_kernel in
+  let diags = ref [] in
+  let err ?instr code msg =
+    diags := D.error ?instr ~kernel ~code msg :: !diags
+  in
+  (* ----- V505: assignment coverage, class preservation, substitution ----- *)
+  let vregs = Kernel.registers vk in
+  RSet.iter
+    (fun r ->
+       match RMap.find_opt r a.A.assignment with
+       | None ->
+         err "V505"
+           (Printf.sprintf "virtual register %s has no physical assignment"
+              (Reg.name r))
+       | Some p ->
+         if Types.reg_class (Reg.ty p) <> Types.reg_class (Reg.ty r) then
+           err "V505"
+             (Printf.sprintf "virtual register %s mapped across classes to %s"
+                (Reg.name r) (Reg.name p)))
+    vregs;
+  let expected = Kernel.instrs (Kernel.map_instrs (Instr.map_regs (subst a)) vk) in
+  let actual = Kernel.instrs a.A.kernel in
+  if
+    List.length expected <> List.length actual
+    || not (List.for_all2 Instr.equal expected actual)
+  then
+    err "V505"
+      "allocated kernel is not the assignment substitution of the virtual \
+       kernel";
+  List.iter
+    (fun (p : Regalloc.Spill.placement) ->
+       if RSet.mem p.Regalloc.Spill.reg vregs then
+         err "V505"
+           (Printf.sprintf
+              "spilled register %s is still referenced by the virtual kernel"
+              (Reg.name p.Regalloc.Spill.reg)))
+    a.A.spilled;
+  (* ----- V501: re-derived live ranges vs the assignment ----- *)
+  let flow = Cfg.Flow.of_kernel vk in
+  let live = Cfg.Liveness.compute flow in
+  let reported = Hashtbl.create 16 in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    let out = live.Cfg.Liveness.live_out.(i) in
+    let exempt =
+      match ins with
+      | Instr.Mov (_, d, Instr.Oreg s) -> Some (d, s)
+      | _ -> None
+    in
+    List.iter
+      (fun d ->
+         RSet.iter
+           (fun v ->
+              let is_exempt =
+                match exempt with
+                | Some (d', s) -> Reg.equal d d' && Reg.equal v s
+                | None -> false
+              in
+              if
+                (not (Reg.equal v d))
+                && Types.reg_class (Reg.ty v) = Types.reg_class (Reg.ty d)
+                && not is_exempt
+              then begin
+                let pd = subst a d and pv = subst a v in
+                if Reg.id pd = Reg.id pv then begin
+                  let key =
+                    if Reg.compare d v < 0 then (d, v) else (v, d)
+                  in
+                  if not (Hashtbl.mem reported key) then begin
+                    Hashtbl.add reported key ();
+                    err ~instr:i "V501"
+                      (Printf.sprintf
+                         "%s and %s are simultaneously live but share \
+                          physical register %s"
+                         (Reg.name d) (Reg.name v) (Reg.name pd))
+                  end
+                end
+              end)
+           out)
+      (Instr.defs ins));
+  (* ----- V502: independently recount the physical register budget ----- *)
+  let ids cls =
+    RSet.fold
+      (fun r acc ->
+         if Types.reg_class (Reg.ty r) = cls then ISet.add (Reg.id r) acc
+         else acc)
+      (Kernel.registers a.A.kernel) ISet.empty
+  in
+  let units = ISet.cardinal (ids Types.C32) + (2 * ISet.cardinal (ids Types.C64)) in
+  if units > a.A.reg_limit then
+    err "V502"
+      (Printf.sprintf "allocated kernel occupies %d register units, budget %d"
+         units a.A.reg_limit);
+  (* ----- V503 / V504: spill slot layout and bracketing ----- *)
+  let placements = a.A.spilled in
+  if placements <> [] then begin
+    let width_of (p : Regalloc.Spill.placement) =
+      Types.width_bytes (Reg.ty p.Regalloc.Spill.reg)
+    in
+    (* layout: per space, sorted slots must not overlap *)
+    List.iter
+      (fun space ->
+         let slots =
+           List.filter
+             (fun (p : Regalloc.Spill.placement) ->
+                Types.equal_space p.Regalloc.Spill.space space)
+             placements
+           |> List.sort (fun (p : Regalloc.Spill.placement) q ->
+             compare p.Regalloc.Spill.offset q.Regalloc.Spill.offset)
+         in
+         let rec overlaps = function
+           | p :: (q :: _ as rest) ->
+             if
+               p.Regalloc.Spill.offset + width_of p > q.Regalloc.Spill.offset
+             then
+               err "V504"
+                 (Printf.sprintf "spill slots %s+%d and %s+%d overlap"
+                    (Types.space_to_string space)
+                    p.Regalloc.Spill.offset
+                    (Types.space_to_string space)
+                    q.Regalloc.Spill.offset);
+             overlaps rest
+           | [] | [ _ ] -> ()
+         in
+         overlaps slots)
+      [ Types.Local; Types.Shared ];
+    let placement_at space offset =
+      List.find_opt
+        (fun (p : Regalloc.Spill.placement) ->
+           Types.equal_space p.Regalloc.Spill.space space
+           && p.Regalloc.Spill.offset = offset)
+        placements
+    in
+    let env = Affine.env_of flow in
+    let n = Cfg.Flow.num_instrs flow in
+    let slot_access = Array.make (max n 1) None in
+    Cfg.Flow.iter_instrs flow (fun i ins ->
+      match slot_of env i ins with
+      | None -> ()
+      | Some (key, sp, offset, width, store) ->
+        slot_access.(i) <- Some (key, store);
+        (match placement_at sp offset with
+         | None ->
+           err ~instr:i "V504"
+             (Printf.sprintf "access at %s matches no spill slot"
+                (slot_name key))
+         | Some p ->
+           if width_of p <> width then
+             err ~instr:i "V504"
+               (Printf.sprintf
+                  "access at %s has width %d but the slot holds %s (width %d)"
+                  (slot_name key) width
+                  (Reg.name p.Regalloc.Spill.reg)
+                  (width_of p))));
+    (* forward may-unwritten dataflow over slots *)
+    let nb = Cfg.Flow.num_blocks flow in
+    let all_slots =
+      List.fold_left
+        (fun acc (p : Regalloc.Spill.placement) ->
+           ISet.add (slot_key p.Regalloc.Spill.space p.Regalloc.Spill.offset) acc)
+        ISet.empty placements
+    in
+    let written = Array.make nb ISet.empty in
+    Array.iteri
+      (fun bi (b : Cfg.Flow.block) ->
+         let w = ref ISet.empty in
+         for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+           match slot_access.(i) with
+           | Some (key, true) -> w := ISet.add key !w
+           | Some (_, false) | None -> ()
+         done;
+         written.(bi) <- !w)
+      flow.Cfg.Flow.blocks;
+    let bin = Array.make nb ISet.empty and bout = Array.make nb ISet.empty in
+    bin.(0) <- all_slots;
+    bout.(0) <- ISet.diff all_slots written.(0);
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for bi = 0 to nb - 1 do
+        let b = flow.Cfg.Flow.blocks.(bi) in
+        let inn =
+          List.fold_left
+            (fun acc p -> ISet.union acc bout.(p))
+            (if bi = 0 then all_slots else ISet.empty)
+            b.Cfg.Flow.preds
+        in
+        let out = ISet.diff inn written.(bi) in
+        if not (ISet.equal inn bin.(bi) && ISet.equal out bout.(bi)) then begin
+          bin.(bi) <- inn;
+          bout.(bi) <- out;
+          changed := true
+        end
+      done
+    done;
+    Array.iter
+      (fun (b : Cfg.Flow.block) ->
+         let unwritten = ref bin.(b.Cfg.Flow.bid) in
+         for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+           match slot_access.(i) with
+           | Some (key, false) ->
+             if ISet.mem key !unwritten then
+               err ~instr:i "V503"
+                 (Printf.sprintf "spill slot %s may be read before any write"
+                    (slot_name key))
+           | Some (key, true) -> unwritten := ISet.remove key !unwritten
+           | None -> ()
+         done)
+      flow.Cfg.Flow.blocks
+  end;
+  D.sort !diags

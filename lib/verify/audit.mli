@@ -1,0 +1,17 @@
+(** Checker 5: the allocation auditor — a check *on* the allocator, not
+    by it. Starting from the allocator's post-spill virtual kernel and
+    its virtual-to-physical assignment, it independently recomputes
+    liveness and proves:
+
+    - V501: no two simultaneously-live same-class virtual registers
+      share a physical register id (the classic copy exception for
+      [mov d, s] is honoured, matching what makes such sharing sound);
+    - V502: the distinct physical ids fit the register budget;
+    - V503: no spill slot can be read before it is written on some path;
+    - V504: the spill-slot layout is non-overlapping and every resolved
+      slot access matches a placement's offset and width;
+    - V505: the allocated kernel is exactly the assignment substitution
+      of the virtual kernel, every virtual register is mapped within its
+      class, and spilled registers were rewritten away. *)
+
+val check : Regalloc.Allocator.t -> Diagnostic.t list

@@ -1,0 +1,18 @@
+let check_kernel ?(block_size = 128) (k : Ptx.Kernel.t) =
+  let tds = Typecheck.check k in
+  let more =
+    match Cfg.Flow.of_kernel k with
+    | exception Invalid_argument _ -> []
+    | flow ->
+      let div = Divergence.compute ~block_size flow in
+      Uninit.check flow
+      @ Barrier.check flow div
+      @ Races.check ~block_size flow div
+  in
+  Diagnostic.sort (tds @ more)
+
+let check_allocation (a : Regalloc.Allocator.t) =
+  Diagnostic.sort
+    (check_kernel ~block_size:a.Regalloc.Allocator.block_size
+       a.Regalloc.Allocator.kernel
+     @ Audit.check a)

@@ -1,0 +1,12 @@
+(** Entry points composing the five checkers. *)
+
+val check_kernel : ?block_size:int -> Ptx.Kernel.t -> Diagnostic.t list
+(** Run the kernel-level checkers (types/state-spaces, def-before-use,
+    barrier divergence, shared races). [block_size] (default 128) feeds
+    the cross-thread collision arithmetic of the race checker. CFG-based
+    checkers are skipped when the structural (label) errors make the CFG
+    unbuildable. *)
+
+val check_allocation : Regalloc.Allocator.t -> Diagnostic.t list
+(** Kernel-level checkers on the allocated kernel (at the allocation's
+    recorded block size) plus the independent allocation audit. *)

@@ -1,0 +1,168 @@
+open Ptx
+
+type subject =
+  | Kernel of Kernel.t
+  | Allocation of Regalloc.Allocator.t
+
+type case =
+  { label : string
+  ; expect : string
+  ; subject : subject
+  }
+
+let r id ty = Reg.make id ty
+let i x = Kernel.I x
+
+(* V101: a 64-bit register fed to a 32-bit add *)
+let ill_typed () =
+  { Kernel.name = "bad_type"
+  ; params = []
+  ; decls = []
+  ; body =
+      [| i (Instr.Mov (Types.U64, r 0 Types.U64, Instr.Oimm 1L))
+       ; i
+           (Instr.Binop
+              ( Instr.Add, Types.U32, r 1 Types.U32
+              , Instr.Oreg (r 0 Types.U64), Instr.Oimm 2L ))
+       ; i Instr.Ret
+      |]
+  }
+
+(* V201: %r0 is read but never defined *)
+let uninit () =
+  { Kernel.name = "bad_uninit"
+  ; params = []
+  ; decls = []
+  ; body =
+      [| i
+           (Instr.Binop
+              ( Instr.Add, Types.U32, r 1 Types.U32
+              , Instr.Oreg (r 0 Types.U32), Instr.Oimm 1L ))
+       ; i Instr.Ret
+      |]
+  }
+
+(* V301: bar.sync inside a tid-guarded branch *)
+let divergent_barrier () =
+  let tid = r 0 Types.U32 and p = r 1 Types.Pred in
+  { Kernel.name = "bad_barrier"
+  ; params = []
+  ; decls = []
+  ; body =
+      [| i (Instr.Mov (Types.U32, tid, Instr.Ospecial Reg.Tid_x))
+       ; i
+           (Instr.Setp
+              (Instr.Lt, Types.U32, p, Instr.Oreg tid, Instr.Oimm 16L))
+       ; i (Instr.Bra_pred (p, false, "skip"))
+       ; i Instr.Bar_sync
+       ; Kernel.L "skip"
+       ; i Instr.Ret
+      |]
+  }
+
+(* V401: every thread of the block stores its tid to sdata[0] *)
+let shared_race () =
+  let tid = r 0 Types.U32 in
+  { Kernel.name = "bad_race"
+  ; params = []
+  ; decls =
+      [ { Kernel.dname = "sdata"
+        ; dspace = Types.Shared
+        ; delem = Types.B32
+        ; dcount = 16
+        ; dalign = 4
+        }
+      ]
+  ; body =
+      [| i (Instr.Mov (Types.U32, tid, Instr.Ospecial Reg.Tid_x))
+       ; i
+           (Instr.St
+              ( Types.Shared, Types.U32
+              , { Instr.base = Instr.Osym "sdata"; offset = 0 }
+              , Instr.Oreg tid ))
+       ; i Instr.Ret
+      |]
+  }
+
+(* V501: a forged allocation mapping two simultaneously-live virtual
+   registers onto one physical id *)
+let bad_coloring () =
+  let v0 = r 0 Types.U32
+  and v1 = r 1 Types.U32
+  and v2 = r 2 Types.U32
+  and v3 = r 3 Types.U64 in
+  let virtual_kernel =
+    { Kernel.name = "bad_coloring"
+    ; params = [ ("out", Types.U64) ]
+    ; decls = []
+    ; body =
+        [| i (Instr.Mov (Types.U32, v0, Instr.Oimm 1L))
+         ; i (Instr.Mov (Types.U32, v1, Instr.Oimm 2L))
+         ; i
+             (Instr.Binop
+                (Instr.Add, Types.U32, v2, Instr.Oreg v0, Instr.Oreg v1))
+         ; i
+             (Instr.Ld
+                ( Types.Param, Types.U64, v3
+                , { Instr.base = Instr.Oparam "out"; offset = 0 } ))
+         ; i
+             (Instr.St
+                ( Types.Global, Types.U32
+                , { Instr.base = Instr.Oreg v3; offset = 0 }
+                , Instr.Oreg v2 ))
+         ; i Instr.Ret
+        |]
+    }
+  in
+  (* v0 and v1 overlap (v0 is live across v1's def) yet share %r0 *)
+  let assignment =
+    List.fold_left
+      (fun acc (v, p) -> Reg.Map.add v p acc)
+      Reg.Map.empty
+      [ (v0, r 0 Types.U32)
+      ; (v1, r 0 Types.U32)
+      ; (v2, r 1 Types.U32)
+      ; (v3, r 0 Types.U64)
+      ]
+  in
+  let lookup x =
+    match Reg.Map.find_opt x assignment with
+    | Some p -> p
+    | None -> x
+  in
+  { Regalloc.Allocator.kernel =
+      Kernel.map_instrs (Instr.map_regs lookup) virtual_kernel
+  ; original = virtual_kernel
+  ; virtual_kernel
+  ; assignment
+  ; block_size = 64
+  ; reg_limit = 8
+  ; units_used = 4
+  ; pred_used = 0
+  ; spilled = []
+  ; stats = { num_local = 0; num_shared = 0; num_other = 0; num_remat = 0 }
+  ; weighted_local = 0.
+  ; weighted_shared = 0.
+  ; spill_local_bytes = 0
+  ; spill_shared_bytes_per_block = 0
+  ; rounds = 1
+  }
+
+let cases () =
+  [ { label = "type"; expect = "V101"; subject = Kernel (ill_typed ()) }
+  ; { label = "uninit"; expect = "V201"; subject = Kernel (uninit ()) }
+  ; { label = "barrier"
+    ; expect = "V301"
+    ; subject = Kernel (divergent_barrier ())
+    }
+  ; { label = "race"; expect = "V401"; subject = Kernel (shared_race ()) }
+  ; { label = "coloring"
+    ; expect = "V501"
+    ; subject = Allocation (bad_coloring ())
+    }
+  ]
+
+let diagnostics_of c =
+  match c.subject with
+  | Kernel k -> Checker.check_kernel ~block_size:64 k
+  | Allocation a -> Checker.check_allocation a

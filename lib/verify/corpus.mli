@@ -1,0 +1,18 @@
+(** Seeded known-bad subjects: one deliberately broken kernel (or forged
+    allocation) per checker, giving every checker negative coverage and
+    feeding the golden rendering test. *)
+
+type subject =
+  | Kernel of Ptx.Kernel.t
+  | Allocation of Regalloc.Allocator.t
+
+type case =
+  { label : string
+  ; expect : string  (** the diagnostic code the checker must raise *)
+  ; subject : subject
+  }
+
+val cases : unit -> case list
+
+val diagnostics_of : case -> Diagnostic.t list
+(** Run the appropriate checker (kernel checks at block size 64). *)

@@ -1,0 +1,48 @@
+(** The uniform diagnostic currency of the verifier: every checker
+    reports a list of these, and the gate / CLI / tests only ever
+    consume this type. Codes are stable (documented in DESIGN.md) so
+    golden tests and CI greps can rely on them. *)
+
+type severity =
+  | Error  (** the kernel is wrong: miscompiles, races or deadlocks *)
+  | Warning  (** suspicious but not provably wrong *)
+
+type t =
+  { code : string  (** stable code, e.g. ["V101"] *)
+  ; severity : severity
+  ; kernel : string  (** kernel name *)
+  ; instr : int option  (** flat instruction index (labels excluded) *)
+  ; block : int option  (** CFG block id, when known *)
+  ; message : string
+  }
+
+val error :
+  ?instr:int -> ?block:int -> kernel:string -> code:string -> string -> t
+
+val warning :
+  ?instr:int -> ?block:int -> kernel:string -> code:string -> string -> t
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val compare : t -> t -> int
+(** Stable rendering order: kernel, instruction position (diagnostics
+    without a location sort last), code, message. *)
+
+val sort : t list -> t list
+(** Sort by {!compare} and drop exact duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [kernel[instr]: severity CODE: message]. *)
+
+val to_string : t -> string
+val render : t list -> string
+(** Newline-separated {!pp} of a sorted list; ["ok"] when empty. *)
+
+val describe : string -> string
+(** One-line documentation of a diagnostic code (the DESIGN.md table). *)
+
+val all_codes : (string * string) list
+(** [(code, description)] for every documented code, in order. *)

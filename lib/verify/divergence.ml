@@ -1,0 +1,303 @@
+open Ptx
+
+type t =
+  { div_in : Reg.Set.t array  (* divergent registers at entry of each instr *)
+  ; div_block : bool array
+  ; cdeps : int list array
+  ; local_syms : string list
+  ; known_syms : string list
+  }
+
+let divergent_reg t ~at r = Reg.Set.mem r t.div_in.(at)
+let divergent_block t b = t.div_block.(b)
+let control_deps t b = t.cdeps.(b)
+
+(* static divergence of non-register operand kinds *)
+let static_operand local_syms known_syms = function
+  | Instr.Oreg _ -> false
+  | Instr.Ospecial (Reg.Tid_x | Reg.Tid_y | Reg.Laneid | Reg.Warpid) -> true
+  | Instr.Ospecial _ -> false
+  (* local symbols resolve to per-thread addresses; unknown symbols are
+     treated as divergent conservatively *)
+  | Instr.Osym s -> List.mem s local_syms || not (List.mem s known_syms)
+  | Instr.Oimm _ | Instr.Ofimm _ | Instr.Oparam _ -> false
+
+let divergent_operand t ~at op =
+  match op with
+  | Instr.Oreg r -> divergent_reg t ~at r
+  | op -> static_operand t.local_syms t.known_syms op
+
+(* Direct control dependence from the post-dominator tree: block [x] is
+   control dependent on branch block [d] iff [x] lies on the pdom-tree
+   path from one of [d]'s successors up to (excluding) ipdom(d). *)
+let compute_control_deps (flow : Cfg.Flow.t) pd =
+  let nb = Cfg.Flow.num_blocks flow in
+  let deps = Array.make nb [] in
+  Array.iter
+    (fun (b : Cfg.Flow.block) ->
+       match b.Cfg.Flow.succs with
+       | [] | [ _ ] -> ()
+       | succs ->
+         let stop = Cfg.Dominance.idom pd b.Cfg.Flow.bid in
+         List.iter
+           (fun s ->
+              let rec walk x steps =
+                if steps > nb then ()
+                else if Some x = stop then ()
+                else begin
+                  if not (List.mem b.Cfg.Flow.bid deps.(x)) then
+                    deps.(x) <- b.Cfg.Flow.bid :: deps.(x);
+                  match Cfg.Dominance.idom pd x with
+                  | None -> ()
+                  | Some p -> walk p (steps + 1)
+                end
+              in
+              walk s 0)
+           succs)
+    flow.Cfg.Flow.blocks;
+  deps
+
+let operands = function
+  | Instr.Mov (_, _, a) | Instr.Unop (_, _, _, a) | Instr.Cvt (_, _, _, a) ->
+    [ a ]
+  | Instr.Binop (_, _, _, a, b) | Instr.Setp (_, _, _, a, b) -> [ a; b ]
+  | Instr.Mad (_, _, a, b, c) -> [ a; b; c ]
+  | Instr.Selp (_, _, a, b, p) -> [ a; b; Instr.Oreg p ]
+  | Instr.Ld (_, _, _, addr) -> [ addr.Instr.base ]
+  | Instr.St (_, _, addr, v) -> [ addr.Instr.base; v ]
+  | Instr.Bra_pred (p, _, _) -> [ Instr.Oreg p ]
+  | Instr.Bra _ | Instr.Bar_sync | Instr.Ret -> []
+
+(* ---------- private-memory modelling ----------
+
+   Local memory is per-thread private, and the Algorithm-1 shared spill
+   sub-stack ([SpillShm + stride*tid + slot]) is private by
+   construction: a load from either returns a value the *same* thread
+   stored. Treating such reloads as blankly divergent (like ordinary
+   shared/global loads) poisons spilled-but-uniform values — e.g. a loop
+   counter that was spilled and reloaded would drag every barrier inside
+   the loop into "divergent control flow". Instead, a private load is
+   divergent iff some store that may write its slot stored a divergent
+   value. *)
+
+type pstore =
+  { slot : (string * int * int) option  (* sym, [lo, hi) — None = opaque *)
+  ; at : int  (* flat index of the store instruction *)
+  }
+
+let slots_overlap a b =
+  match (a, b) with
+  | Some (s1, lo1, hi1), Some (s2, lo2, hi2) ->
+    s1 = s2 && lo1 < hi2 && lo2 < hi1
+  | None, _ | _, None -> true (* an opaque access may touch anything *)
+
+type pmem =
+  { local_stores : pstore list
+  ; shm_stores : pstore list  (* private-pattern spill-region stores *)
+  ; shm_clean : bool
+      (* no shared store outside the private pattern can alias the spill
+         region; when false, spill-region loads stay divergent *)
+  ; spill_stride : int option
+  }
+
+let shm_spill_stride ~block_size (k : Kernel.t) =
+  List.find_map
+    (fun d ->
+       if d.Kernel.dname = Regalloc.Spill.shared_stack_sym then
+         let bytes = Kernel.decl_bytes d in
+         if block_size > 0 && bytes mod block_size = 0 then
+           Some (bytes / block_size)
+         else None
+       else None)
+    k.Kernel.decls
+
+let private_shm_form ~stride (f : Affine.form) width =
+  match stride with
+  | Some stride when stride > 0 ->
+    f.Affine.exact
+    && f.Affine.sym = Some Regalloc.Spill.shared_stack_sym
+    && f.Affine.tid = stride
+    && f.Affine.base >= 0
+    && f.Affine.base + width <= stride
+  | Some _ | None -> false
+
+let compute_pmem ~block_size env (flow : Cfg.Flow.t) =
+  let k = flow.Cfg.Flow.kernel in
+  let spill_stride = shm_spill_stride ~block_size k in
+  let local_stores = ref [] and shm_stores = ref [] and shm_clean = ref true in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    match ins with
+    | Instr.St (Types.Local, ty, addr, _) ->
+      let f = Affine.eval_address env i addr in
+      let w = Types.width_bytes ty in
+      let slot =
+        match f.Affine.sym with
+        | Some s when f.Affine.exact ->
+          Some (s, f.Affine.base, f.Affine.base + w)
+        | _ -> None
+      in
+      local_stores := { slot; at = i } :: !local_stores
+    | Instr.St (Types.Shared, ty, addr, _) ->
+      let f = Affine.eval_address env i addr in
+      let w = Types.width_bytes ty in
+      if private_shm_form ~stride:spill_stride f w then
+        shm_stores :=
+          { slot =
+              Some
+                (Regalloc.Spill.shared_stack_sym, f.Affine.base,
+                 f.Affine.base + w)
+          ; at = i
+          }
+          :: !shm_stores
+      else if
+        (* an exact store to a different symbol cannot alias the region *)
+        not
+          (f.Affine.exact
+           && f.Affine.sym <> Some Regalloc.Spill.shared_stack_sym
+           && f.Affine.sym <> None)
+      then shm_clean := false
+    | _ -> ());
+  { local_stores = !local_stores
+  ; shm_stores = !shm_stores
+  ; shm_clean = !shm_clean
+  ; spill_stride
+  }
+
+(* ---------- the joint fixpoint ----------
+
+   Register divergence is a forward dataflow: a definition is divergent
+   iff its sources are divergent at that point or its block executes
+   divergently, and a *uniform* redefinition kills divergence — vital on
+   allocated kernels, where physical registers are recycled between
+   unrelated (uniform and divergent) values. Block divergence feeds back
+   through control dependence, and stored-value divergence feeds back
+   into private reloads; both only ever grow, so the combined system is
+   monotone and converges. *)
+let compute ?(block_size = 128) (flow : Cfg.Flow.t) =
+  let k = flow.Cfg.Flow.kernel in
+  let env = Affine.env_of flow in
+  let pmem = compute_pmem ~block_size env flow in
+  let local_syms =
+    List.filter_map
+      (fun d ->
+         if Types.equal_space d.Kernel.dspace Types.Local then
+           Some d.Kernel.dname
+         else None)
+      k.Kernel.decls
+  in
+  let known_syms = List.map (fun d -> d.Kernel.dname) k.Kernel.decls in
+  let ni = Array.length flow.Cfg.Flow.instrs in
+  let nb = Cfg.Flow.num_blocks flow in
+  let pd = Cfg.Dominance.post_dominators flow in
+  let cdeps = compute_control_deps flow pd in
+  let t =
+    { div_in = Array.make ni Reg.Set.empty
+    ; div_block = Array.make nb false
+    ; cdeps
+    ; local_syms
+    ; known_syms
+    }
+  in
+  let out = Array.make nb Reg.Set.empty in
+  let store_div = Array.make ni false in  (* sticky may-divergence *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Cfg.Flow.block) ->
+         let bid = b.Cfg.Flow.bid in
+         let cur =
+           ref
+             (List.fold_left
+                (fun acc p -> Reg.Set.union acc out.(p))
+                Reg.Set.empty b.Cfg.Flow.preds)
+         in
+         for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+           if not (Reg.Set.equal t.div_in.(i) !cur) then begin
+             t.div_in.(i) <- !cur;
+             changed := true
+           end;
+           let ins = flow.Cfg.Flow.instrs.(i) in
+           let opdiv = function
+             | Instr.Oreg r -> Reg.Set.mem r !cur
+             | op -> static_operand local_syms known_syms op
+           in
+           let stored stores slot =
+             List.exists
+               (fun s -> slots_overlap slot s.slot && store_div.(s.at))
+               stores
+           in
+           let src_div =
+             match ins with
+             (* data loaded from memory can always differ between
+                threads, except parameters (uniform by construction),
+                constant loads from a uniform address, and per-thread
+                private reloads (only as divergent as the stores) *)
+             | Instr.Ld (Types.Global, _, _, _) -> true
+             | Instr.Ld (Types.Local, ty, _, addr) ->
+               let f = Affine.eval_address env i addr in
+               let w = Types.width_bytes ty in
+               let slot =
+                 match f.Affine.sym with
+                 | Some s when f.Affine.exact ->
+                   Some (s, f.Affine.base, f.Affine.base + w)
+                 | _ -> None
+               in
+               stored pmem.local_stores slot
+             | Instr.Ld (Types.Shared, ty, _, addr) ->
+               let f = Affine.eval_address env i addr in
+               let w = Types.width_bytes ty in
+               if
+                 pmem.shm_clean
+                 && private_shm_form ~stride:pmem.spill_stride f w
+               then
+                 stored pmem.shm_stores
+                   (Some
+                      (Regalloc.Spill.shared_stack_sym, f.Affine.base,
+                       f.Affine.base + w))
+               else true
+             | Instr.Ld (Types.Param, _, _, _) -> false
+             | Instr.Mov _ | Instr.Binop _ | Instr.Mad _ | Instr.Unop _
+             | Instr.Cvt _ | Instr.Setp _ | Instr.Selp _
+             | Instr.Ld ((Types.Const | Types.Reg), _, _, _)
+             | Instr.St _ | Instr.Bra _ | Instr.Bra_pred _ | Instr.Bar_sync
+             | Instr.Ret ->
+               List.exists opdiv (operands ins)
+           in
+           (match ins with
+            | Instr.St ((Types.Local | Types.Shared), _, _, v)
+              when (not store_div.(i)) && (opdiv v || t.div_block.(bid)) ->
+              store_div.(i) <- true;
+              changed := true
+            | _ -> ());
+           let def_div = src_div || t.div_block.(bid) in
+           List.iter
+             (fun r ->
+                cur :=
+                  if def_div then Reg.Set.add r !cur
+                  else Reg.Set.remove r !cur)
+             (Instr.defs ins)
+         done;
+         if not (Reg.Set.equal out.(bid) !cur) then begin
+           out.(bid) <- !cur;
+           changed := true
+         end)
+      flow.Cfg.Flow.blocks;
+    for b = 0 to nb - 1 do
+      if not t.div_block.(b) then begin
+        let dep_divergent d =
+          t.div_block.(d)
+          ||
+          let last = flow.Cfg.Flow.blocks.(d).Cfg.Flow.last in
+          match flow.Cfg.Flow.instrs.(last) with
+          | Instr.Bra_pred (p, _, _) -> Reg.Set.mem p t.div_in.(last)
+          | _ -> false
+        in
+        if List.exists dep_divergent cdeps.(b) then begin
+          t.div_block.(b) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  t

@@ -1,0 +1,37 @@
+(** Intra-block-level GPU divergence analysis, shared by the barrier and
+    race checkers.
+
+    Registers are divergent when their value can differ between threads
+    of one block: sources are [tid]/[laneid]/[warpid], data loaded from
+    memory, per-thread local addresses, and anything defined inside a
+    divergently-executing block. Blocks execute divergently when they
+    are (transitively) control dependent — via the post-dominator tree —
+    on a branch whose predicate is divergent, or on a block that itself
+    executes divergently.
+
+    Per-thread-private memory (local space and the Algorithm-1 shared
+    spill sub-stack) is modelled precisely: a reload is only as
+    divergent as the values stored to its slot, so spilling a uniform
+    value — a loop counter, say — does not spuriously drag the barriers
+    of its loop into divergent control flow. [block_size] (default 128)
+    sizes the per-thread stride of the shared spill region.
+
+    Register divergence is flow-sensitive — a uniform redefinition
+    kills it — because allocated kernels recycle physical registers
+    between unrelated uniform and divergent values; queries therefore
+    take the flat instruction index [at] they are observed from. *)
+
+type t
+
+val compute : ?block_size:int -> Cfg.Flow.t -> t
+
+val divergent_reg : t -> at:int -> Ptx.Reg.t -> bool
+val divergent_block : t -> int -> bool
+
+val divergent_operand : t -> at:int -> Ptx.Instr.operand -> bool
+(** Divergence of an operand value (specials and local symbols
+    included) as read by instruction [at]. *)
+
+val control_deps : t -> int -> int list
+(** Blocks carrying a conditional branch that the given block is
+    directly control dependent on. *)

@@ -1,0 +1,31 @@
+exception Rejected of string * Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected (stage, ds) ->
+      Some
+        (Printf.sprintf "Verify.Gate.Rejected at %s:\n%s" stage
+           (Diagnostic.render ds))
+    | _ -> None)
+
+let forced = ref None
+let set b = forced := Some b
+let clear () = forced := None
+
+let enabled () =
+  match !forced with
+  | Some b -> b
+  | None ->
+    (match Sys.getenv_opt "CRAT_VERIFY" with
+     | Some ("1" | "true" | "on" | "yes") -> true
+     | Some _ | None -> false)
+
+let reject stage ds =
+  if Diagnostic.has_errors ds then
+    raise (Rejected (stage, Diagnostic.errors ds))
+
+let check_kernel ~stage ?block_size k =
+  if enabled () then reject stage (Checker.check_kernel ?block_size k)
+
+let check_allocation ~stage a =
+  if enabled () then reject stage (Checker.check_allocation a)

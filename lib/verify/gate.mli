@@ -1,0 +1,19 @@
+(** The optional pipeline gate. Disabled by default; enabled either
+    programmatically ({!set}) or by exporting [CRAT_VERIFY=1]. When
+    enabled, {!check_kernel} / {!check_allocation} verify their subject
+    and raise {!Rejected} carrying the error-severity diagnostics; when
+    disabled they are no-ops, so gated code paths cost nothing in
+    production. Warnings never reject. *)
+
+exception Rejected of string * Diagnostic.t list
+(** [(stage, error diagnostics)]. A human-readable printer is
+    registered with [Printexc]. *)
+
+val enabled : unit -> bool
+val set : bool -> unit
+(** Overrides the environment; [clear] returns to the environment. *)
+
+val clear : unit -> unit
+
+val check_kernel : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
+val check_allocation : stage:string -> Regalloc.Allocator.t -> unit

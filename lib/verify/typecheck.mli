@@ -1,0 +1,11 @@
+(** Checker 1: types and state spaces. A strictly richer, diagnostic-
+    collecting version of [Ptx.Kernel.validate]: operand widths against
+    the instruction signature, predicate positions, conversion shapes,
+    load/store state-space legality (mirroring the reference
+    interpreter's runtime rejections), symbol/parameter resolution,
+    branch targets, and static out-of-bounds symbol accesses.
+
+    Instruction locations are flat indices (labels excluded), matching
+    [Cfg.Flow] instruction numbering. *)
+
+val check : Ptx.Kernel.t -> Diagnostic.t list

@@ -1,0 +1,62 @@
+module Set = Ptx.Reg.Set
+module D = Diagnostic
+
+let check (flow : Cfg.Flow.t) =
+  let kernel = flow.Cfg.Flow.kernel.Ptx.Kernel.name in
+  let nb = Cfg.Flow.num_blocks flow in
+  if Cfg.Flow.num_instrs flow = 0 then []
+  else begin
+    let def = Array.make nb Set.empty in
+    Array.iteri
+      (fun i b ->
+         let _, d = Cfg.Liveness.block_use_def flow b in
+         def.(i) <- d)
+      flow.Cfg.Flow.blocks;
+    let all = Ptx.Kernel.registers flow.Cfg.Flow.kernel in
+    (* may-uninitialized at block entry / exit; the entry block starts
+       with every register unset, everything else grows from empty *)
+    let bin = Array.make nb Set.empty and bout = Array.make nb Set.empty in
+    bin.(0) <- all;
+    bout.(0) <- Set.diff all def.(0);
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for bi = 0 to nb - 1 do
+        let b = flow.Cfg.Flow.blocks.(bi) in
+        let inn =
+          List.fold_left
+            (fun acc p -> Set.union acc bout.(p))
+            (if bi = 0 then all else Set.empty)
+            b.Cfg.Flow.preds
+        in
+        let out = Set.diff inn def.(bi) in
+        if not (Set.equal inn bin.(bi) && Set.equal out bout.(bi)) then begin
+          bin.(bi) <- inn;
+          bout.(bi) <- out;
+          changed := true
+        end
+      done
+    done;
+    let diags = ref [] in
+    Array.iter
+      (fun (b : Cfg.Flow.block) ->
+         let unset = ref bin.(b.Cfg.Flow.bid) in
+         for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+           let ins = flow.Cfg.Flow.instrs.(i) in
+           List.iter
+             (fun r ->
+                if Set.mem r !unset then
+                  diags :=
+                    D.error ~instr:i ~block:b.Cfg.Flow.bid ~kernel ~code:"V201"
+                      (Printf.sprintf
+                         "register %s may be read before initialization"
+                         (Ptx.Reg.name r))
+                    :: !diags)
+             (Ptx.Instr.uses ins);
+           List.iter
+             (fun r -> unset := Set.remove r !unset)
+             (Ptx.Instr.defs ins)
+         done)
+      flow.Cfg.Flow.blocks;
+    D.sort !diags
+  end

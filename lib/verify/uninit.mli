@@ -1,0 +1,6 @@
+(** Checker 2: forward may-uninitialized dataflow over [Cfg.Flow],
+    mirroring the iterative block-level engine of [Cfg.Liveness] but in
+    the forward direction. A register read on some path before any
+    definition reaches it is reported as V201. *)
+
+val check : Cfg.Flow.t -> Diagnostic.t list

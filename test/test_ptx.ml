@@ -387,6 +387,18 @@ let prop_roundtrip =
       let k2 = Ptx.Parser.parse_kernel_exn s in
       String.equal s (Ptx.Printer.kernel_to_string k2))
 
+(* the static verifier (lib/verify) agrees across the text round-trip:
+   whenever a kernel verifies clean, the reparse of its printing must
+   too — any ill-typedness introduced by the printer or parser would
+   surface as a fresh error diagnostic here *)
+let prop_roundtrip_verifies_clean =
+  QCheck.Test.make ~count:60
+    ~name:"round-tripped kernels verify as clean as the source"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let clean k = Verify.Diagnostic.errors (Verify.Checker.check_kernel k) = [] in
+      (not (clean k))
+      || clean (Ptx.Parser.parse_kernel_exn (Ptx.Printer.kernel_to_string k)))
+
 let prop_generated_valid =
   QCheck.Test.make ~count:60 ~name:"generated kernels validate"
     Testsupport.Gen.arbitrary_kernel (fun k ->
@@ -446,5 +458,9 @@ let () =
         ] )
     ; ( "properties"
       , List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip; prop_generated_valid; prop_defs_subset_registers ] )
+          [ prop_roundtrip
+          ; prop_roundtrip_verifies_clean
+          ; prop_generated_valid
+          ; prop_defs_subset_registers
+          ] )
     ]

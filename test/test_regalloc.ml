@@ -142,6 +142,57 @@ let test_linear_scan_valid () =
   let r = Regalloc.Linear_scan.color ~flow ~live ~cls:T.C32 ~k:12 ~spill_cost:cost in
   check "linear scan colouring valid" true (color_ok g T.C32 r)
 
+(* ---------- allocation audit (lib/verify) ----------
+
+   The independent auditor re-derives live ranges on the pre-assignment
+   kernel and checks every allocator invariant (simultaneously-live
+   virtuals never share a physical register, the budget holds, spill
+   slots are written before read and never overlap) — replacing the
+   ad-hoc per-result interference spot checks used previously. *)
+
+let audit_clean ?strategy ?shared_policy ~block_size ~reg_limit k label =
+  let a =
+    Regalloc.Allocator.allocate ?strategy ?shared_policy ~block_size
+      ~reg_limit k
+  in
+  match Verify.Diagnostic.errors (Verify.Audit.check a) with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s:\n%s" label (Verify.Diagnostic.render errs)
+
+let strategies =
+  [ (Regalloc.Allocator.Chaitin_briggs, "cb")
+  ; (Regalloc.Allocator.Linear_scan, "ls")
+  ]
+
+let test_audit_suite_default_budgets () =
+  List.iter
+    (fun (app : Workloads.App.t) ->
+       List.iter
+         (fun (strategy, sname) ->
+            audit_clean ~strategy ~block_size:app.Workloads.App.block_size
+              ~reg_limit:app.Workloads.App.default_regs
+              (Workloads.App.kernel app)
+              (Printf.sprintf "%s@%d/%s" app.Workloads.App.abbr
+                 app.Workloads.App.default_regs sname))
+         strategies)
+    Workloads.Suite.all
+
+let test_audit_budget_sweep () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "CFD") in
+  List.iter
+    (fun (strategy, sname) ->
+       List.iter
+         (fun lim ->
+            audit_clean ~strategy ~block_size:128 ~reg_limit:lim k
+              (Printf.sprintf "CFD@%d/%s" lim sname))
+         [ 24; 32; 40; 48; 56; 63 ])
+    strategies
+
+let test_audit_shared_spilling () =
+  let k = Workloads.App.kernel (Workloads.Suite.find "STE") in
+  audit_clean ~shared_policy:(`Spare 12288) ~block_size:128 ~reg_limit:40 k
+    "STE@40 with Algorithm-1 shared spilling"
+
 (* ---------- spill layout & insertion ---------- *)
 
 let test_layout_alignment () =
@@ -521,6 +572,12 @@ let () =
         ; Alcotest.test_case "spills under pressure" `Quick test_coloring_spills_under_pressure
         ; Alcotest.test_case "type-strict waste" `Quick test_type_strict_prefers_same_type
         ; Alcotest.test_case "linear scan valid" `Quick test_linear_scan_valid
+        ] )
+    ; ( "audit"
+      , [ Alcotest.test_case "suite at default budgets" `Slow
+            test_audit_suite_default_budgets
+        ; Alcotest.test_case "CFD budget sweep" `Quick test_audit_budget_sweep
+        ; Alcotest.test_case "shared spilling" `Quick test_audit_shared_spilling
         ] )
     ; ( "spill"
       , [ Alcotest.test_case "layout alignment" `Quick test_layout_alignment
