@@ -1,4 +1,4 @@
-.PHONY: all build test verify bench bench-smoke bench-perf clean
+.PHONY: all build test verify lint bench bench-smoke bench-perf clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 # plus the seeded known-bad corpus; fails on any error-severity diagnostic
 verify:
 	dune exec bin/crat_cli.exe -- verify --all --corpus
+
+# static performance advisor over every workload, with each "may"/"must"
+# claim cross-checked against the reference interpreter's dynamic counters;
+# the P-code report lands in lint-report.txt
+lint:
+	dune exec bin/crat_cli.exe -- lint --all --validate > lint-report.txt \
+	  || { cat lint-report.txt; exit 1; }
+	cat lint-report.txt
 
 bench:
 	dune exec bench/main.exe

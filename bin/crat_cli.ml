@@ -11,6 +11,7 @@
      trace APP [-w N] [-n N]      per-warp execution trace
      passes APP                   run the ptxopt cleanup pipeline
      verify APP | --all [...]     static verifier / allocation auditor
+     lint APP | --all [...]       static performance advisor (P-codes)
 
    The allocate/simulate/optimize/passes commands also take [--verify],
    which arms the in-pipeline verifier gate (same as CRAT_VERIFY=1). *)
@@ -423,12 +424,85 @@ let verify_cmd =
     Term.(const run $ app_opt $ all_arg $ corpus_arg $ codes_arg $ regs_arg
           $ ls_arg $ spare_arg)
 
+(* ---------- lint ---------- *)
+
+let lint_app ~kepler ~regs ~validate (app : Workloads.App.t) =
+  let abbr = app.Workloads.App.abbr in
+  let cfg = config_of_kepler kepler in
+  let report, failures =
+    if validate then Crat.Lint.validate ~cfg app
+    else (Crat.Lint.lint ~cfg ?regs app, [])
+  in
+  let n = List.length report.Verify.Advisor.diags in
+  Format.printf "%-5s %d advisory(s), MAXLIVE %d%s@." abbr n
+    report.Verify.Advisor.pressure.Absint.Pressure.maxlive
+    (if validate then
+       if failures = [] then ", claims validated" else ", CLAIMS VIOLATED"
+     else "");
+  print_diags report.Verify.Advisor.diags;
+  List.iter (fun f -> Format.printf "    validation: %s@." f) failures;
+  failures <> []
+
+let lint_cmd =
+  let doc =
+    "Static performance advisor: abstract interpretation over the kernel \
+     emits P-code advisories (pressure, coalescing, bank conflicts, \
+     divergence, loops); $(b,--validate) cross-checks every static claim \
+     against the reference interpreter's dynamic counters."
+  in
+  let app_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
+           ~doc:"Application abbreviation; omit with $(b,--all).")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Sweep every suite kernel; exit 1 on any violated claim.")
+  in
+  let validate_arg =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Run the default input through the reference interpreter and \
+                 check every static claim against the dynamic counters.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ]
+           ~doc:"List the advisory P-codes and exit.")
+  in
+  let run kepler abbr all validate codes regs =
+    if codes then
+      List.iter
+        (fun (c, d) -> Format.printf "%s  %s@." c d)
+        (List.filter
+           (fun (c, _) -> String.length c > 0 && c.[0] = 'P')
+           Verify.Diagnostic.all_codes)
+    else begin
+      let apps =
+        if all then Workloads.Suite.all
+        else
+          match abbr with
+          | Some a -> [ find_app a ]
+          | None ->
+            Format.eprintf "lint: name an APP or pass --all@.";
+            exit 2
+      in
+      let bad =
+        List.fold_left
+          (fun acc app -> lint_app ~kepler ~regs ~validate app || acc)
+          false apps
+      in
+      if bad then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ kepler_arg $ app_opt $ all_arg $ validate_arg $ codes_arg
+          $ regs_arg)
+
 let () =
   let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in
   let info = Cmd.info "crat" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
       [ apps_cmd; config_cmd; analyze_cmd; allocate_cmd; allocate_file_cmd
-      ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd; verify_cmd ]
+      ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd; verify_cmd
+      ; lint_cmd ]
   in
   exit (Cmd.eval group)

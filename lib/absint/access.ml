@@ -1,0 +1,144 @@
+open Ptx
+
+type mem_class =
+  | Coalesced of int
+  | Strided of int * int
+  | Scattered
+
+type mem =
+  { pc : int
+  ; space : Types.space
+  ; width : int
+  ; store : bool
+  ; addr : Dom.v
+  ; cls : mem_class
+  ; seg_bound : int option
+  ; bank_bound : int option
+  ; divergent : bool
+  ; depth : int
+  }
+
+type branch =
+  { bpc : int
+  ; uniform : bool
+  ; bdepth : int
+  }
+
+type t =
+  { mems : mem list
+  ; branches : branch list
+  }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* distinct L1 lines touched by W lane addresses in arithmetic
+   progression of byte stride s, worst-case base alignment *)
+let seg_bound_of_stride ~warp ~line s =
+  let s = abs s in
+  let span = (warp - 1) * s in
+  min warp (((span + line - 1) / line) + 1)
+
+let sym_space (k : Kernel.t) s =
+  List.find_map
+    (fun d -> if d.Kernel.dname = s then Some d.Kernel.dspace else None)
+    k.Kernel.decls
+
+let classify_global ~warp ~line (k : Kernel.t) (addr : Dom.v) =
+  let a = addr.Dom.aff in
+  let sym_ok =
+    match a.Dom.sym with
+    | None | Some (Dom.Param _) -> true
+    | Some (Dom.Sym s) -> sym_space k s = Some Types.Global
+  in
+  if a.Dom.exact && sym_ok then begin
+    let b = seg_bound_of_stride ~warp ~line a.Dom.tid in
+    if b <= 2 then (Coalesced b, Some b) else (Strided (a.Dom.tid, b), Some b)
+  end
+  else (Scattered, None)
+
+(* local memory is interleaved by the loader (Image.remap_local): a
+   per-thread frame slot that is constant across the warp becomes a
+   stride-4 access after remapping *)
+let classify_local (k : Kernel.t) (addr : Dom.v) ~warp ~line =
+  let a = addr.Dom.aff in
+  match a.Dom.sym with
+  | Some (Dom.Sym s)
+    when a.Dom.exact && a.Dom.tid = 0 && a.Dom.cta = 0
+         && sym_space k s = Some Types.Local ->
+    let b = seg_bound_of_stride ~warp ~line 4 in
+    (Coalesced b, Some b)
+  | _ -> (Scattered, None)
+
+let bank_bound ~warp ~banks (k : Kernel.t) (addr : Dom.v) =
+  let a = addr.Dom.aff in
+  let sym_ok =
+    match a.Dom.sym with
+    | None -> true
+    | Some (Dom.Sym s) -> sym_space k s = Some Types.Shared
+    | Some (Dom.Param _) -> false
+  in
+  if a.Dom.exact && sym_ok && a.Dom.tid mod 4 = 0 then begin
+    let sw = a.Dom.tid / 4 in
+    if sw = 0 then Some 1
+    else
+      let g = gcd (abs sw) banks in
+      Some (min warp (((warp * g) + banks - 1) / banks))
+  end
+  else None
+
+let collect ?(warp_size = 32) ?(line = 128) ?(banks = 32) an =
+  let flow = Analysis.flow an in
+  let k = flow.Cfg.Flow.kernel in
+  let depths = Cfg.Loops.instr_depths flow in
+  let mems = ref [] and branches = ref [] in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    let record space ty addr ~store =
+      let av = Analysis.address_at an i addr in
+      let cls, seg_bound, bank_bound_ =
+        match space with
+        | Types.Global ->
+          let c, b = classify_global ~warp:warp_size ~line k av in
+          (c, b, None)
+        | Types.Local ->
+          let c, b = classify_local k av ~warp:warp_size ~line in
+          (c, b, None)
+        | Types.Shared ->
+          let bb = bank_bound ~warp:warp_size ~banks k av in
+          let c =
+            match bb with
+            | Some d when d <= 1 -> Coalesced 1
+            | _ -> if av.Dom.aff.Dom.exact then Strided (av.Dom.aff.Dom.tid, warp_size) else Scattered
+          in
+          (c, None, bb)
+        | _ -> (Scattered, None, None)
+      in
+      mems :=
+        { pc = i
+        ; space
+        ; width = Types.width_bytes ty
+        ; store
+        ; addr = av
+        ; cls
+        ; seg_bound
+        ; bank_bound = bank_bound_
+        ; divergent = Analysis.divergent_block an flow.Cfg.Flow.block_of_instr.(i)
+        ; depth = depths.(i)
+        }
+        :: !mems
+    in
+    match ins with
+    | Instr.Ld (((Types.Global | Types.Local | Types.Shared) as sp), ty, _, addr)
+      ->
+      record sp ty addr ~store:false
+    | Instr.St (((Types.Global | Types.Local | Types.Shared) as sp), ty, addr, _)
+      ->
+      record sp ty addr ~store:true
+    | Instr.Bra_pred (p, _, _) ->
+      branches :=
+        { bpc = i
+        ; uniform = (Analysis.value_at an i p).Dom.uni
+        ; bdepth = depths.(i)
+        }
+        :: !branches
+    | _ -> ());
+  { mems = List.rev !mems; branches = List.rev !branches }

@@ -1,0 +1,46 @@
+(** Abstract interpretation over a {!Cfg.Flow} CFG.
+
+    A forward worklist fixpoint over the {!Dom} product domain
+    (interval x affine-in-tid/ctaid x uniformity), with widening at the
+    natural-loop headers followed by a bounded narrowing pass, and a
+    block-divergence feedback loop through post-dominator control
+    dependence (a definition in a divergently-executed block is never
+    uniform). Per-instruction entry states are retained for queries. *)
+
+type state = Dom.v Ptx.Reg.Map.t
+(** Abstract register file; a register absent from the map is top. *)
+
+type t
+
+val run :
+  ?block_size:int ->
+  ?num_blocks:int ->
+  ?warp_size:int ->
+  ?params:(string * int64) list ->
+  Cfg.Flow.t ->
+  t
+(** [block_size] defaults to 128 and bounds [%tid.x]; [num_blocks]
+    bounds [%ctaid.x] when known; [params] gives concrete values of
+    kernel parameters when analysing a specific launch. *)
+
+val flow : t -> Cfg.Flow.t
+val block_size : t -> int
+
+val in_state : t -> int -> state
+(** Abstract state on entry to instruction [i]. *)
+
+val out_state : t -> int -> state
+(** Abstract state on exit of block [b]. *)
+
+val value_at : t -> int -> Ptx.Reg.t -> Dom.v
+(** Abstract value of register [r] as observed by instruction [i]. *)
+
+val operand_at : t -> int -> Ptx.Instr.operand -> Dom.v
+val address_at : t -> int -> Ptx.Instr.address -> Dom.v
+
+val divergent_block : t -> int -> bool
+(** May block [b] execute with a partially-active warp? *)
+
+val eval_operand : t -> state -> Ptx.Instr.operand -> Dom.v
+(** Evaluate an operand under an explicit state (used by derived
+    analyses that simulate along a path). *)

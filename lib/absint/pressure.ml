@@ -1,0 +1,28 @@
+type t =
+  { block_pressure : int array
+  ; maxlive : int
+  ; hot_block : int
+  }
+
+let compute (flow : Cfg.Flow.t) =
+  let lv = Cfg.Liveness.compute flow in
+  let nb = Cfg.Flow.num_blocks flow in
+  let block_pressure = Array.make nb 0 in
+  Array.iter
+    (fun (b : Cfg.Flow.block) ->
+       let p = ref 0 in
+       for i = b.Cfg.Flow.first to b.Cfg.Flow.last do
+         p := max !p (Cfg.Liveness.pressure_at lv.Cfg.Liveness.live_in.(i));
+         p := max !p (Cfg.Liveness.pressure_at lv.Cfg.Liveness.live_out.(i))
+       done;
+       block_pressure.(b.Cfg.Flow.bid) <- !p)
+    flow.Cfg.Flow.blocks;
+  let maxlive = ref 0 and hot = ref 0 in
+  Array.iteri
+    (fun b p ->
+       if p > !maxlive then begin
+         maxlive := p;
+         hot := b
+       end)
+    block_pressure;
+  { block_pressure; maxlive = !maxlive; hot_block = !hot }

@@ -1,0 +1,10 @@
+(** MAXLIVE-style per-block register pressure, in 32-bit register-file
+    units (predicates are free, 64-bit registers cost two units). *)
+
+type t =
+  { block_pressure : int array  (** max pressure inside each block *)
+  ; maxlive : int
+  ; hot_block : int  (** block attaining [maxlive] *)
+  }
+
+val compute : Cfg.Flow.t -> t

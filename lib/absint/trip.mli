@@ -1,0 +1,36 @@
+(** Provable loop trip counts.
+
+    A loop (one natural loop per back edge) gets a proven trip count when
+    it has a single recognisable induction register (one in-loop
+    definition of the shape [x := x op imm]), a unique exit block whose
+    conditional branch tests [x] against a loop-invariant value the
+    abstract interpretation pins to a constant, and a provable initial
+    value on loop entry. The count is then obtained by running the exact
+    [Value] semantics of the induction update until the exit condition
+    fires (capped), so wrap-around and signed/unsigned comparison
+    subtleties match the simulator by construction. *)
+
+type loop =
+  { back_edge : int * int
+  ; header : int  (** block id *)
+  ; members : bool array  (** per-block membership *)
+  ; exits : int list  (** in-loop blocks with an out-edge *)
+  ; trips : int option
+        (** proven number of body executions for every entry; [Some 0]
+            means the loop provably never runs *)
+  }
+
+val loops : Analysis.t -> loop list
+
+val instr_trips : loop list -> Cfg.Flow.t -> int -> int option * int
+(** For instruction [i]: the product of proven trip counts of enclosing
+    loops (None when [i] is in no proven loop) and the number of
+    enclosing loops with no proven count. *)
+
+val weight_provider : Analysis.t -> int -> float
+(** Estimated dynamic execution frequency of instruction [i]: the
+    product of proven trip counts of enclosing loops (each clamped to at
+    least 1), times the [10^depth] heuristic for enclosing loops whose
+    count could not be proven (capped at [10^4] combined, matching the
+    historical {!Cfg.Defuse} weight). Reduces exactly to the heuristic
+    when nothing is provable. *)

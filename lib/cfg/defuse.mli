@@ -10,6 +10,11 @@ type stats =
           access frequency *)
   }
 
-val compute : Flow.t -> stats Ptx.Reg.Map.t
+val compute : ?weight:(int -> float) -> Flow.t -> stats Ptx.Reg.Map.t
+(** [weight i] is the estimated dynamic execution count of instruction
+    index [i]. Defaults to the historical [10^min(depth, 4)] loop-depth
+    heuristic; pass a provider backed by proven trip counts (e.g.
+    [Absint.Trip.weight_provider]) to sharpen spill-gain estimates. *)
+
 val access_frequency : Flow.t -> Ptx.Reg.t -> float
 (** [weighted] for one register; 0 if the register does not occur. *)

@@ -10,3 +10,7 @@ val instr_depths : Flow.t -> int array
 
 val back_edges : Flow.t -> (int * int) list
 (** Edges (u, v) with v dominating u. *)
+
+val natural_loop : Flow.t -> int * int -> bool array
+(** Membership mask of the natural loop of a back edge [(u, v)]: [v]
+    plus every block reaching [u] without passing through [v]. *)

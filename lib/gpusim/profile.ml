@@ -1,0 +1,154 @@
+type mem_stat =
+  { mutable m_execs : int
+  ; mutable max_segments : int
+  ; mutable max_bank_degree : int
+  ; m_space : Ptx.Types.space
+  }
+
+type branch_stat =
+  { mutable b_execs : int
+  ; mutable b_divergent : int
+  }
+
+type t =
+  { mem_tbl : (int, mem_stat) Hashtbl.t
+  ; branch_tbl : (int, branch_stat) Hashtbl.t
+  }
+
+let mem_stat t pc space =
+  match Hashtbl.find_opt t.mem_tbl pc with
+  | Some s -> s
+  | None ->
+    let s = { m_execs = 0; max_segments = 0; max_bank_degree = 0; m_space = space } in
+    Hashtbl.add t.mem_tbl pc s;
+    s
+
+let branch_stat t pc =
+  match Hashtbl.find_opt t.branch_tbl pc with
+  | Some s -> s
+  | None ->
+    let s = { b_execs = 0; b_divergent = 0 } in
+    Hashtbl.add t.branch_tbl pc s;
+    s
+
+(* distinct L1-line indices over the lane base addresses, as
+   {!Sm.coalesce} counts them *)
+let segments ~line lane_addrs =
+  let line = Int64.of_int line in
+  let lines =
+    List.sort_uniq Int64.compare
+      (List.map (fun (_, a) -> Int64.div a line) lane_addrs)
+  in
+  List.length lines
+
+(* max distinct 4-byte words mapping to one bank, as
+   {!Sm.bank_conflict_degree}; the bank of a word is its signed
+   remainder, kept distinct from the positive classes by offsetting *)
+let bank_degree ~banks lane_addrs =
+  let words =
+    List.sort_uniq Int64.compare
+      (List.map (fun (_, a) -> Int64.div a 4L) lane_addrs)
+  in
+  let counts = Hashtbl.create 16 in
+  let degree = ref 1 in
+  List.iter
+    (fun w ->
+       let bank = Int64.to_int (Int64.rem w (Int64.of_int banks)) + banks in
+       let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts bank) in
+       Hashtbl.replace counts bank c;
+       if c > !degree then degree := c)
+    words;
+  if words = [] then 1 else !degree
+
+let record_mem t ~line ~banks pc (space : Ptx.Types.space) lane_addrs =
+  let s = mem_stat t pc space in
+  s.m_execs <- s.m_execs + 1;
+  match space with
+  | Ptx.Types.Global | Ptx.Types.Local ->
+    s.max_segments <- max s.max_segments (segments ~line lane_addrs)
+  | Ptx.Types.Shared ->
+    s.max_bank_degree <- max s.max_bank_degree (bank_degree ~banks lane_addrs)
+  | _ -> ()
+
+(* A conditional branch splits the warp when both the taken and the
+   fall-through lane sets are non-empty; replicated from the
+   interpreter's own test before stepping over it. *)
+let record_branch t w =
+  match Refinterp.peek w with
+  | Some (Ptx.Instr.Bra_pred (p, sense, _)) ->
+    let pc = Refinterp.pc w in
+    let mask = Refinterp.active_mask w in
+    let values = Refinterp.read_reg_values w p in
+    let taken = ref 0 in
+    Array.iteri
+      (fun lane v ->
+         if mask land (1 lsl lane) <> 0 && Value.to_bool v = sense then
+           taken := !taken lor (1 lsl lane))
+      values;
+    let fall = mask land lnot !taken in
+    let s = branch_stat t pc in
+    s.b_execs <- s.b_execs + 1;
+    if !taken <> 0 && fall <> 0 then s.b_divergent <- s.b_divergent + 1
+  | _ -> ()
+
+(* The barrier-waiting block driver, mirroring {!Refinterp.run_block},
+   with the counters hooked around every step. *)
+let run_block t ~line ~banks lctx ~ctaid ~warp_size =
+  let _block, warps = Refinterp.make_block lctx ~ctaid ~warp_size in
+  let warps = Array.of_list warps in
+  let waiting = Array.make (Array.length warps) false in
+  let all_done () = Array.for_all Refinterp.is_done warps in
+  let progress = ref true in
+  while (not (all_done ())) && !progress do
+    progress := false;
+    Array.iteri
+      (fun i w ->
+         if (not (Refinterp.is_done w)) && not waiting.(i) then begin
+           let stop = ref false in
+           while not !stop do
+             record_branch t w;
+             let pc = Refinterp.pc w in
+             match Refinterp.step w with
+             | Refinterp.E_barrier ->
+               waiting.(i) <- true;
+               stop := true;
+               progress := true
+             | Refinterp.E_exit ->
+               stop := true;
+               progress := true
+             | Refinterp.E_mem { space; lane_addrs; _ } ->
+               record_mem t ~line ~banks pc space lane_addrs;
+               progress := true
+             | Refinterp.E_alu _ -> progress := true
+           done
+         end)
+      warps;
+    let live_blocked = ref true in
+    Array.iteri
+      (fun i w ->
+         if (not (Refinterp.is_done w)) && not waiting.(i) then
+           live_blocked := false)
+      warps;
+    if !live_blocked then Array.iteri (fun i _ -> waiting.(i) <- false) warps
+  done;
+  if not (all_done ()) then failwith "Profile: barrier deadlock"
+
+let run ?(warp_size = 32) ?(line = 128) ?(banks = 32) ~(kernel : Ptx.Kernel.t)
+    ~block_size ~num_blocks ~params memory =
+  let image = Image.prepare kernel in
+  let lctx =
+    { Refinterp.image; global = memory; params; block_size; num_blocks }
+  in
+  let t = { mem_tbl = Hashtbl.create 64; branch_tbl = Hashtbl.create 16 } in
+  for ctaid = 0 to num_blocks - 1 do
+    run_block t ~line ~banks lctx ~ctaid ~warp_size
+  done;
+  t
+
+let sorted tbl =
+  List.sort
+    (fun (a, _) (b, _) -> Stdlib.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let mems t = sorted t.mem_tbl
+let branches t = sorted t.branch_tbl

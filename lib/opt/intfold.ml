@@ -1,0 +1,49 @@
+module I = Ptx.Instr
+module T = Ptx.Types
+module A = Absint.Analysis
+module Dom = Absint.Dom
+
+(* An integer register operand folds to the immediate when the abstract
+   interval at this program point is a singleton: every thread observes
+   that one value. Float and predicate positions are never touched. *)
+let foldable ty = not (T.is_float ty) && ty <> T.Pred
+
+let run ?block_size (k : Ptx.Kernel.t) =
+  match Cfg.Flow.of_kernel k with
+  | exception Invalid_argument _ -> (k, 0)
+  | flow ->
+    let an = A.run ?block_size flow in
+    let folded = ref 0 in
+    let fold_op i ty op =
+      match op with
+      | I.Oreg r when foldable ty && not (T.is_float (Ptx.Reg.ty r)) ->
+        (match Dom.Itv.singleton (A.value_at an i r).Dom.itv with
+         | Some c ->
+           incr folded;
+           I.Oimm (Int64.of_int c)
+         | None -> op)
+      | _ -> op
+    in
+    let idx = ref 0 in
+    let body =
+      Array.map
+        (function
+          | Ptx.Kernel.L l -> Ptx.Kernel.L l
+          | Ptx.Kernel.I ins ->
+            let i = !idx in
+            incr idx;
+            let f = fold_op i in
+            let ins' =
+              match ins with
+              | I.Mov (ty, d, a) -> I.Mov (ty, d, f ty a)
+              | I.Binop (op, ty, d, a, b) -> I.Binop (op, ty, d, f ty a, f ty b)
+              | I.Mad (ty, d, a, b, c) -> I.Mad (ty, d, f ty a, f ty b, f ty c)
+              | I.Setp (c, ty, d, a, b) -> I.Setp (c, ty, d, f ty a, f ty b)
+              | I.Selp (ty, d, a, b, p) -> I.Selp (ty, d, f ty a, f ty b, p)
+              | I.Unop _ | I.Cvt _ | I.Ld _ | I.St _ | I.Bra _ | I.Bra_pred _
+              | I.Bar_sync | I.Ret -> ins
+            in
+            Ptx.Kernel.I ins')
+        k.Ptx.Kernel.body
+    in
+    ({ k with Ptx.Kernel.body }, !folded)

@@ -1,0 +1,17 @@
+(** Interval-driven constant folding.
+
+    Uses the {!Absint} abstract interpretation to replace integer
+    register operands whose interval is a provable singleton with the
+    immediate — catching constants {!Constfold} cannot see locally, such
+    as [tid & 0] or values pinned by a clamp. Sound per-thread: a
+    singleton interval means every thread observes that one value, so
+    uniformity is not required.
+
+    Only value-operand positions of integer-typed ALU instructions are
+    rewritten (never address bases or predicates), keeping the verifier's
+    operand-kind rules (V106/V111) intact. The pass is gated off by
+    default in {!Pipeline} because the fixpoint analysis costs more than
+    the peephole passes. *)
+
+val run : ?block_size:int -> Ptx.Kernel.t -> Ptx.Kernel.t * int
+(** Returns the rewritten kernel and the number of folded operands. *)

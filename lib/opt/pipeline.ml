@@ -11,8 +11,18 @@ type report =
    instead of as a silently wrong simulation. *)
 let gate stage k = Verify.Gate.check_kernel ~stage k
 
-let run k =
+let run ?(intfold = false) ?block_size k =
   gate "opt:input" k;
+  (* the interval-driven fold is a whole-kernel fixpoint analysis, so it
+     runs once up front; the cheap peephole loop below cleans up after it *)
+  let k, intfolded =
+    if intfold then begin
+      let k, n = Intfold.run ?block_size k in
+      gate "opt:intfold" k;
+      (k, n)
+    end
+    else (k, 0)
+  in
   let rec loop k acc iters =
     let k, f = Constfold.run k in
     gate "opt:constfold" k;
@@ -29,7 +39,7 @@ let run k =
     in
     if f + p + e = 0 || iters >= 8 then (k, acc) else loop k acc (iters + 1)
   in
-  loop k { folded = 0; propagated = 0; eliminated = 0; iterations = 1 } 1
+  loop k { folded = intfolded; propagated = 0; eliminated = 0; iterations = 1 } 1
 
 let pp_report fmt r =
   Format.fprintf fmt "%d folded, %d propagated, %d eliminated (%d iterations)"

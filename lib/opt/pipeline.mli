@@ -14,5 +14,8 @@ type report =
   ; iterations : int
   }
 
-val run : Ptx.Kernel.t -> Ptx.Kernel.t * report
+(** [intfold] (default false) arms the abstract-interpretation-backed
+    {!Intfold} pass as a pre-step; its folded operands are counted in
+    [report.folded]. [block_size] sharpens that analysis. *)
+val run : ?intfold:bool -> ?block_size:int -> Ptx.Kernel.t -> Ptx.Kernel.t * report
 val pp_report : Format.formatter -> report -> unit

@@ -55,7 +55,8 @@ let remat_candidates k =
 
 let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
     ?(shared_policy = `Off) ?(spill_preference = `Cheap_first) ?shared_chunk
-    ?(coalesce = false) ?(remat = false) ~block_size ~reg_limit k =
+    ?(coalesce = false) ?(remat = false) ?weight_provider ~block_size ~reg_limit
+    k =
   (* optional pre-pass: conservative copy coalescing on the input *)
   let k =
     if not coalesce then k
@@ -75,8 +76,9 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
     end
   in
   let remat_fn = if remat then remat_candidates k else fun _ -> None in
+  let du_weight flow = Option.map (fun wp -> wp flow) weight_provider in
   let orig_flow = Cfg.Flow.of_kernel k in
-  let orig_defuse = Cfg.Defuse.compute orig_flow in
+  let orig_defuse = Cfg.Defuse.compute ?weight:(du_weight orig_flow) orig_flow in
   let weighted_gain r =
     match RMap.find_opt r orig_defuse with
     | Some s -> s.Cfg.Defuse.weighted
@@ -98,10 +100,17 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
       match shared_policy with
       | `Off -> fun _ -> false
       | `Spare bytes ->
+        (* with a trip-count-backed weight provider the gain of a
+           sub-stack is its estimated dynamic access count, not the
+           static occurrence count *)
+        let gain =
+          match weight_provider with
+          | Some _ -> weighted_gain
+          | None -> fun r -> float_of_int (static_accesses r)
+        in
         let f =
-          Shared_spill.optimize ?chunk:shared_chunk
-            ~gain:(fun r -> float_of_int (static_accesses r))
-            ~block_size ~spare_shm_bytes:bytes spills
+          Shared_spill.optimize ?chunk:shared_chunk ~gain ~block_size
+            ~spare_shm_bytes:bytes spills
         in
         (* shared spilling needs an extra 64-bit base register plus
            per-thread address setup; decline it when the absorbed
@@ -123,7 +132,7 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
     let live = Cfg.Liveness.compute flow in
     let graph = Interference.build flow live in
     let infra = Spill.infra_registers k k' in
-    let defuse' = Cfg.Defuse.compute flow in
+    let defuse' = Cfg.Defuse.compute ?weight:(du_weight flow) flow in
     let cost r =
       if RSet.mem r infra then infinity
       else

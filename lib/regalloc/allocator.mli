@@ -63,6 +63,7 @@ val allocate :
   -> ?shared_chunk:int
   -> ?coalesce:bool
   -> ?remat:bool
+  -> ?weight_provider:(Cfg.Flow.t -> int -> float)
   -> block_size:int
   -> reg_limit:int
   -> Ptx.Kernel.t
@@ -76,6 +77,11 @@ val allocate :
     constant/built-in moves instead of spilling them. Both are
     extensions over the paper's allocator, measured by the
     [abl-coalesce] ablation benchmark.
+    [weight_provider], given the flow graph of the kernel being
+    costed, returns per-instruction execution-frequency estimates used
+    in place of the [10^depth] heuristic for spill-cost and
+    shared-sub-stack gain estimation (Algorithm 1); wire it to
+    [Absint.Trip.weight_provider] for trip-count-proven weights.
     @raise Failure when [reg_limit] is below the feasible minimum (a few
     registers are needed to execute any instruction plus the spill
     infrastructure). *)

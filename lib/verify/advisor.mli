@@ -1,0 +1,52 @@
+(** Static performance advisor.
+
+    Turns the {!Absint} analyses — per-block MAXLIVE pressure, per-access
+    coalescing class and bank-conflict degree, branch uniformity and
+    provable loop trip counts — into advisory [P]-code diagnostics
+    (always {!Diagnostic.Warning}: a performance smell is never a
+    correctness error).
+
+    Code ranges mirror the verifier's [V] ranges:
+    - [P1xx] register pressure
+    - [P2xx] global/local coalescing
+    - [P3xx] shared-memory bank conflicts
+    - [P4xx] branch divergence
+    - [P5xx] loops and trip counts
+
+    Every quantitative claim behind the diagnostics (segment bounds,
+    bank-conflict degrees, uniformity) is exposed through [access] so a
+    differential harness ({!Crat.Lint}) can hold the advisor to them
+    against the simulator's dynamic counters. *)
+
+type report =
+  { kernel : string
+  ; access : Absint.Access.t  (** per-access / per-branch static claims *)
+  ; loops : Absint.Trip.loop list
+  ; pressure : Absint.Pressure.t
+  ; diags : Diagnostic.t list  (** the rendered P-code advisories *)
+  }
+
+val report :
+  ?reg_budget:int ->
+  ?warp_size:int ->
+  ?line:int ->
+  ?banks:int ->
+  Absint.Analysis.t ->
+  report
+(** Build the advisor report from a completed abstract interpretation.
+    [reg_budget] (per-thread 32-bit register units) arms the P101
+    inevitable-spill check; the memory-geometry defaults match
+    {!Gpusim.Config.fermi} (warp 32, 128-byte L1 lines, 32 banks). *)
+
+val lint_kernel :
+  ?block_size:int ->
+  ?num_blocks:int ->
+  ?params:(string * int64) list ->
+  ?reg_budget:int ->
+  ?warp_size:int ->
+  ?line:int ->
+  ?banks:int ->
+  Ptx.Kernel.t ->
+  report
+(** Convenience wrapper: run {!Absint.Analysis.run} on the kernel's CFG
+    and build the report. *)

@@ -21,21 +21,21 @@ let slot_name key =
     (key asr 1)
 
 (* a resolved access into one of the two spill stacks, if any *)
-let slot_of env i ins =
+let slot_of an i ins =
   match ins with
   | Instr.Ld (((Types.Local | Types.Shared) as sp), ty, _, addr)
   | Instr.St (((Types.Local | Types.Shared) as sp), ty, addr, _) ->
-    let form = Affine.eval_address env i addr in
+    let form = (Absint.Analysis.address_at an i addr).Absint.Dom.aff in
     let stack_sym =
       match sp with
       | Types.Shared -> Regalloc.Spill.shared_stack_sym
       | _ -> Regalloc.Spill.local_stack_sym
     in
-    if form.Affine.exact && form.Affine.sym = Some stack_sym then
+    if Absint.Dom.decl_sym form = Some stack_sym then
       Some
-        ( slot_key sp form.Affine.base
+        ( slot_key sp form.Absint.Dom.base
         , sp
-        , form.Affine.base
+        , form.Absint.Dom.base
         , Types.width_bytes ty
         , Instr.is_store ins )
     else None
@@ -175,11 +175,11 @@ let check (a : A.t) =
            && p.Regalloc.Spill.offset = offset)
         placements
     in
-    let env = Affine.env_of flow in
+    let an = Absint.Analysis.run ~block_size:a.A.block_size flow in
     let n = Cfg.Flow.num_instrs flow in
     let slot_access = Array.make (max n 1) None in
     Cfg.Flow.iter_instrs flow (fun i ins ->
-      match slot_of env i ins with
+      match slot_of an i ins with
       | None -> ()
       | Some (key, sp, offset, width, store) ->
         slot_access.(i) <- Some (key, store);

@@ -82,6 +82,16 @@ let all_codes =
   ; ("V503", "spill slot may be read before it is written")
   ; ("V504", "spill slot layout overlaps or access width mismatch")
   ; ("V505", "allocated kernel diverges from the audited assignment")
+  ; ("P101", "MAXLIVE exceeds the register budget: spilling is inevitable")
+  ; ("P102", "register pressure hotspot concentrated in one block")
+  ; ("P201", "global/local access may be uncoalesced (no affine address proof)")
+  ; ("P202", "strided access splits each warp transaction into multiple segments")
+  ; ("P301", "shared access provably causes N-way bank conflicts")
+  ; ("P302", "shared access may cause bank conflicts (stride not provable)")
+  ; ("P401", "possibly divergent branch inside a loop")
+  ; ("P402", "possibly divergent branch")
+  ; ("P501", "loop trip count not statically provable")
+  ; ("P502", "loop provably never executes")
   ]
 
 let describe code =

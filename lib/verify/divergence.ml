@@ -1,4 +1,5 @@
 open Ptx
+module Dom = Absint.Dom
 
 type t =
   { div_in : Reg.Set.t array  (* divergent registers at entry of each instr *)
@@ -111,50 +112,55 @@ let shm_spill_stride ~block_size (k : Kernel.t) =
        else None)
     k.Kernel.decls
 
-let private_shm_form ~stride (f : Affine.form) width =
+let private_shm_form ~stride (f : Dom.aff) width =
   match stride with
   | Some stride when stride > 0 ->
-    f.Affine.exact
-    && f.Affine.sym = Some Regalloc.Spill.shared_stack_sym
-    && f.Affine.tid = stride
-    && f.Affine.base >= 0
-    && f.Affine.base + width <= stride
+    f.Dom.exact
+    && f.Dom.sym = Some (Dom.Sym Regalloc.Spill.shared_stack_sym)
+    && f.Dom.tid = stride
+    && f.Dom.cta = 0
+    && f.Dom.base >= 0
+    && f.Dom.base + width <= stride
   | Some _ | None -> false
 
-let compute_pmem ~block_size env (flow : Cfg.Flow.t) =
+(* the (sym, byte-range) slot of a thread-invariant private access;
+   forms with a tid/ctaid component are treated as opaque, which is the
+   conservative direction for slot overlap *)
+let local_slot (f : Dom.aff) w =
+  match f.Dom.sym with
+  | Some (Dom.Sym s) when f.Dom.exact && f.Dom.tid = 0 && f.Dom.cta = 0 ->
+    Some (s, f.Dom.base, f.Dom.base + w)
+  | _ -> None
+
+let compute_pmem ~block_size an (flow : Cfg.Flow.t) =
   let k = flow.Cfg.Flow.kernel in
   let spill_stride = shm_spill_stride ~block_size k in
   let local_stores = ref [] and shm_stores = ref [] and shm_clean = ref true in
   Cfg.Flow.iter_instrs flow (fun i ins ->
     match ins with
     | Instr.St (Types.Local, ty, addr, _) ->
-      let f = Affine.eval_address env i addr in
+      let f = (Absint.Analysis.address_at an i addr).Dom.aff in
       let w = Types.width_bytes ty in
-      let slot =
-        match f.Affine.sym with
-        | Some s when f.Affine.exact ->
-          Some (s, f.Affine.base, f.Affine.base + w)
-        | _ -> None
-      in
-      local_stores := { slot; at = i } :: !local_stores
+      local_stores := { slot = local_slot f w; at = i } :: !local_stores
     | Instr.St (Types.Shared, ty, addr, _) ->
-      let f = Affine.eval_address env i addr in
+      let f = (Absint.Analysis.address_at an i addr).Dom.aff in
       let w = Types.width_bytes ty in
       if private_shm_form ~stride:spill_stride f w then
         shm_stores :=
           { slot =
               Some
-                (Regalloc.Spill.shared_stack_sym, f.Affine.base,
-                 f.Affine.base + w)
+                (Regalloc.Spill.shared_stack_sym, f.Dom.base, f.Dom.base + w)
           ; at = i
           }
           :: !shm_stores
       else if
         (* an exact store to a different symbol cannot alias the region *)
         not
-          (f.Affine.exact
-           && f.Affine.sym <> Some Regalloc.Spill.shared_stack_sym
-           && f.Affine.sym <> None)
+          (f.Dom.exact
+           &&
+           match f.Dom.sym with
+           | Some (Dom.Sym s) -> s <> Regalloc.Spill.shared_stack_sym
+           | Some (Dom.Param _) | None -> false)
       then shm_clean := false
     | _ -> ());
   { local_stores = !local_stores
@@ -173,10 +179,14 @@ let compute_pmem ~block_size env (flow : Cfg.Flow.t) =
    through control dependence, and stored-value divergence feeds back
    into private reloads; both only ever grow, so the combined system is
    monotone and converges. *)
-let compute ?(block_size = 128) (flow : Cfg.Flow.t) =
+let compute ?(block_size = 128) ?analysis (flow : Cfg.Flow.t) =
   let k = flow.Cfg.Flow.kernel in
-  let env = Affine.env_of flow in
-  let pmem = compute_pmem ~block_size env flow in
+  let an =
+    match analysis with
+    | Some a -> a
+    | None -> Absint.Analysis.run ~block_size flow
+  in
+  let pmem = compute_pmem ~block_size an flow in
   let local_syms =
     List.filter_map
       (fun d ->
@@ -235,17 +245,11 @@ let compute ?(block_size = 128) (flow : Cfg.Flow.t) =
                 private reloads (only as divergent as the stores) *)
              | Instr.Ld (Types.Global, _, _, _) -> true
              | Instr.Ld (Types.Local, ty, _, addr) ->
-               let f = Affine.eval_address env i addr in
+               let f = (Absint.Analysis.address_at an i addr).Dom.aff in
                let w = Types.width_bytes ty in
-               let slot =
-                 match f.Affine.sym with
-                 | Some s when f.Affine.exact ->
-                   Some (s, f.Affine.base, f.Affine.base + w)
-                 | _ -> None
-               in
-               stored pmem.local_stores slot
+               stored pmem.local_stores (local_slot f w)
              | Instr.Ld (Types.Shared, ty, _, addr) ->
-               let f = Affine.eval_address env i addr in
+               let f = (Absint.Analysis.address_at an i addr).Dom.aff in
                let w = Types.width_bytes ty in
                if
                  pmem.shm_clean
@@ -253,8 +257,8 @@ let compute ?(block_size = 128) (flow : Cfg.Flow.t) =
                then
                  stored pmem.shm_stores
                    (Some
-                      (Regalloc.Spill.shared_stack_sym, f.Affine.base,
-                       f.Affine.base + w))
+                      (Regalloc.Spill.shared_stack_sym, f.Dom.base,
+                       f.Dom.base + w))
                else true
              | Instr.Ld (Types.Param, _, _, _) -> false
              | Instr.Mov _ | Instr.Binop _ | Instr.Mad _ | Instr.Unop _

@@ -23,7 +23,9 @@
 
 type t
 
-val compute : ?block_size:int -> Cfg.Flow.t -> t
+val compute : ?block_size:int -> ?analysis:Absint.Analysis.t -> Cfg.Flow.t -> t
+(** [analysis] supplies a precomputed abstract interpretation used to
+    resolve private-memory address forms; recomputed otherwise. *)
 
 val divergent_reg : t -> at:int -> Ptx.Reg.t -> bool
 val divergent_block : t -> int -> bool

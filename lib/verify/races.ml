@@ -1,12 +1,13 @@
 open Ptx
 module D = Diagnostic
+module Dom = Absint.Dom
 
 type access =
   { idx : int
   ; blk : int
   ; store : bool
   ; width : int
-  ; form : Affine.form
+  ; form : Dom.aff
   ; addr_div : bool  (** can the address differ between threads? *)
   ; value_div : bool  (** for stores: can the stored value differ? *)
   }
@@ -30,8 +31,8 @@ let exists_mult g lo hi =
    block of [bs] threads? Overlap means da*t1 + ca ∈ (cb - wa, cb + wb)
    i.e. v = da*t1 - db*t2 ∈ [delta - wa + 1, delta + wb - 1]. *)
 let cross_thread_collides bs (a : access) (b : access) =
-  let da = a.form.Affine.tid and db = b.form.Affine.tid in
-  let delta = b.form.Affine.base - a.form.Affine.base in
+  let da = a.form.Dom.tid and db = b.form.Dom.tid in
+  let delta = b.form.Dom.base - a.form.Dom.base in
   let lo_i = delta - a.width + 1 and hi_i = delta + b.width - 1 in
   if bs <= 1 then false
   else if da = db then
@@ -55,14 +56,18 @@ let cross_thread_collides bs (a : access) (b : access) =
     exists_mult g (max lo_i (lo1 + lo2)) (min hi_i (hi1 + hi2))
   end
 
-(* regions can alias unless both are exact with distinct symbols *)
+(* regions can alias unless both are exact with distinct declared
+   symbols; a differing ctaid coefficient leaves an unknown inter-block
+   constant in the address delta, so collision must be assumed *)
 let may_overlap bs (a : access) (b : access) =
-  if not (a.form.Affine.exact && b.form.Affine.exact) then true
+  if not (a.form.Dom.exact && b.form.Dom.exact) then true
   else
-    match (a.form.Affine.sym, b.form.Affine.sym) with
-    | Some s1, Some s2 when s1 <> s2 -> false
+    match (a.form.Dom.sym, b.form.Dom.sym) with
+    | Some (Dom.Sym s1), Some (Dom.Sym s2) when s1 <> s2 -> false
+    | Some (Dom.Param _), _ | _, Some (Dom.Param _) -> true
     | Some _, None | None, Some _ -> true
-    | Some _, Some _ | None, None -> cross_thread_collides bs a b
+    | Some _, Some _ | None, None ->
+      a.form.Dom.cta <> b.form.Dom.cta || cross_thread_collides bs a b
 
 (* ---------- barrier-free / plain reachability ---------- *)
 
@@ -109,11 +114,15 @@ let no_barrier_between flow i j =
   in
   loop (i + 1)
 
-let check ~block_size (flow : Cfg.Flow.t) div =
+let check ~block_size ?analysis (flow : Cfg.Flow.t) div =
   let k = flow.Cfg.Flow.kernel in
   let kernel = k.Kernel.name in
   let bs = min block_size 4096 in
-  let env = Affine.env_of flow in
+  let an =
+    match analysis with
+    | Some a -> a
+    | None -> Absint.Analysis.run ~block_size flow
+  in
   (* per-thread stride of the Algorithm-1 shared spill sub-stack *)
   let spill_stride =
     List.find_map
@@ -131,9 +140,9 @@ let check ~block_size (flow : Cfg.Flow.t) div =
     match ins with
     | Instr.Ld (Types.Shared, ty, _, addr) | Instr.St (Types.Shared, ty, addr, _)
       ->
-      let form = Affine.eval_address env i addr in
+      let form = (Absint.Analysis.address_at an i addr).Dom.aff in
       let addr_div =
-        if form.Affine.exact then form.Affine.tid <> 0
+        if form.Dom.exact then form.Dom.tid <> 0
         else Divergence.divergent_operand div ~at:i addr.Instr.base
       in
       let store, value_div =
@@ -160,7 +169,7 @@ let check ~block_size (flow : Cfg.Flow.t) div =
     let any = reach_matrix flow ~barrier_free:false in
     let diags = ref [] in
     let in_spill (a : access) =
-      a.form.Affine.exact && a.form.Affine.sym = Some Regalloc.Spill.shared_stack_sym
+      Dom.decl_sym a.form = Some Regalloc.Spill.shared_stack_sym
     in
     (* V402: resolved spill-region accesses must follow the private
        per-thread pattern stride*tid + slot with the slot inside the
@@ -172,17 +181,18 @@ let check ~block_size (flow : Cfg.Flow.t) div =
             if in_spill a then begin
               let f = a.form in
               if
-                f.Affine.tid <> stride
-                || f.Affine.base < 0
-                || f.Affine.base + a.width > stride
+                f.Dom.tid <> stride
+                || f.Dom.cta <> 0
+                || f.Dom.base < 0
+                || f.Dom.base + a.width > stride
               then
                 diags :=
                   D.error ~instr:a.idx ~block:a.blk ~kernel ~code:"V402"
                     (Printf.sprintf
                        "spill-region access at %s + %d*tid + %d (width %d) is \
                         not per-thread private (stride %d)"
-                       Regalloc.Spill.shared_stack_sym f.Affine.tid
-                       f.Affine.base a.width stride)
+                       Regalloc.Spill.shared_stack_sym f.Dom.tid f.Dom.base
+                       a.width stride)
                   :: !diags
             end)
          accesses
@@ -223,8 +233,8 @@ let check ~block_size (flow : Cfg.Flow.t) div =
       | a :: rest ->
         (* a against itself: one dynamic instance, all threads at once *)
         if a.store then begin
-          if a.form.Affine.exact then begin
-            if a.form.Affine.tid = 0 then begin
+          if a.form.Dom.exact then begin
+            if a.form.Dom.tid = 0 then begin
               if a.value_div && not (Divergence.divergent_block div a.blk) then
                 diags :=
                   D.error ~instr:a.idx ~block:a.blk ~kernel ~code:"V401"

@@ -2,7 +2,8 @@
     least one a store) that can touch overlapping bytes from different
     threads with no [bar.sync] separating them.
 
-    Addresses are classified with {!Affine}; per-thread-private forms —
+    Addresses are classified with the {!Absint.Dom} affine forms of a
+    shared abstract interpretation; per-thread-private forms —
     in particular the Algorithm-1 spill sub-stack pattern
     [SpillShm + stride * tid + slot] — are proven disjoint across
     threads and accepted silently. Severities are calibrated so that
@@ -15,4 +16,11 @@
     - V403 (warning): possible cross-thread conflicts that the analysis
       cannot prove disjoint (one warning per offending access). *)
 
-val check : block_size:int -> Cfg.Flow.t -> Divergence.t -> Diagnostic.t list
+val check :
+  block_size:int ->
+  ?analysis:Absint.Analysis.t ->
+  Cfg.Flow.t ->
+  Divergence.t ->
+  Diagnostic.t list
+(** [analysis] supplies a precomputed abstract interpretation of the
+    same flow graph (it is recomputed at [block_size] otherwise). *)

@@ -1,0 +1,469 @@
+(* Tests for lib/absint and the advisor stack built on it:
+
+   - interval-domain unit tests (transfer functions, widening/narrowing)
+   - provable loop trip counts and the derived weight provider
+   - a regression where a proven trip count flips the allocator's spill
+     choice (the Algorithm 1 connection)
+   - QCheck soundness: random kernels stepped through the reference
+     interpreter; every concrete register value must lie in the claimed
+     interval, match the claimed affine form, and respect claimed
+     uniformity
+   - the interval-driven constant folder
+   - golden rendering of the advisor's P-codes
+   - the differential honesty sweep: on every suite workload, dynamic
+     per-pc counters never exceed a static claim and every dynamic event
+     is covered by a static record. *)
+
+module B = Ptx.Builder
+module I = Ptx.Instr
+module T = Ptx.Types
+module A = Absint.Analysis
+module Dom = Absint.Dom
+module Itv = Absint.Dom.Itv
+module Trip = Absint.Trip
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- interval domain ---------- *)
+
+let itv = Alcotest.testable Itv.pp Itv.equal
+
+let test_itv_arith () =
+  Alcotest.check itv "add" (Itv.range 11 23)
+    (Itv.add (Itv.range 1 3) (Itv.range 10 20));
+  Alcotest.check itv "sub" (Itv.range (-19) (-7))
+    (Itv.sub (Itv.range 1 3) (Itv.range 10 20));
+  Alcotest.check itv "mul signs" (Itv.range (-8) 12)
+    (Itv.mul (Itv.range (-2) 3) (Itv.const 4));
+  Alcotest.check itv "shl" (Itv.range 4 8)
+    (Itv.shl (Itv.range 1 2) (Itv.const 2));
+  Alcotest.check itv "shr signed" (Itv.range (-4) 4)
+    (Itv.shr ~signed:true (Itv.range (-8) 8) (Itv.const 1));
+  Alcotest.check itv "logand bound" (Itv.range 0 7)
+    (Itv.logand (Itv.range 0 100) (Itv.range 0 7));
+  check "top absorbs" true (Itv.is_top (Itv.add Itv.top (Itv.const 1)))
+
+let test_itv_lattice () =
+  Alcotest.check itv "join" (Itv.range 0 9)
+    (Itv.join (Itv.range 0 3) (Itv.range 7 9));
+  let w = Itv.widen (Itv.range 0 10) (Itv.range 0 20) in
+  check "widen pushes moving bound to +oo" true (w.Itv.hi = max_int);
+  check "widen keeps stable bound" true (w.Itv.lo = 0);
+  Alcotest.check itv "narrow refines infinite bound" (Itv.range 0 100)
+    (Itv.narrow w (Itv.range 0 100));
+  check "contains" true (Itv.contains (Itv.range (-5) 5) 3L);
+  check "not contains" false (Itv.contains (Itv.range (-5) 5) 6L);
+  check_int "singleton" 4 (Option.get (Itv.singleton (Itv.const 4)))
+
+(* ---------- trip counts ---------- *)
+
+let store_u32 b out64 v =
+  B.st b T.Global T.U32 (B.reg out64) 0 (B.reg v)
+
+let counted_loop_kernel name below =
+  let b = B.create name in
+  let out = B.param b "out" T.U64 in
+  let out64 = B.ld_param b T.U64 out in
+  let acc = B.mov b T.U32 (B.imm 0) in
+  B.for_loop b ~from:(B.imm 0) ~below ~step:1 (fun i ->
+    B.acc_binop b I.Add T.U32 acc (B.reg i));
+  store_u32 b out64 acc;
+  B.finish b
+
+let analysis_of ?params k = A.run ~block_size:64 ?params (Cfg.Flow.of_kernel k)
+
+let the_loop an =
+  match Trip.loops an with
+  | [ l ] -> l
+  | ls -> Alcotest.failf "expected exactly one loop, got %d" (List.length ls)
+
+let test_trip_constant () =
+  let an = analysis_of (counted_loop_kernel "trip10" (B.imm 10)) in
+  Alcotest.(check (option int)) "ten trips" (Some 10) (the_loop an).Trip.trips
+
+let test_trip_zero () =
+  let an = analysis_of (counted_loop_kernel "trip0" (B.imm 0)) in
+  Alcotest.(check (option int)) "zero trips" (Some 0) (the_loop an).Trip.trips
+
+let param_loop_kernel () =
+  let b = B.create "tripn" in
+  let out = B.param b "out" T.U64 in
+  let n = B.param b "n" T.U32 in
+  let out64 = B.ld_param b T.U64 out in
+  let nval = B.ld_param b T.U32 n in
+  let acc = B.mov b T.U32 (B.imm 0) in
+  B.for_loop b ~from:(B.imm 0) ~below:(B.reg nval) ~step:1 (fun i ->
+    B.acc_binop b I.Add T.U32 acc (B.reg i));
+  store_u32 b out64 acc;
+  B.finish b
+
+let test_trip_param () =
+  let k = param_loop_kernel () in
+  Alcotest.(check (option int)) "unknown without the launch" None
+    (the_loop (analysis_of k)).Trip.trips;
+  Alcotest.(check (option int)) "proven with the parameter value" (Some 7)
+    (the_loop (analysis_of ~params:[ ("n", 7L) ] k)).Trip.trips
+
+let test_trip_shr () =
+  (* x = 64; do { x >>= 1 } while (x > 0)  — 7 body executions *)
+  let b = B.create "tripshr" in
+  let out = B.param b "out" T.U64 in
+  let out64 = B.ld_param b T.U64 out in
+  let x = B.mov b T.U32 (B.imm 64) in
+  let l = B.fresh_label b "Lshr" in
+  B.label b l;
+  B.acc_binop b I.Shr T.U32 x (B.imm 1);
+  let p = B.setp b I.Gt T.U32 (B.reg x) (B.imm 0) in
+  B.bra_if b p l;
+  store_u32 b out64 x;
+  let an = analysis_of (B.finish b) in
+  Alcotest.(check (option int)) "shift-reduction trips" (Some 7)
+    (the_loop an).Trip.trips
+
+let test_weight_provider () =
+  let k = counted_loop_kernel "trip7w" (B.imm 7) in
+  let an = analysis_of k in
+  let flow = A.flow an in
+  let l = the_loop an in
+  let body_pc = flow.Cfg.Flow.blocks.(l.Trip.header).Cfg.Flow.first in
+  let trips, unproven = Trip.instr_trips [ l ] flow body_pc in
+  Alcotest.(check (option int)) "instr trips" (Some 7) trips;
+  check_int "no unproven enclosing loop" 0 unproven;
+  Alcotest.(check (float 1e-9)) "proven weight" 7.0
+    (Trip.weight_provider an body_pc);
+  (* outside the loop the provider matches the heuristic exactly *)
+  Alcotest.(check (float 1e-9)) "depth-0 weight" 1.0
+    (Trip.weight_provider an 0)
+
+(* ---------- proven weights change the spill choice ---------- *)
+
+(* Two spill candidates interfere across a loop region: [x] is touched
+   once inside a loop that provably runs twice, [y] five times outside
+   any loop. The 10^depth heuristic prices x at ~12 accesses and spills
+   y (~6); the proven trip count prices x at ~4 and spills x instead —
+   the paper's Figure 8 point, now decided by a real bound. *)
+let spill_choice_kernel () =
+  let b = B.create "spillpick" in
+  let out = B.param b "out" T.U64 in
+  let out64 = B.ld_param b T.U64 out in
+  let x = B.mov b T.U32 (B.imm 5) in
+  let y = B.mov b T.U32 (B.imm 7) in
+  let fillers = List.init 4 (fun i -> B.mov b T.U32 (B.imm (20 + i))) in
+  let acc = B.mov b T.U32 (B.imm 0) in
+  B.for_loop b ~from:(B.imm 0) ~below:(B.imm 2) ~step:1 (fun _ ->
+    B.acc_binop b I.Add T.U32 acc (B.reg x));
+  for _ = 1 to 5 do
+    B.acc_binop b I.Add T.U32 acc (B.reg y)
+  done;
+  List.iter
+    (fun f ->
+       for _ = 1 to 8 do
+         B.acc_binop b I.Add T.U32 acc (B.reg f)
+       done)
+    fillers;
+  B.acc_binop b I.Add T.U32 acc (B.reg x);
+  store_u32 b out64 acc;
+  (B.finish b, x, y)
+
+let absint_weights flow = Trip.weight_provider (A.run ~block_size:64 flow)
+
+let test_proven_weight_flips_spill_choice () =
+  let k, x, y = spill_choice_kernel () in
+  let spilled_regs ?weight_provider () =
+    let a =
+      Regalloc.Allocator.allocate ?weight_provider ~block_size:64 ~reg_limit:9
+        k
+    in
+    List.map (fun (p : Regalloc.Spill.placement) -> p.Regalloc.Spill.reg)
+      a.Regalloc.Allocator.spilled
+  in
+  (* The allocator iterates until the pressure fits, so extra registers can
+     ride along with either choice; the flip we are testing is which register
+     is the *cheapest* spill candidate.  The depth heuristic prices x's
+     in-loop use at 10 per trip-agnostic depth level, so it protects x and
+     sacrifices y first; the proven 2-trip weight reveals x as the cheaper
+     spill and it moves to the front of the queue. *)
+  let heuristic = spilled_regs () in
+  let proven = spilled_regs ~weight_provider:absint_weights () in
+  check "heuristic spills y first" true (List.nth_opt heuristic 0 = Some y);
+  check "heuristic keeps x" false (List.mem x heuristic);
+  check "proven trips spill x first" true (List.nth_opt proven 0 = Some x);
+  check "proven trips spill x" true (List.mem x proven)
+
+(* ---------- QCheck soundness against Refinterp ---------- *)
+
+let inp_base = 0x1000_0000L
+let out_base = 0x2000_0000L
+
+let soundness_params = [ ("inp", inp_base); ("out", out_base); ("n", 1024L) ]
+
+let check_warp_state an w =
+  match Gpusim.Refinterp.peek w with
+  | None -> ()
+  | Some ins ->
+    let pc = Gpusim.Refinterp.pc w in
+    let mask = Gpusim.Refinterp.active_mask w in
+    let ctaid = (Gpusim.Refinterp.block_of w).Gpusim.Refinterp.ctaid in
+    let warp_base = Gpusim.Refinterp.warp_id w * 32 in
+    List.iter
+      (fun r ->
+         let dv = A.value_at an pc r in
+         let values = Gpusim.Refinterp.read_reg_values w r in
+         let seen = ref None in
+         Array.iteri
+           (fun lane v ->
+              if mask land (1 lsl lane) <> 0 then begin
+                let bits = Gpusim.Value.to_bits v in
+                if not (Itv.contains dv.Dom.itv bits) then
+                  Alcotest.failf "pc %d %%r%d lane %d: %Ld outside %s" pc
+                    (Ptx.Reg.id r) lane bits
+                    (Format.asprintf "%a" Itv.pp dv.Dom.itv);
+                let a = dv.Dom.aff in
+                (if a.Dom.exact && a.Dom.sym = None then
+                   let tid = warp_base + lane in
+                   let expected =
+                     Int64.add
+                       (Int64.add
+                          (Int64.mul (Int64.of_int a.Dom.tid) (Int64.of_int tid))
+                          (Int64.mul (Int64.of_int a.Dom.cta)
+                             (Int64.of_int ctaid)))
+                       (Int64.of_int a.Dom.base)
+                   in
+                   if not (Int64.equal bits expected) then
+                     Alcotest.failf
+                       "pc %d %%r%d lane %d: %Ld <> affine %Ld (tid %d cta %d)"
+                       pc (Ptx.Reg.id r) lane bits expected a.Dom.tid a.Dom.cta);
+                if dv.Dom.uni then begin
+                  match !seen with
+                  | None -> seen := Some bits
+                  | Some prev ->
+                    if not (Int64.equal prev bits) then
+                      Alcotest.failf
+                        "pc %d %%r%d: claimed uniform but lanes differ (%Ld vs %Ld)"
+                        pc (Ptx.Reg.id r) prev bits
+                end
+              end)
+           values)
+      (I.uses ins)
+
+let run_checked k =
+  let block_size = 64 and num_blocks = 2 in
+  let an =
+    A.run ~block_size ~num_blocks ~warp_size:32 ~params:soundness_params
+      (Cfg.Flow.of_kernel k)
+  in
+  let mem = Gpusim.Memory.create () in
+  Gpusim.Memory.write_f32_array mem ~base:inp_base
+    (Workloads.Data.uniform_f32 ~seed:5 1024);
+  let image = Gpusim.Image.prepare k in
+  let lctx =
+    { Gpusim.Refinterp.image
+    ; global = mem
+    ; params =
+        [ ("inp", Gpusim.Value.I inp_base)
+        ; ("out", Gpusim.Value.I out_base)
+        ; ("n", Gpusim.Value.of_int 1024)
+        ]
+    ; block_size
+    ; num_blocks
+    }
+  in
+  for ctaid = 0 to num_blocks - 1 do
+    let _block, warps = Gpusim.Refinterp.make_block lctx ~ctaid ~warp_size:32 in
+    List.iter
+      (fun w ->
+         (* generated kernels are barrier-free: run each warp to
+            completion, checking the claimed state before every step *)
+         while not (Gpusim.Refinterp.is_done w) do
+           check_warp_state an w;
+           ignore (Gpusim.Refinterp.step w)
+         done)
+      warps
+  done
+
+let prop_absint_sound =
+  QCheck.Test.make ~count:60
+    ~name:"concrete runs stay inside intervals, affine forms and uniformity"
+    Testsupport.Gen.arbitrary_kernel
+    (fun k ->
+       run_checked k;
+       true)
+
+(* ---------- interval-driven constant folding ---------- *)
+
+let test_intfold () =
+  let b = B.create "intfold" in
+  let out = B.param b "out" T.U64 in
+  let out64 = B.ld_param b T.U64 out in
+  let tid = B.special b Ptx.Reg.Tid_x in
+  let z = B.binop b I.And T.U32 (B.reg tid) (B.imm 0) in
+  let r = B.add b T.U32 (B.reg z) (B.imm 5) in
+  store_u32 b out64 r;
+  let k = B.finish b in
+  let k', n = Ptxopt.Intfold.run ~block_size:64 k in
+  check "folded the provably-zero operand" true (n >= 1);
+  let folded_to_zero =
+    List.exists
+      (function
+        | I.Binop (I.Add, T.U32, _, I.Oimm 0L, _)
+        | I.Binop (I.Add, T.U32, _, _, I.Oimm 0L) -> true
+        | _ -> false)
+      (Ptx.Kernel.instrs k')
+  in
+  check "operand rewritten to the immediate" true folded_to_zero;
+  (* the armed pipeline then cleans the dead mask away *)
+  let k'', report = Ptxopt.Pipeline.run ~intfold:true ~block_size:64 k in
+  check "pipeline shrinks the kernel" true
+    (Ptx.Kernel.instr_count k'' < Ptx.Kernel.instr_count k);
+  check "report counts the interval folds" true (report.Ptxopt.Pipeline.folded >= 1)
+
+(* ---------- advisor: P-codes, golden rendering ---------- *)
+
+(* A deterministic kernel exhibiting every advisory family the suite
+   itself does not cover: strided global traffic (P202), proven and
+   possible bank conflicts (P301/P302), a divergent branch inside and
+   outside loops (P401/P402), an unprovable and a zero-trip loop
+   (P501/P502), and pressure past a tiny budget (P101). *)
+let clinic_kernel () =
+  let b = B.create "clinic" in
+  let inp = B.param b "inp" T.U64 in
+  let out = B.param b "out" T.U64 in
+  let inp64 = B.ld_param b T.U64 inp in
+  let out64 = B.ld_param b T.U64 out in
+  let tid = B.special b Ptx.Reg.Tid_x in
+  let sdata = B.decl_shared b "sdata" T.F32 256 in
+  let sbase = B.mov b T.U32 sdata in
+  (* P202: 16-byte lane stride *)
+  let sb = B.mul b T.U32 (B.reg tid) (B.imm 16) in
+  let so = B.cvt b T.U64 T.U32 (B.reg sb) in
+  let sa = B.add b T.U64 (B.reg inp64) (B.reg so) in
+  let sv = B.ld b T.Global T.F32 (B.reg sa) 0 in
+  (* P301: shared store at an 8-byte lane stride, provably 2-way *)
+  let cb = B.mul b T.U32 (B.reg tid) (B.imm 8) in
+  let ca = B.add b T.U32 (B.reg sbase) (B.reg cb) in
+  B.st b T.Shared T.F32 (B.reg ca) 0 (B.reg sv);
+  (* P302: data-dependent shared index *)
+  let gb = B.mul b T.U32 (B.reg tid) (B.imm 4) in
+  let go = B.cvt b T.U64 T.U32 (B.reg gb) in
+  let ga = B.add b T.U64 (B.reg inp64) (B.reg go) in
+  let raw = B.ld b T.Global T.U32 (B.reg ga) 0 in
+  let m = B.binop b I.And T.U32 (B.reg raw) (B.imm 255) in
+  let mb = B.mul b T.U32 (B.reg m) (B.imm 4) in
+  let ma = B.add b T.U32 (B.reg sbase) (B.reg mb) in
+  let dv = B.ld b T.Shared T.F32 (B.reg ma) 0 in
+  let acc = B.mov b T.F32 (B.fimm 0.0) in
+  (* P501 + P401: data-bounded loop with a divergent branch inside *)
+  B.for_loop b ~from:(B.imm 0) ~below:(B.reg m) ~step:1 (fun _ ->
+    let bit = B.binop b I.And T.U32 (B.reg raw) (B.imm 1) in
+    let p = B.setp b I.Eq T.U32 (B.reg bit) (B.imm 1) in
+    let skip = B.fresh_label b "Lskip" in
+    B.bra_ifnot b p skip;
+    B.acc_binop b I.Add T.F32 acc (B.reg dv);
+    B.label b skip);
+  (* P502: provably dead loop *)
+  B.for_loop b ~from:(B.imm 0) ~below:(B.imm 0) ~step:1 (fun _ ->
+    B.acc_binop b I.Add T.F32 acc (B.fimm 1.0));
+  (* P402: straight-line divergent branch *)
+  let p2 = B.setp b I.Lt T.U32 (B.reg tid) (B.imm 7) in
+  let skip2 = B.fresh_label b "Ltail" in
+  B.bra_ifnot b p2 skip2;
+  B.acc_binop b I.Add T.F32 acc (B.reg sv);
+  B.label b skip2;
+  let ob = B.mul b T.U32 (B.reg tid) (B.imm 4) in
+  let oo = B.cvt b T.U64 T.U32 (B.reg ob) in
+  let oa = B.add b T.U64 (B.reg out64) (B.reg oo) in
+  B.st b T.Global T.F32 (B.reg oa) 0 (B.reg acc);
+  B.finish b
+
+let advisor_render () =
+  let clinic =
+    Verify.Advisor.lint_kernel ~block_size:64 ~reg_budget:4 (clinic_kernel ())
+  in
+  let kmn = Crat.Lint.lint (Workloads.Suite.find "KMN") in
+  String.concat ""
+    (List.map
+       (fun (r : Verify.Advisor.report) ->
+          Printf.sprintf "# %s (maxlive %d)\n%s\n" r.Verify.Advisor.kernel
+            r.Verify.Advisor.pressure.Absint.Pressure.maxlive
+            (Verify.Diagnostic.render r.Verify.Advisor.diags))
+       [ clinic; kmn ])
+
+let test_advisor_golden () =
+  let actual = advisor_render () in
+  match Sys.getenv_opt "ADVISOR_GOLDEN_WRITE" with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc actual)
+  | None ->
+    let path =
+      List.find Sys.file_exists
+        [ "golden/advisor.expected"; "test/golden/advisor.expected" ]
+    in
+    let expected = In_channel.with_open_text path In_channel.input_all in
+    Alcotest.(check string) "advisor rendering" expected actual
+
+let test_advisor_codes_documented () =
+  let clinic =
+    Verify.Advisor.lint_kernel ~block_size:64 ~reg_budget:4 (clinic_kernel ())
+  in
+  let codes = List.map (fun d -> d.Verify.Diagnostic.code) clinic.Verify.Advisor.diags in
+  List.iter
+    (fun c ->
+       check
+         (Printf.sprintf "code %s documented" c)
+         true
+         (List.mem_assoc c Verify.Diagnostic.all_codes))
+    codes;
+  (* the clinic exercises every family *)
+  List.iter
+    (fun c ->
+       check (Printf.sprintf "clinic emits %s" c) true (List.mem c codes))
+    [ "P101"; "P202"; "P301"; "P302"; "P401"; "P402"; "P501"; "P502" ]
+
+(* ---------- differential honesty sweep over the suite ---------- *)
+
+let test_lint_sweep_validates () =
+  List.iter
+    (fun (app : Workloads.App.t) ->
+       let report, failures = Crat.Lint.validate app in
+       if failures <> [] then
+         Alcotest.failf "%s advisor claims violated:\n%s"
+           app.Workloads.App.abbr
+           (String.concat "\n" failures);
+       (* the sweep is also the coverage proof: validate checks every
+          dynamic mem access / branch has a static record at its pc *)
+       ignore report)
+    Workloads.Suite.all
+
+let () =
+  Alcotest.run "absint"
+    [ ( "interval"
+      , [ Alcotest.test_case "arithmetic" `Quick test_itv_arith
+        ; Alcotest.test_case "lattice" `Quick test_itv_lattice
+        ] )
+    ; ( "trips"
+      , [ Alcotest.test_case "constant bound" `Quick test_trip_constant
+        ; Alcotest.test_case "zero-trip" `Quick test_trip_zero
+        ; Alcotest.test_case "parameter bound" `Quick test_trip_param
+        ; Alcotest.test_case "shift reduction" `Quick test_trip_shr
+        ; Alcotest.test_case "weight provider" `Quick test_weight_provider
+        ] )
+    ; ( "weights"
+      , [ Alcotest.test_case "proven trip count flips the spill choice"
+            `Quick test_proven_weight_flips_spill_choice
+        ] )
+    ; ( "soundness"
+      , List.map QCheck_alcotest.to_alcotest [ prop_absint_sound ] )
+    ; ( "intfold"
+      , [ Alcotest.test_case "folds interval singletons" `Quick test_intfold ] )
+    ; ( "advisor"
+      , [ Alcotest.test_case "golden file" `Quick test_advisor_golden
+        ; Alcotest.test_case "codes documented" `Quick
+            test_advisor_codes_documented
+        ] )
+    ; ( "sweep"
+      , [ Alcotest.test_case "claims hold on every workload" `Slow
+            test_lint_sweep_validates
+        ] )
+    ]
