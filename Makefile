@@ -29,9 +29,12 @@ bench-smoke:
 	dune exec bench/main.exe -- --only fig1 --jobs 2 --fast
 
 # reduced full sweep with a machine-readable report, for tracking
-# simulator performance over time (see BENCH_PR2.json for a reference)
+# simulator performance over time (see BENCH_PR2.json for a reference),
+# then the fig13-family replay-on/replay-off grid (see BENCH_PR5.json):
+# wall-clock at jobs 1 and 4 with bit-identical Stats fingerprints
 bench-perf:
 	dune exec bench/main.exe -- --fast --json bench-perf.json
+	dune exec bench/replaybench.exe -- BENCH_PR5.json
 
 clean:
 	dune clean

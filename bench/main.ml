@@ -242,9 +242,8 @@ let bechamel_mode () =
         ignore (Crat.Opttlp.estimate_static fermi small ~max_tlp:8 ()))
     ; test "sim-small" (fun () ->
         let launch =
-          Workloads.App.sm_launch small
-            ~input:{ small_input with Workloads.App.num_blocks = 2 }
-            ~tlp:2 ()
+          Workloads.App.launch small ~tlp:2
+            ~input:{ small_input with Workloads.App.num_blocks = 2 } ()
         in
         ignore (Gpusim.Sm.run fermi launch))
     ]
@@ -278,6 +277,7 @@ let () =
   let only = ref [] in
   let jobs = ref 1 in
   let json = ref "" in
+  let replay = ref true in
   let spec =
     [ ("--bechamel", Arg.Set bechamel, " run Bechamel timing benchmarks")
     ; ("--fast", Arg.Set fast, " reduced application sets")
@@ -291,11 +291,19 @@ let () =
       , Arg.Set_string json
       , "FILE write a machine-readable run report (per-experiment wall clock \
          and engine statistics)" )
+    ; ( "--replay"
+      , Arg.Set replay
+      , " record each launch's trace once and replay it across timing \
+         points (default)" )
+    ; ( "--no-replay"
+      , Arg.Clear replay
+      , " run every simulation cold through the functional front-end" )
     ]
   in
   Arg.parse spec
     (fun _ -> ())
-    "bench/main.exe [--bechamel] [--fast] [--only ids] [--jobs N] [--json file]";
+    "bench/main.exe [--bechamel] [--fast] [--only ids] [--jobs N] \
+     [--json file] [--replay|--no-replay]";
   if !jobs < 1 then begin
     prerr_endline "bench: --jobs must be >= 1";
     exit 2
@@ -317,7 +325,7 @@ let () =
     !only;
   if !bechamel then bechamel_mode ()
   else begin
-    let engine = Crat.Engine.create ~jobs:!jobs () in
+    let engine = Crat.Engine.create ~jobs:!jobs ~replay:!replay () in
     let ctx = if !fast then fast_ctx engine else full_ctx engine in
     let wanted (id, _, _) = !only = [] || List.mem id !only in
     let t_all = Unix.gettimeofday () in

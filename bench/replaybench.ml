@@ -1,0 +1,123 @@
+(* BENCH_PR5 harness: the fig13 sweep family (fig13 fermi/sensitive,
+   fig17 kepler/sensitive, fig19 fermi/insensitive) timed with the
+   trace-replay cache on vs off, at jobs=1 and jobs=4.
+
+   Each cell runs on a fresh engine (no cross-cell cache reuse) and
+   fingerprints every Stats.t it produced, so the JSON both proves the
+   speedup and that replayed statistics are bit-identical to cold
+   simulation at either parallelism.
+
+     dune exec bench/replaybench.exe                  # print JSON
+     dune exec bench/replaybench.exe -- BENCH_PR5.json
+
+   (make bench-perf writes BENCH_PR5.json at the repo root.) *)
+
+let fermi = Gpusim.Config.fermi
+let kepler = Gpusim.Config.kepler
+
+(* every simulated answer of one comparison, as pure data: the
+   fingerprint is a digest of the marshalled list, so two cells agree
+   iff every Stats.t field agrees bit-for-bit *)
+let essence (c : Crat.Experiments.comparison) =
+  ( c.Crat.Experiments.app.Workloads.App.abbr
+  , List.map
+      (fun (e : Crat.Baselines.evaluated) ->
+        (e.Crat.Baselines.label, e.Crat.Baselines.reg, e.Crat.Baselines.tlp,
+         e.Crat.Baselines.stats))
+      [ c.Crat.Experiments.max_tlp
+      ; c.Crat.Experiments.opt_tlp
+      ; c.Crat.Experiments.crat_local
+      ; c.Crat.Experiments.crat
+      ] )
+
+type cell =
+  { jobs : int
+  ; replay : bool
+  ; wall_s : float
+  ; fingerprint : string
+  ; report : Crat.Engine.report
+  }
+
+let run_cell ~jobs ~replay =
+  let engine = Crat.Engine.create ~jobs ~replay () in
+  let t0 = Unix.gettimeofday () in
+  let sweep =
+    List.map
+      (fun (cfg, apps) -> snd (Crat.Experiments.fig13 engine cfg apps))
+      [ (fermi, Workloads.Suite.sensitive)    (* fig13 *)
+      ; (kepler, Workloads.Suite.sensitive)   (* fig17 *)
+      ; (fermi, Workloads.Suite.insensitive)  (* fig19 *)
+      ]
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let fingerprint =
+    Digest.to_hex
+      (Digest.string (Marshal.to_string (List.map (List.map essence) sweep) []))
+  in
+  { jobs; replay; wall_s; fingerprint; report = Crat.Engine.report engine }
+
+let cell_json c =
+  let r = c.report in
+  Printf.sprintf
+    {|    {"jobs": %d, "replay": %b, "wall_s": %.3f, "fingerprint": "%s",
+     "engine": {"sim_runs": %d, "sim_hits": %d, "trace_records": %d, "trace_replays": %d,
+                "alloc_runs": %d, "alloc_hits": %d, "job_wall_s": %.3f}}|}
+    c.jobs c.replay c.wall_s c.fingerprint r.Crat.Engine.sim_runs
+    r.Crat.Engine.sim_hits r.Crat.Engine.trace_records
+    r.Crat.Engine.trace_replays r.Crat.Engine.alloc_runs
+    r.Crat.Engine.alloc_hits r.Crat.Engine.job_wall
+
+(* one small sweep per mode before timing anything: the first work a
+   fresh process does pays for heap growth and lazy initialisation, and
+   must not be billed to whichever cell happens to run first *)
+let warmup () =
+  let apps = List.map Workloads.Suite.find [ "CFD"; "BLK" ] in
+  List.iter
+    (fun replay ->
+      let engine = Crat.Engine.create ~replay () in
+      ignore (Crat.Experiments.fig13 engine fermi apps))
+    [ true; false ];
+  Printf.eprintf "warmup done\n%!"
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  warmup ();
+  let cells =
+    List.map
+      (fun (jobs, replay) ->
+        let c = run_cell ~jobs ~replay in
+        Printf.eprintf "jobs=%d replay=%b: %.1fs  %s\n%!" jobs replay c.wall_s
+          c.fingerprint;
+        c)
+      [ (1, true); (1, false); (4, true); (4, false) ]
+  in
+  let find j r = List.find (fun c -> c.jobs = j && c.replay = r) cells in
+  let speedup j = (find j false).wall_s /. (find j true).wall_s in
+  let identical =
+    List.for_all (fun c -> c.fingerprint = (find 1 true).fingerprint) cells
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "description": "fig13 sweep family (fig13 fermi/sensitive + fig17 kepler/sensitive + fig19 fermi/insensitive) with the trace-driven replay cache on vs off. Each cell is a fresh engine; the fingerprint digests every Stats.t produced, so equal fingerprints mean replayed statistics are bit-identical to cold simulation.",
+  "command": "dune exec bench/replaybench.exe -- BENCH_PR5.json",
+  "speedup_jobs1": %.2f,
+  "speedup_jobs4": %.2f,
+  "fingerprints_identical": %b,
+  "cells": [
+%s
+  ]
+}
+|}
+      (speedup 1) (speedup 4) identical
+      (String.concat ",\n" (List.map cell_json cells))
+  in
+  (match out with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc json;
+     close_out oc
+   | None -> print_string json);
+  Printf.eprintf "speedup jobs=1: %.2fx, jobs=4: %.2fx, identical: %b\n%!"
+    (speedup 1) (speedup 4) identical;
+  if not identical then exit 1

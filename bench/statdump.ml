@@ -39,7 +39,7 @@ let fingerprint ~blocks ~tlps (app : Workloads.App.t) =
   in
   List.iter
     (fun tlp ->
-       let launch = Workloads.App.sm_launch app ~input ~tlp () in
+       let launch = Workloads.App.launch app ~tlp ~input () in
        let st = Gpusim.Sm.run fermi launch in
        pp_stats (Printf.sprintf "%s/default/tlp%d" app.Workloads.App.abbr tlp) st;
        (* allocated kernel with a tight register budget: exercises the
@@ -51,8 +51,8 @@ let fingerprint ~blocks ~tlps (app : Workloads.App.t) =
            (Workloads.App.kernel app)
        in
        let launch =
-         Workloads.App.sm_launch app ~kernel:alloc.Regalloc.Allocator.kernel
-           ~input ~tlp ()
+         Workloads.App.launch app ~kernel:alloc.Regalloc.Allocator.kernel ~tlp
+           ~input ()
        in
        let st = Gpusim.Sm.run fermi launch in
        pp_stats (Printf.sprintf "%s/r20/tlp%d" app.Workloads.App.abbr tlp) st)

@@ -53,6 +53,17 @@ let jobs_arg =
   Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Fan independent allocations/simulations over $(docv) domains.")
 
+(* Trace-driven replay is the default; [--no-replay] forces every
+   simulation to run cold through the functional front-end. *)
+let replay_arg =
+  let no_replay =
+    Arg.(value & flag & info [ "no-replay" ]
+           ~doc:"Disable the trace-replay cache: re-execute every \
+                 simulation functionally instead of replaying the \
+                 launch's recorded trace.")
+  in
+  Term.(const not $ no_replay)
+
 let gate_arg =
   let doc =
     "Arm the static-verifier gate: every pipeline stage is re-verified and \
@@ -81,7 +92,7 @@ let config_cmd =
 
 let analyze_cmd =
   let doc = "Resource-usage analysis: MaxReg/MinReg/MaxTLP/ShmSize + OptTLP." in
-  let run kepler abbr static jobs =
+  let run kepler abbr static jobs replay =
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let r = Crat.Resource.analyze cfg app in
@@ -89,7 +100,7 @@ let analyze_cmd =
     let opt =
       if static then Crat.Opttlp.estimate_static cfg app ~max_tlp:r.Crat.Resource.max_tlp ()
       else
-        let engine = Crat.Engine.create ~jobs () in
+        let engine = Crat.Engine.create ~jobs ~replay () in
         (Crat.Opttlp.profile engine cfg app ~max_tlp:r.Crat.Resource.max_tlp ())
           .Crat.Opttlp.opt_tlp
     in
@@ -103,7 +114,7 @@ let analyze_cmd =
     Arg.(value & flag & info [ "static" ] ~doc:"Estimate OptTLP statically instead of profiling.")
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ kepler_arg $ app_arg $ static $ jobs_arg)
+    Term.(const run $ kepler_arg $ app_arg $ static $ jobs_arg $ replay_arg)
 
 (* ---------- allocate ---------- *)
 
@@ -208,7 +219,7 @@ let simulate_cmd =
     let occ = Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at r ~regs) in
     let tlp = Option.value ~default:occ tlp in
     let launch =
-      Workloads.App.sm_launch app ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp ()
+      Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel ~tlp ~input ()
     in
     Format.printf "%s at reg=%d TLP=%d on %s@." abbr regs tlp cfg.Gpusim.Config.name;
     let st = Gpusim.Sm.run cfg launch in
@@ -253,13 +264,8 @@ let trace_cmd =
     let app = find_app abbr in
     let input = Workloads.App.default_input app in
     let entries =
-      Gpusim.Trace.warp_trace ~max_steps:steps
-        ~kernel:(Workloads.App.kernel app)
-        ~block_size:app.Workloads.App.block_size
-        ~num_blocks:input.Workloads.App.num_blocks
-        ~params:(Workloads.App.params app input)
-        ~memory:(Workloads.App.memory app input)
-        ~ctaid:block ~warp ()
+      Gpusim.Trace.warp_trace ~max_steps:steps ~ctaid:block ~warp
+        (Workloads.App.launch app ~input ())
     in
     Format.printf "%a" Gpusim.Trace.pp entries
   in
@@ -280,12 +286,12 @@ let optimize_cmd =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the engine's job/cache statistics after the run.")
   in
-  let run kepler abbr static no_shared jobs report gate =
+  let run kepler abbr static no_shared jobs report gate replay =
     arm_gate gate;
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let mode = if static then `Static else `Profile in
-    let engine = Crat.Engine.create ~jobs () in
+    let engine = Crat.Engine.create ~jobs ~replay () in
     let m = Crat.Baselines.max_tlp engine cfg app () in
     let o = Crat.Baselines.opt_tlp engine cfg app () in
     let c, plan =
@@ -306,7 +312,7 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg
-          $ jobs_arg $ report_arg $ gate_arg)
+          $ jobs_arg $ report_arg $ gate_arg $ replay_arg)
 
 (* ---------- verify ---------- *)
 

@@ -53,16 +53,13 @@ let run_kernel kernel =
   Gpusim.Memory.write_f32_array mem ~base:0x1000_0000L
     (Array.init 1024 (fun i -> float_of_int (i mod 10)));
   Gpusim.Emulator.run
-    { Gpusim.Emulator.kernel
-    ; block_size = 64
-    ; num_blocks = 2
-    ; params =
-        [ ("inp", Gpusim.Value.I 0x1000_0000L)
-        ; ("out", Gpusim.Value.I 0x2000_0000L)
-        ; ("n", Gpusim.Value.of_int 1024)
-        ]
-    }
-    mem;
+    (Gpusim.Launch.make ~kernel ~block_size:64 ~num_blocks:2
+       ~params:
+         [ ("inp", Gpusim.Value.I 0x1000_0000L)
+         ; ("out", Gpusim.Value.I 0x2000_0000L)
+         ; ("n", Gpusim.Value.of_int 1024)
+         ]
+       mem);
   Gpusim.Memory.read_f32_array mem ~base:0x2000_0000L 128
 
 let () =

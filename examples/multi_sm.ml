@@ -35,13 +35,11 @@ let () =
        let mem = Workloads.App.memory app big_input in
        let r =
          Gpusim.Gpu.run ~sms cfg
-           { Gpusim.Gpu.kernel
-           ; block_size = app.Workloads.App.block_size
-           ; grid_blocks = grid
-           ; tlp_limit = 2
-           ; params = Workloads.App.params app big_input
-           ; memory = mem
-           }
+           (Gpusim.Launch.make ~kernel
+              ~block_size:app.Workloads.App.block_size ~num_blocks:grid
+              ~tlp_limit:2
+              ~params:(Workloads.App.params app big_input)
+              mem)
        in
        Format.printf "%5d %10d %9.2f %10d %12d@." sms r.Gpusim.Gpu.total_cycles
          (Gpusim.Gpu.aggregate_ipc r) r.Gpusim.Gpu.l2.Gpusim.Cache.reads

@@ -74,7 +74,7 @@ let () =
         ~reg_limit kernel
     in
     let launch =
-      Workloads.App.sm_launch app ~kernel:a.Regalloc.Allocator.kernel ~input ~tlp ()
+      Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel ~tlp ~input ()
     in
     let st = Gpusim.Sm.run cfg launch in
     Format.printf "  %-44s %9d cycles (local %d, shared %d accesses)@." name

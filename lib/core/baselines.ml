@@ -24,10 +24,10 @@ let max_tlp engine cfg (app : Workloads.App.t) ?input () =
   let alloc = default_build engine app in
   let r = Resource.analyze cfg app in
   let tlp = max 1 r.Resource.max_tlp in
-  let stats =
-    Engine.run engine cfg app ~kernel:alloc.Regalloc.Allocator.kernel ~input
-      ~tlp
+  let launch =
+    Workloads.App.launch app ~kernel:alloc.Regalloc.Allocator.kernel ~input ()
   in
+  let stats = Engine.simulate engine launch cfg ~tlp in
   { label = "MaxTLP"
   ; reg = app.Workloads.App.default_regs
   ; tlp
@@ -46,10 +46,10 @@ let opt_tlp engine cfg (app : Workloads.App.t) ?input () =
       ~max_tlp:(max 1 r.Resource.max_tlp) ()
   in
   let tlp = pr.Opttlp.opt_tlp in
-  let stats =
-    Engine.run engine cfg app ~kernel:alloc.Regalloc.Allocator.kernel ~input
-      ~tlp
+  let launch =
+    Workloads.App.launch app ~kernel:alloc.Regalloc.Allocator.kernel ~input ()
   in
+  let stats = Engine.simulate engine launch cfg ~tlp in
   { label = "OptTLP"
   ; reg = app.Workloads.App.default_regs
   ; tlp
@@ -63,10 +63,12 @@ let crat ?mode ?shared_spilling ?profile_input engine cfg
   let input = resolve_input app input in
   let plan = Optimizer.plan ?mode ?shared_spilling ?profile_input engine cfg app in
   let c = plan.Optimizer.chosen in
+  let launch =
+    Workloads.App.launch app ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel
+      ~input ()
+  in
   let stats =
-    Engine.run engine cfg app
-      ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel ~input
-      ~tlp:c.Optimizer.point.Design_space.tlp
+    Engine.simulate engine launch cfg ~tlp:c.Optimizer.point.Design_space.tlp
   in
   let label =
     match (plan.Optimizer.mode, plan.Optimizer.shared_spilling) with

@@ -69,12 +69,18 @@ let evaluate engine cfg (app : Workloads.App.t) ?input points =
       (fun reg -> (reg, Engine.allocate engine app ~reg_limit:reg))
       regs
   in
-  let kernel_at reg = (List.assoc reg allocs).Regalloc.Allocator.kernel in
+  (* one launch per distinct register count: every TLP point of a build
+     shares the launch, so the engine records its trace once *)
+  let launches =
+    List.map
+      (fun (reg, a) ->
+         ( reg
+         , Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel ~input
+             () ))
+      allocs
+  in
   let stats =
-    Engine.run_batch engine
-      (List.map
-         (fun p ->
-            { Engine.cfg; app; kernel = kernel_at p.reg; input; tlp = p.tlp })
-         points)
+    Engine.simulate_batch engine
+      (List.map (fun p -> (List.assoc p.reg launches, cfg, p.tlp)) points)
   in
   List.combine points stats

@@ -1,15 +1,9 @@
-type job =
-  { cfg : Gpusim.Config.t
-  ; app : Workloads.App.t
-  ; kernel : Ptx.Kernel.t
-  ; input : Workloads.App.input
-  ; tlp : int
-  }
-
 type report =
   { jobs : int
   ; sim_runs : int
   ; sim_hits : int
+  ; trace_records : int
+  ; trace_replays : int
   ; alloc_runs : int
   ; alloc_hits : int
   ; job_wall : float
@@ -19,14 +13,21 @@ type report =
 
 type t =
   { n_jobs : int
+  ; replay : bool
   ; lock : Mutex.t
   ; sim_store : (string, Gpusim.Stats.t) Hashtbl.t
+  ; traces : Gpusim.Replay.Store.t
   ; alloc_store : (string, Regalloc.Allocator.t) Hashtbl.t
   ; mutable kernel_digests : (Ptx.Kernel.t * string) list
       (** physical-identity memo: allocations are cached, so the same
           kernel value is digested many times across a sweep *)
+  ; mutable launch_keys : (Gpusim.Launch.t * string) list
+      (** physical-identity memo for {!launch_key}: sweep drivers reuse
+          one launch record across many (config, tlp) points *)
   ; mutable sim_runs : int
   ; mutable sim_hits : int
+  ; mutable trace_records : int
+  ; mutable trace_replays : int
   ; mutable alloc_runs : int
   ; mutable alloc_hits : int
   ; mutable job_wall : float
@@ -34,15 +35,20 @@ type t =
   ; mutable batches : int
   }
 
-let create ?(jobs = 1) () =
+let create ?(jobs = 1) ?(replay = true) ?trace_budget () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   { n_jobs = jobs
+  ; replay
   ; lock = Mutex.create ()
   ; sim_store = Hashtbl.create 256
+  ; traces = Gpusim.Replay.Store.create ?max_events:trace_budget ()
   ; alloc_store = Hashtbl.create 64
   ; kernel_digests = []
+  ; launch_keys = []
   ; sim_runs = 0
   ; sim_hits = 0
+  ; trace_records = 0
+  ; trace_replays = 0
   ; alloc_runs = 0
   ; alloc_hits = 0
   ; job_wall = 0.
@@ -51,6 +57,7 @@ let create ?(jobs = 1) () =
   }
 
 let jobs t = t.n_jobs
+let replay_enabled t = t.replay
 
 let locked t f =
   Mutex.lock t.lock;
@@ -75,19 +82,30 @@ let kernel_digest t k =
       t.kernel_digests <- (k, d) :: kept);
     d
 
-(* Config.t, App.t and App.input are pure-data records (ints, strings,
-   variants), so marshalling gives a stable structural fingerprint. *)
+(* Config.t is a pure-data record (ints, strings, variants), so
+   marshalling gives a stable structural fingerprint. *)
 let data_digest v = digest (Marshal.to_string v [])
 
-let sim_key t (j : job) =
+(* The launch's trace key: kernel image, geometry, params and canonical
+   initial-memory digest — no Config.t, no TLP (see Replay.launch_key).
+   Memoized on the physical launch record: the engine never mutates a
+   submitted launch's memory (cold runs execute on a copy), so the key
+   stays valid for the record's lifetime. *)
+let launch_key t (l : Gpusim.Launch.t) =
+  match locked t (fun () -> List.assq_opt l t.launch_keys) with
+  | Some k -> k
+  | None ->
+    let kd = kernel_digest t l.Gpusim.Launch.kernel in
+    let k = Gpusim.Replay.launch_key ~kernel_digest:kd l in
+    locked t (fun () ->
+      let kept = if List.length t.launch_keys >= 512 then [] else t.launch_keys in
+      t.launch_keys <- (l, k) :: kept);
+    k
+
+let sim_key t (l : Gpusim.Launch.t) cfg ~tlp =
   digest
     (String.concat "|"
-       [ kernel_digest t j.kernel
-       ; data_digest j.cfg
-       ; data_digest j.app
-       ; data_digest j.input
-       ; string_of_int j.tlp
-       ])
+       [ launch_key t l; data_digest cfg; string_of_int tlp ])
 
 let alloc_key t ~strategy ~shared_spare ~block_size ~reg_limit kernel =
   String.concat "|"
@@ -118,7 +136,13 @@ let as_worker f =
    so the output is deterministic whatever the interleaving. *)
 let pmap t f arr =
   let n = Array.length arr in
-  let width = min t.n_jobs n in
+  (* spawning more domains than cores buys nothing and costs every GC a
+     wider synchronisation barrier, so the requested width is clamped to
+     the runtime's recommendation; results are ordered by index, so the
+     effective width never changes an answer *)
+  let width =
+    min (min t.n_jobs n) (max 1 (Domain.recommended_domain_count ()))
+  in
   if width <= 1 || in_worker () then Array.map f arr
   else begin
     let results = Array.make n None in
@@ -187,26 +211,81 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
 
 (* ---------- simulation ---------- *)
 
-let simulate (j : job) =
-  let launch =
-    Workloads.App.sm_launch j.app ~kernel:j.kernel ~input:j.input ~tlp:j.tlp ()
-  in
-  Gpusim.Sm.run j.cfg launch
+(* One deduplicated pending point of a batch. *)
+type point =
+  { launch : Gpusim.Launch.t
+  ; cfg : Gpusim.Config.t
+  ; tlp : int
+  ; skey : string
+  ; lkey : string
+  ; record : bool  (** this point records the launch's trace (wave 1) *)
+  }
 
-let run_batch ?(cache = true) t jobs_list =
-  let jobs_a = Array.of_list jobs_list in
-  let keys = Array.map (sim_key t) jobs_a in
+(* The engine must not mutate a submitted launch (its memory backs the
+   content key), so every functional execution runs on a copy. *)
+let cold_launch (p : point) =
+  { p.launch with
+    Gpusim.Launch.memory = Gpusim.Memory.copy p.launch.Gpusim.Launch.memory
+  ; tlp_limit = p.tlp
+  }
+
+let exec_cold p = Gpusim.Sm.run p.cfg (cold_launch p)
+
+(* Record while running cold; store the trace only after a successful
+   run (a Cycle_limit abort must not leave a truncated trace behind). *)
+let exec_record t p =
+  let tr = Gpusim.Replay.create p.launch in
+  let st = Gpusim.Sm.run ~record:tr p.cfg (cold_launch p) in
+  Gpusim.Replay.finish tr;
+  Gpusim.Replay.Store.add t.traces p.lkey tr;
+  locked t (fun () -> t.trace_records <- t.trace_records + 1);
+  st
+
+(* Replay leaves the launch memory untouched, so no copy is needed; a
+   missing trace (evicted, or its recording wave failed to store it)
+   falls back to a cold run. *)
+let exec_replay t p =
+  match Gpusim.Replay.Store.find t.traces p.lkey with
+  | Some tr ->
+    let st =
+      Gpusim.Sm.run ~replay:tr p.cfg (Gpusim.Launch.with_tlp p.launch p.tlp)
+    in
+    locked t (fun () -> t.trace_replays <- t.trace_replays + 1);
+    st
+  | None -> exec_cold p
+
+let exec t p =
+  if not t.replay then exec_cold p
+  else if p.record then exec_record t p
+  else exec_replay t p
+
+let simulate_batch ?(cache = true) t items =
+  let items = Array.of_list items in
+  let keys =
+    Array.map (fun (l, cfg, tlp) -> sim_key t l cfg ~tlp) items
+  in
   (* distinct uncached keys, in first-occurrence order *)
   let seen = Hashtbl.create 16 in
+  let lkeys_recording = Hashtbl.create 16 in
   let pending = ref [] in
   Array.iteri
     (fun i k ->
        if not (Hashtbl.mem seen k) then begin
          Hashtbl.add seen k ();
-         let stored =
-           cache && locked t (fun () -> Hashtbl.mem t.sim_store k)
-         in
-         if not stored then pending := (k, jobs_a.(i)) :: !pending
+         let stored = cache && locked t (fun () -> Hashtbl.mem t.sim_store k) in
+         if not stored then begin
+           let launch, cfg, tlp = items.(i) in
+           let lkey = launch_key t launch in
+           (* first pending point of a launch whose trace is absent
+              records it; later points of the same launch replay *)
+           let record =
+             cache && t.replay
+             && (not (Hashtbl.mem lkeys_recording lkey))
+             && not (Gpusim.Replay.Store.mem t.traces lkey)
+           in
+           if record then Hashtbl.add lkeys_recording lkey ();
+           pending := { launch; cfg; tlp; skey = k; lkey; record } :: !pending
+         end
        end)
     keys;
   let pending = Array.of_list (List.rev !pending) in
@@ -214,14 +293,23 @@ let run_batch ?(cache = true) t jobs_list =
   locked t (fun () ->
     t.batches <- t.batches + 1;
     if depth > t.max_queue_depth then t.max_queue_depth <- depth);
-  let computed =
+  (* two waves: recorders first, so every other point of the same
+     launch — possibly on another domain — replays rather than paying
+     functional execution again *)
+  let wave which =
     pmap t
-      (fun (k, j) ->
+      (fun p ->
          let t0 = now () in
-         let st = simulate j in
-         (k, st, now () -. t0))
-      pending
+         let st = exec t p in
+         (p.skey, st, now () -. t0))
+      (Array.of_seq
+         (Seq.filter (fun p -> p.record = which) (Array.to_seq pending)))
   in
+  (* the recording wave must fully finish before the replay wave starts
+     (and argument evaluation order would run them backwards) *)
+  let recorded = wave true in
+  let replayed = wave false in
+  let computed = Array.append recorded replayed in
   let fresh = Hashtbl.create (max 1 depth) in
   Array.iter
     (fun (k, st, dt) ->
@@ -232,7 +320,7 @@ let run_batch ?(cache = true) t jobs_list =
          if cache then Hashtbl.replace t.sim_store k st))
     computed;
   locked t (fun () ->
-    t.sim_hits <- t.sim_hits + (Array.length jobs_a - depth));
+    t.sim_hits <- t.sim_hits + (Array.length items - depth));
   Array.to_list
     (Array.map
        (fun k ->
@@ -241,13 +329,13 @@ let run_batch ?(cache = true) t jobs_list =
           | None -> locked t (fun () -> Hashtbl.find t.sim_store k))
        keys)
 
-let run ?cache t cfg app ~kernel ~input ~tlp =
-  match run_batch ?cache t [ { cfg; app; kernel; input; tlp } ] with
+let simulate ?cache t l cfg ~tlp =
+  match simulate_batch ?cache t [ (l, cfg, tlp) ] with
   | [ st ] -> st
   | _ -> assert false
 
-let cycles ?cache t cfg app ~kernel ~input ~tlp =
-  (run ?cache t cfg app ~kernel ~input ~tlp).Gpusim.Stats.cycles
+let cycles ?cache t l cfg ~tlp =
+  (simulate ?cache t l cfg ~tlp).Gpusim.Stats.cycles
 
 (* ---------- observability ---------- *)
 
@@ -256,6 +344,8 @@ let report t =
     { jobs = t.n_jobs
     ; sim_runs = t.sim_runs
     ; sim_hits = t.sim_hits
+    ; trace_records = t.trace_records
+    ; trace_replays = t.trace_replays
     ; alloc_runs = t.alloc_runs
     ; alloc_hits = t.alloc_hits
     ; job_wall = t.job_wall
@@ -264,12 +354,16 @@ let report t =
     })
 
 let reset t =
+  Gpusim.Replay.Store.clear t.traces;
   locked t (fun () ->
     Hashtbl.reset t.sim_store;
     Hashtbl.reset t.alloc_store;
     t.kernel_digests <- [];
+    t.launch_keys <- [];
     t.sim_runs <- 0;
     t.sim_hits <- 0;
+    t.trace_records <- 0;
+    t.trace_replays <- 0;
     t.alloc_runs <- 0;
     t.alloc_hits <- 0;
     t.job_wall <- 0.;
@@ -278,7 +372,8 @@ let reset t =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "engine: jobs=%d, %d simulations (%d store hits), %d allocations (%d \
-     hits), %.1fs job wall-clock, %d batches, max queue depth %d"
-    r.jobs r.sim_runs r.sim_hits r.alloc_runs r.alloc_hits r.job_wall
-    r.batches r.max_queue_depth
+    "engine: jobs=%d, %d simulations (%d store hits, %d trace records, %d \
+     trace replays), %d allocations (%d hits), %.1fs job wall-clock, %d \
+     batches, max queue depth %d"
+    r.jobs r.sim_runs r.sim_hits r.trace_records r.trace_replays r.alloc_runs
+    r.alloc_hits r.job_wall r.batches r.max_queue_depth

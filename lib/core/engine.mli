@@ -5,35 +5,35 @@
     Every experiment driver evaluates the same (kernel build, config,
     input, TLP) points repeatedly across figures, and the points of one
     sweep are independent of each other. The engine memoizes each
-    evaluation under a structural key — a digest of the allocated kernel
-    image, the simulated configuration, the application descriptor, the
-    input and the TLP — so two different kernel builds can never alias
-    (the old label-keyed cache could), and re-runnable batches fan out
-    across [jobs] domains.
+    simulation under a structural key — a digest of the launch (kernel
+    image, geometry, parameters, canonical initial-memory fingerprint),
+    the simulated configuration and the TLP — so two different kernel
+    builds can never alias, and re-runnable batches fan out across
+    [jobs] domains.
+
+    Trace-driven replay: the dynamic (pc, mask, address) trace of a
+    launch is invariant across timing configurations, so the engine
+    also keeps a {!Gpusim.Replay.Store} keyed by launch only (no
+    config, no TLP). The first simulation of a launch records its trace
+    as a side effect; every later (config, tlp) point of the same
+    launch replays it through the timing layer, skipping functional
+    execution. Replayed statistics are bit-identical to cold runs —
+    replay is a pure caching layer. Disable with [~replay:false].
 
     Determinism: simulations are pure functions of their key, so the
     statistics returned for any job are bit-identical whatever [jobs]
-    is; [~jobs:1] additionally executes batches serially in submission
-    order, matching the historical single-threaded behaviour exactly. *)
+    is and whether replay is on; [~jobs:1] additionally executes
+    batches serially in submission order. *)
 
 type t
-
-(** One simulation request: run [kernel] (usually an allocated build of
-    [app]'s kernel) on [cfg] with a fresh memory image for [input],
-    under a TLP limit of [tlp] concurrent blocks. *)
-type job =
-  { cfg : Gpusim.Config.t
-  ; app : Workloads.App.t
-  ; kernel : Ptx.Kernel.t
-  ; input : Workloads.App.input
-  ; tlp : int
-  }
 
 (** Observability counters, cumulative since {!create}/{!reset}. *)
 type report =
   { jobs : int  (** configured parallelism *)
   ; sim_runs : int  (** simulations actually executed (store misses) *)
-  ; sim_hits : int  (** simulations answered from the store *)
+  ; sim_hits : int  (** simulations answered from the stats store *)
+  ; trace_records : int  (** executions that recorded a launch trace *)
+  ; trace_replays : int  (** executions driven from a recorded trace *)
   ; alloc_runs : int
   ; alloc_hits : int
   ; job_wall : float
@@ -44,18 +44,31 @@ type report =
   ; batches : int  (** batch submissions (single runs count as one) *)
   }
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?replay:bool -> ?trace_budget:int -> unit -> t
 (** Fresh engine with empty stores. [jobs] (default 1) is the number of
     worker domains batches may fan across; [jobs = 1] never spawns a
-    domain. @raise Invalid_argument when [jobs < 1]. *)
+    domain, and the effective width is clamped to
+    [Domain.recommended_domain_count] (oversubscribing cores only adds
+    GC-barrier overhead, and cannot change any answer).
+    [replay] (default true) enables the trace store;
+    [trace_budget] bounds its resident footprint in trace events (see
+    {!Gpusim.Replay.Store.create}).
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
+val replay_enabled : t -> bool
 
-val sim_key : t -> job -> string
-(** The content-addressed store key (hex digest) — exposed for the
-    key-injectivity tests. Structural: covers the kernel image (hence
-    register limit and spill layout), configuration, application
-    descriptor, input and TLP. *)
+val sim_key : t -> Gpusim.Launch.t -> Gpusim.Config.t -> tlp:int -> string
+(** The content-addressed stats-store key (hex digest) — exposed for
+    the key-injectivity tests. Structural: covers the launch (kernel
+    image — hence register limit and spill layout — geometry, params,
+    initial memory), configuration and TLP. *)
+
+val launch_key : t -> Gpusim.Launch.t -> string
+(** The trace-store key: like {!sim_key} but with no configuration and
+    no TLP — all timing points of one launch share it. Memoized on the
+    physical launch record; the engine never mutates a submitted
+    launch. *)
 
 val allocate :
   t
@@ -69,35 +82,41 @@ val allocate :
     [shared_spare]; [shared_spare > 0] enables Algorithm 1 with that
     many spare shared bytes per block. *)
 
-val run :
+val simulate :
   ?cache:bool
   -> t
+  -> Gpusim.Launch.t
   -> Gpusim.Config.t
-  -> Workloads.App.t
-  -> kernel:Ptx.Kernel.t
-  -> input:Workloads.App.input
   -> tlp:int
   -> Gpusim.Stats.t
-(** Simulate one job through the store. [~cache:false] bypasses the
-    store entirely (always simulates, stores nothing) — used by the
+(** Simulate one launch point through the stores: answer from the stats
+    store when possible, else replay the launch's recorded trace under
+    the given config/TLP, else run cold (recording the trace for next
+    time). [~cache:false] bypasses both stores entirely (always
+    simulates functionally, stores nothing) — used by the
     profiling-overhead experiment to pay the real cost. *)
 
 val cycles :
   ?cache:bool
   -> t
+  -> Gpusim.Launch.t
   -> Gpusim.Config.t
-  -> Workloads.App.t
-  -> kernel:Ptx.Kernel.t
-  -> input:Workloads.App.input
   -> tlp:int
   -> int
 
-val run_batch : ?cache:bool -> t -> job list -> Gpusim.Stats.t list
-(** Evaluate a whole frontier at once: results in submission order.
-    Duplicate and already-stored keys are answered from the store; the
-    remaining distinct jobs fan across up to [jobs] domains. Sweep-shaped
-    drivers (fig2, fig13, fig18, ...) should build their full job list
-    and submit it here rather than looping over {!run}. *)
+val simulate_batch :
+  ?cache:bool
+  -> t
+  -> (Gpusim.Launch.t * Gpusim.Config.t * int) list
+  -> Gpusim.Stats.t list
+(** Evaluate a whole frontier at once: results in submission order
+    (each triple is [(launch, config, tlp)]). Duplicate and
+    already-stored keys are answered from the store; the remaining
+    distinct points fan across up to [jobs] domains in two waves —
+    first one recording run per distinct launch missing a trace, then
+    every other point replaying. Sweep-shaped drivers (fig2, fig13,
+    fig18, ...) should build their full point list and submit it here
+    rather than looping over {!simulate}. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Domain-parallel [List.map] for coarse-grained independent work
@@ -109,7 +128,7 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val report : t -> report
 val reset : t -> unit
-(** Drop both stores and zero all counters. *)
+(** Drop all stores (stats, traces, allocations) and zero counters. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One-line summary, e.g. for the end of an experiment run. *)

@@ -129,8 +129,9 @@ let fig3 engine cfg app =
       let a = Engine.allocate engine app ~reg_limit:reg in
       let input = Workloads.App.default_input app in
       let stats =
-        Engine.run engine cfg app ~kernel:a.Regalloc.Allocator.kernel ~input
-          ~tlp:c.opt_tlp.Baselines.tlp
+        Engine.simulate engine
+          (Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel ~input ())
+          cfg ~tlp:c.opt_tlp.Baselines.tlp
       in
       let e =
         { Baselines.label = "OptTLP+Reg"
@@ -297,9 +298,10 @@ let fig8 engine cfg app =
     ]
   in
   let stats =
-    Engine.run_batch engine
+    Engine.simulate_batch engine
       (List.map
-         (fun (_, kernel, tlp) -> { Engine.cfg; app; kernel; input; tlp })
+         (fun (_, kernel, tlp) ->
+            (Workloads.App.launch app ~kernel ~input (), cfg, tlp))
          builds)
   in
   let rows =
@@ -500,15 +502,14 @@ let fig18 engine cfg apps =
                let c = plan.Optimizer.chosen in
                (* the chosen build across every evaluation input: one batch *)
                let stats =
-                 Engine.run_batch engine
+                 Engine.simulate_batch engine
                    (List.map
                       (fun ei ->
-                         { Engine.cfg
-                         ; app
-                         ; kernel = c.Optimizer.alloc.Regalloc.Allocator.kernel
-                         ; input = ei
-                         ; tlp = c.Optimizer.point.Design_space.tlp
-                         })
+                         ( Workloads.App.launch app
+                             ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel
+                             ~input:ei ()
+                         , cfg
+                         , c.Optimizer.point.Design_space.tlp ))
                       inputs)
                in
                List.map2
@@ -684,9 +685,9 @@ let ablation_scheduler engine cfg apps =
        let o = Baselines.opt_tlp engine cfg app () in
        let run scheduler =
          let launch =
-           Workloads.App.sm_launch app
+           Workloads.App.launch app
              ~kernel:o.Baselines.alloc.Regalloc.Allocator.kernel
-             ~input:o.Baselines.input ~tlp:o.Baselines.tlp ()
+             ~tlp:o.Baselines.tlp ~input:o.Baselines.input ()
          in
          (Gpusim.Sm.run ~scheduler cfg launch).Gpusim.Stats.cycles
        in
@@ -730,10 +731,13 @@ let ablation_chunk engine cfg (app : Workloads.App.t) ~reg =
       [ 1; 4; 1000 ]
   in
   let stats =
-    Engine.run_batch engine
+    Engine.simulate_batch engine
       (List.map
          (fun (_, a) ->
-            { Engine.cfg; app; kernel = a.Regalloc.Allocator.kernel; input; tlp })
+            ( Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel
+                ~input ()
+            , cfg
+            , tlp ))
          builds)
   in
   List.map2
@@ -823,10 +827,13 @@ let ablation_allocator engine cfg (app : Workloads.App.t) ~reg =
       ]
   in
   let stats =
-    Engine.run_batch engine
+    Engine.simulate_batch engine
       (List.map
          (fun (_, a) ->
-            { Engine.cfg; app; kernel = a.Regalloc.Allocator.kernel; input; tlp })
+            ( Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel
+                ~input ()
+            , cfg
+            , tlp ))
          builds)
   in
   List.map2
@@ -878,13 +885,13 @@ let gpu_scaling engine cfg (app : Workloads.App.t) ~tlp =
        let mem = Workloads.App.memory app { input with Workloads.App.num_blocks = grid } in
        let r =
          Gpusim.Gpu.run ~sms cfg
-           { Gpusim.Gpu.kernel
-           ; block_size = app.Workloads.App.block_size
-           ; grid_blocks = grid
-           ; tlp_limit = tlp
-           ; params = Workloads.App.params app { input with Workloads.App.num_blocks = grid }
-           ; memory = mem
-           }
+           (Gpusim.Launch.make ~kernel
+              ~block_size:app.Workloads.App.block_size ~num_blocks:grid
+              ~tlp_limit:tlp
+              ~params:
+                (Workloads.App.params app
+                   { input with Workloads.App.num_blocks = grid })
+              mem)
        in
        { sms; cycles = r.Gpusim.Gpu.total_cycles; ipc = Gpusim.Gpu.aggregate_ipc r })
     [ 1; 2; 4; 8; 15 ]
@@ -915,9 +922,9 @@ let extension_bypass engine cfg (app : Workloads.App.t) =
     let stats =
       if bypass then
         Gpusim.Sm.run ~bypass_global:true cfg
-          (Workloads.App.sm_launch app
-             ~kernel:e.Baselines.alloc.Regalloc.Allocator.kernel ~input
-             ~tlp:e.Baselines.tlp ())
+          (Workloads.App.launch app
+             ~kernel:e.Baselines.alloc.Regalloc.Allocator.kernel
+             ~tlp:e.Baselines.tlp ~input ())
       else e.Baselines.stats
     in
     { label_b = label
@@ -960,9 +967,9 @@ let dynamic_tlp engine cfg apps =
        let c, _ = Baselines.crat engine cfg app () in
        let dyn =
          Gpusim.Sm.run ~dynamic_tlp:true cfg
-           (Workloads.App.sm_launch app
+           (Workloads.App.launch app
               ~kernel:m.Baselines.alloc.Regalloc.Allocator.kernel
-              ~input:m.Baselines.input ~tlp:m.Baselines.tlp ())
+              ~tlp:m.Baselines.tlp ~input:m.Baselines.input ())
        in
        { abbr = app.Workloads.App.abbr
        ; max_cycles = Baselines.cycles m

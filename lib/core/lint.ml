@@ -35,9 +35,10 @@ let validate ?(cfg = Gpusim.Config.fermi) ?input (app : App.t) =
       ~reg_budget:app.App.default_regs ~warp_size ~line ~banks kernel
   in
   let prof =
-    Profile.run ~warp_size ~line ~banks ~kernel ~block_size:app.App.block_size
-      ~num_blocks:input.App.num_blocks ~params
-      (App.memory app input)
+    Profile.run ~line ~banks
+      (Gpusim.Launch.make ~warp_size ~kernel ~block_size:app.App.block_size
+         ~num_blocks:input.App.num_blocks ~params
+         (App.memory app input))
   in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in

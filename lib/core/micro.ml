@@ -65,14 +65,14 @@ let run_probe cfg space =
   let k = probe_kernel space in
   let mem = Gpusim.Memory.create () in
   let launch =
-    { Gpusim.Sm.kernel = k
-    ; block_size = cfg.Gpusim.Config.warp_size
-    ; num_blocks = 1
-    ; tlp_limit = 1
-    ; params =
-        [ ("out", Gpusim.Value.I 0x2000_0000L); ("reps", Gpusim.Value.of_int reps) ]
-    ; memory = mem
-    }
+    Gpusim.Launch.make ~kernel:k ~block_size:cfg.Gpusim.Config.warp_size
+      ~num_blocks:1
+      ~warp_size:cfg.Gpusim.Config.warp_size
+      ~params:
+        [ ("out", Gpusim.Value.I 0x2000_0000L)
+        ; ("reps", Gpusim.Value.of_int reps)
+        ]
+      mem
   in
   let st = Gpusim.Sm.run cfg launch in
   let accesses = 2 * reps in

@@ -16,11 +16,14 @@ let profile engine cfg (app : Workloads.App.t) ?input ?kernel ?cache ~max_tlp ()
       (Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs)
         .Regalloc.Allocator.kernel
   in
-  (* the whole TLP ladder is one independent frontier: submit it at once *)
+  (* the whole TLP ladder is one independent frontier over ONE launch:
+     submit it at once, so the engine records the trace on the first
+     rung and replays the rest *)
+  let launch = Workloads.App.launch app ~kernel ~input () in
   let tlps = List.init (max 1 max_tlp) (fun i -> i + 1) in
   let stats =
-    Engine.run_batch ?cache engine
-      (List.map (fun tlp -> { Engine.cfg; app; kernel; input; tlp }) tlps)
+    Engine.simulate_batch ?cache engine
+      (List.map (fun tlp -> (launch, cfg, tlp)) tlps)
   in
   let samples =
     List.map2 (fun tlp st -> (tlp, st.Gpusim.Stats.cycles)) tlps stats

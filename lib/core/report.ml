@@ -41,6 +41,8 @@ let to_string t =
   Buffer.add_string b "  \"engine\": {\n";
   Printf.bprintf b "    \"sim_runs\": %d,\n" t.engine.Engine.sim_runs;
   Printf.bprintf b "    \"sim_hits\": %d,\n" t.engine.Engine.sim_hits;
+  Printf.bprintf b "    \"trace_records\": %d,\n" t.engine.Engine.trace_records;
+  Printf.bprintf b "    \"trace_replays\": %d,\n" t.engine.Engine.trace_replays;
   Printf.bprintf b "    \"alloc_runs\": %d,\n" t.engine.Engine.alloc_runs;
   Printf.bprintf b "    \"alloc_hits\": %d,\n" t.engine.Engine.alloc_hits;
   Printf.bprintf b "    \"job_wall_s\": %.3f,\n" t.engine.Engine.job_wall;

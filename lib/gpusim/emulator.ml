@@ -1,10 +1,3 @@
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; num_blocks : int
-  ; params : (string * Value.t) list
-  }
-
 let run_block lctx ~ctaid ~warp_size =
   let _block, warps = Interp.make_block lctx ~ctaid ~warp_size in
   let warps = Array.of_list warps in
@@ -42,21 +35,21 @@ let run_block lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Emulator: barrier deadlock"
 
-let run ?(warp_size = 32) l memory =
-  let image = Image.prepare l.kernel in
+let run (l : Launch.t) =
+  let image = Image.prepare l.Launch.kernel in
   let lctx =
     { Interp.image
-    ; global = memory
-    ; params = l.params
-    ; block_size = l.block_size
-    ; num_blocks = l.num_blocks
+    ; global = l.Launch.memory
+    ; params = l.Launch.params
+    ; block_size = l.Launch.block_size
+    ; num_blocks = l.Launch.num_blocks
     }
   in
-  for ctaid = 0 to l.num_blocks - 1 do
-    run_block lctx ~ctaid ~warp_size
+  for ctaid = 0 to l.Launch.num_blocks - 1 do
+    run_block lctx ~ctaid ~warp_size:l.Launch.warp_size
   done
 
-let run_to_memory ?warp_size l memory =
-  let m = Memory.copy memory in
-  run ?warp_size l m;
+let run_to_memory (l : Launch.t) =
+  let m = Memory.copy l.Launch.memory in
+  run { l with Launch.memory = m };
   m

@@ -3,16 +3,11 @@
     the oracle that register allocation preserves kernel semantics
     (original and allocated kernels must leave identical global memory). *)
 
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; num_blocks : int
-  ; params : (string * Value.t) list
-  }
-
-val run : ?warp_size:int -> launch -> Memory.t -> unit
-(** Execute all blocks sequentially, mutating the given global memory.
+val run : Launch.t -> unit
+(** Execute all blocks sequentially, mutating the launch's global
+    memory in place.
     @raise Failure on barrier deadlock or divergent return. *)
 
-val run_to_memory : ?warp_size:int -> launch -> Memory.t -> Memory.t
-(** Like {!run} but on a copy; returns the resulting memory. *)
+val run_to_memory : Launch.t -> Memory.t
+(** Like {!run} but on a copy of the launch's memory; returns the
+    resulting memory. *)

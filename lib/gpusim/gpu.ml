@@ -1,12 +1,3 @@
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; grid_blocks : int
-  ; tlp_limit : int
-  ; params : (string * Value.t) list
-  ; memory : Memory.t
-  }
-
 type result =
   { per_sm : Stats.t array
   ; total_cycles : int
@@ -16,28 +7,25 @@ type result =
 
 exception Cycle_limit of result
 
-let run ?sms ?(max_cycles = 40_000_000) ?scheduler (cfg : Config.t) (l : launch) =
+let run ?sms ?(max_cycles = 40_000_000) ?scheduler ?record ?replay
+    (cfg : Config.t) (l : Launch.t) =
   let n_sms = Option.value ~default:cfg.Config.num_sms sms in
   let shared = Sm.make_shared cfg in
   let next = ref 0 in
   let next_block () =
-    if !next >= l.grid_blocks then None
+    if !next >= l.Launch.num_blocks then None
     else begin
       let b = !next in
       incr next;
       Some b
     end
   in
-  let sm_launch =
-    { Sm.kernel = l.kernel
-    ; block_size = l.block_size
-    ; num_blocks = l.grid_blocks
-    ; tlp_limit = l.tlp_limit
-    ; params = l.params
-    ; memory = l.memory
-    }
+  (* block ids are dispensed globally, so each block lands on exactly
+     one SM and a shared trace records (or replays) each exactly once *)
+  let units =
+    Array.init n_sms (fun _ ->
+      Sm.create ?scheduler ?record ?replay cfg shared ~next_block l)
   in
-  let units = Array.init n_sms (fun _ -> Sm.create ?scheduler cfg shared ~next_block sm_launch) in
   let cycle = ref 0 in
   let mk_result () =
     { per_sm = Array.map Sm.finalize units
@@ -46,10 +34,32 @@ let run ?sms ?(max_cycles = 40_000_000) ?scheduler (cfg : Config.t) (l : launch)
     ; l2 = Sm.shared_l2_stats shared
     }
   in
-  let any_busy () = Array.exists Sm.busy units in
-  while any_busy () do
+  (* Per-cycle loop without per-cycle closures: a unit is stepped while
+     its [running] flag holds, and the flag drops exactly when the unit
+     goes idle ([Sm.busy] is monotone — the shared dispenser never
+     refills a drained SM). Same step sequence as scanning [Sm.busy]
+     every cycle, minus the allocation. *)
+  let n = Array.length units in
+  let running = Array.make n false in
+  let n_running = ref 0 in
+  for i = 0 to n - 1 do
+    if Sm.busy units.(i) then begin
+      running.(i) <- true;
+      incr n_running
+    end
+  done;
+  while !n_running > 0 do
     if !cycle > max_cycles then raise (Cycle_limit (mk_result ()));
-    Array.iter (fun sm -> if Sm.busy sm then Sm.step sm) units;
+    for i = 0 to n - 1 do
+      if running.(i) then begin
+        let u = units.(i) in
+        Sm.step u;
+        if not (Sm.busy u) then begin
+          running.(i) <- false;
+          decr n_running
+        end
+      end
+    done;
     incr cycle
   done;
   mk_result ()

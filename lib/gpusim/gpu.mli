@@ -5,16 +5,10 @@
     The per-SM experiments use {!Sm.run} (the paper's metrics are
     per-SM); this module backs the multi-SM scalability study and shows
     that shared-bandwidth contention, not SM count, bounds throughput
-    for memory-bound kernels. *)
+    for memory-bound kernels.
 
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; grid_blocks : int  (** total thread blocks across the whole GPU *)
-  ; tlp_limit : int  (** concurrent blocks per SM *)
-  ; params : (string * Value.t) list
-  ; memory : Memory.t
-  }
+    The per-cycle driver is allocation-free (flat running flags, no
+    per-cycle closures), matching {!Sm}'s scratch-buffer discipline. *)
 
 type result =
   { per_sm : Stats.t array
@@ -29,11 +23,18 @@ val run :
   ?sms:int
   -> ?max_cycles:int
   -> ?scheduler:[ `Gto | `Lrr ]
+  -> ?record:Replay.t
+      (** capture the launch's dynamic trace while executing (block ids
+          are global, so one shared trace covers all SMs) *)
+  -> ?replay:Replay.t
+      (** drive every SM from this recorded trace instead of executing
+          functionally *)
   -> Config.t
-  -> launch
+  -> Launch.t
   -> result
 (** Simulate [sms] SMs (default: the configuration's [num_sms]). Blocks
-    are dispatched globally in id order as slots free up. *)
+    are dispatched globally in id order as slots free up; the launch's
+    [tlp_limit] bounds concurrent blocks per SM. *)
 
 val aggregate_ipc : result -> float
 (** Total warp instructions per cycle across all SMs. *)

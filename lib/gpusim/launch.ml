@@ -1,0 +1,22 @@
+type t =
+  { kernel : Ptx.Kernel.t
+  ; block_size : int
+  ; num_blocks : int
+  ; tlp_limit : int
+  ; params : (string * Value.t) list
+  ; memory : Memory.t
+  ; warp_size : int
+  }
+
+let make ?(warp_size = 32) ?(tlp_limit = 1) ?(params = []) ~kernel ~block_size
+    ~num_blocks memory =
+  if warp_size <= 0 then invalid_arg "Launch.make: warp_size must be positive";
+  if block_size <= 0 || block_size mod warp_size <> 0 then
+    invalid_arg "Launch.make: block_size must be a positive multiple of warp_size";
+  if num_blocks <= 0 then invalid_arg "Launch.make: num_blocks must be positive";
+  if tlp_limit <= 0 then invalid_arg "Launch.make: tlp_limit must be positive";
+  { kernel; block_size; num_blocks; tlp_limit; params; memory; warp_size }
+
+let with_tlp l tlp =
+  if tlp <= 0 then invalid_arg "Launch.with_tlp: tlp must be positive";
+  { l with tlp_limit = tlp }

@@ -169,6 +169,47 @@ let equal a b =
   List.length la = List.length lb
   && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && Value.equal v1 v2) la lb
 
+(* Canonical content digest. [fold] iterates the page Hashtbl in bucket
+   order, so it cannot key a content-addressed store; here pages are
+   visited in sorted index order and slots ascending, and a slot
+   contributes iff it is observably non-default (nonzero bits or
+   float-tagged) — written-zero integer slots read back exactly like
+   unwritten ones, so they must not perturb the digest. The boxed side
+   table (disjoint address range) is appended in sorted address order
+   under the same filter. *)
+let digest t =
+  let b = Buffer.create 4096 in
+  let add_entry addr bits isf =
+    Buffer.add_int64_le b addr;
+    Buffer.add_int64_le b bits;
+    Buffer.add_char b (if isf then '\001' else '\000')
+  in
+  let idxs =
+    List.sort compare (Hashtbl.fold (fun idx _ acc -> idx :: acc) t.pages [])
+  in
+  List.iter
+    (fun idx ->
+       let p = Hashtbl.find t.pages idx in
+       for slot = 0 to page_slots - 1 do
+         let m = Bytes.get_uint8 p.meta slot in
+         let bits = Int64.bits_of_float p.vals.(slot) in
+         let isf = m land 2 <> 0 in
+         if bits <> 0L || isf then add_entry (addr_at idx slot) bits isf
+       done)
+    idxs;
+  let side =
+    List.sort
+      (fun (a, _) (b, _) -> Int64.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.side [])
+  in
+  List.iter
+    (fun (addr, v) ->
+       let bits = Value.to_bits v in
+       let isf = Value.is_f v in
+       if bits <> 0L || isf then add_entry addr bits isf)
+    side;
+  Digest.string (Buffer.contents b)
+
 let write_f32_array t ~base xs =
   Array.iteri
     (fun i x ->

@@ -17,6 +17,12 @@ val equal : t -> t -> bool
 
 val fold : (int64 -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
 
+val digest : t -> Digest.t
+(** Canonical content fingerprint: two memories that read back
+    identically digest identically, regardless of page-table layout,
+    insertion order or written-zero slots. Keys the trace-replay
+    launch store. *)
+
 (** {2 Raw accessors}
 
     Bit-pattern interface used by the interpreter's allocation-free

@@ -133,15 +133,19 @@ let run_block t ~line ~banks lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Profile: barrier deadlock"
 
-let run ?(warp_size = 32) ?(line = 128) ?(banks = 32) ~(kernel : Ptx.Kernel.t)
-    ~block_size ~num_blocks ~params memory =
-  let image = Image.prepare kernel in
+let run ?(line = 128) ?(banks = 32) (l : Launch.t) =
+  let image = Image.prepare l.Launch.kernel in
   let lctx =
-    { Refinterp.image; global = memory; params; block_size; num_blocks }
+    { Refinterp.image
+    ; global = l.Launch.memory
+    ; params = l.Launch.params
+    ; block_size = l.Launch.block_size
+    ; num_blocks = l.Launch.num_blocks
+    }
   in
   let t = { mem_tbl = Hashtbl.create 64; branch_tbl = Hashtbl.create 16 } in
-  for ctaid = 0 to num_blocks - 1 do
-    run_block t ~line ~banks lctx ~ctaid ~warp_size
+  for ctaid = 0 to l.Launch.num_blocks - 1 do
+    run_block t ~line ~banks lctx ~ctaid ~warp_size:l.Launch.warp_size
   done;
   t
 

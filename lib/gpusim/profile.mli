@@ -31,18 +31,9 @@ type branch_stat =
 
 type t
 
-val run :
-  ?warp_size:int ->
-  ?line:int ->
-  ?banks:int ->
-  kernel:Ptx.Kernel.t ->
-  block_size:int ->
-  num_blocks:int ->
-  params:(string * Value.t) list ->
-  Memory.t ->
-  t
-(** Execute the launch (mutating the given global memory) and collect
-    the counters. Geometry defaults match {!Config.fermi}. *)
+val run : ?line:int -> ?banks:int -> Launch.t -> t
+(** Execute the launch (mutating its global memory in place) and
+    collect the counters. Geometry defaults match {!Config.fermi}. *)
 
 val mems : t -> (int * mem_stat) list
 (** Per-pc memory counters, ascending by pc. *)

@@ -386,10 +386,16 @@ let run_block lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Emulator: barrier deadlock"
 
-let run ?(warp_size = 32) ~(kernel : Ptx.Kernel.t) ~block_size ~num_blocks ~params
-    memory =
-  let image = Image.prepare kernel in
-  let lctx = { image; global = memory; params; block_size; num_blocks } in
-  for ctaid = 0 to num_blocks - 1 do
-    run_block lctx ~ctaid ~warp_size
+let run (l : Launch.t) =
+  let image = Image.prepare l.Launch.kernel in
+  let lctx =
+    { image
+    ; global = l.Launch.memory
+    ; params = l.Launch.params
+    ; block_size = l.Launch.block_size
+    ; num_blocks = l.Launch.num_blocks
+    }
+  in
+  for ctaid = 0 to l.Launch.num_blocks - 1 do
+    run_block lctx ~ctaid ~warp_size:l.Launch.warp_size
   done

@@ -46,13 +46,6 @@ val popcount : int -> int
 val read_reg_values : warp -> Ptx.Reg.t -> Value.t array
 val reg_key : Ptx.Reg.t -> int
 
-val run :
-  ?warp_size:int ->
-  kernel:Ptx.Kernel.t ->
-  block_size:int ->
-  num_blocks:int ->
-  params:(string * Value.t) list ->
-  Memory.t ->
-  unit
+val run : Launch.t -> unit
 (** Emulator-style whole-launch execution through the reference
-    semantics, mutating the given global memory. *)
+    semantics, mutating the launch's global memory in place. *)

@@ -1,0 +1,220 @@
+(* Flat per-warp trace buffers, same scratch-array discipline as Sm's
+   LSU ring: ints for pcs/masks, a float array of int64 bit patterns
+   for lane addresses, doubling growth during recording and a one-time
+   shrink in [finish]. *)
+
+type wtrace =
+  { wid : int
+  ; mutable pcs : int array
+  ; mutable masks : int array
+  ; mutable n : int
+  ; mutable addrs : float array  (* address bit patterns *)
+  ; mutable addr_n : int
+  }
+
+type t =
+  { image : Image.t
+  ; block_size : int
+  ; num_blocks : int
+  ; warp_size : int
+  ; warps : wtrace array array  (* [ctaid].(wid) *)
+  }
+
+let initial_cap = 64
+
+let make_wtrace wid =
+  { wid
+  ; pcs = Array.make initial_cap 0
+  ; masks = Array.make initial_cap 0
+  ; n = 0
+  ; addrs = Array.make initial_cap 0.0
+  ; addr_n = 0
+  }
+
+let create (l : Launch.t) =
+  let nwarps = l.Launch.block_size / l.Launch.warp_size in
+  { image = Image.prepare l.Launch.kernel
+  ; block_size = l.Launch.block_size
+  ; num_blocks = l.Launch.num_blocks
+  ; warp_size = l.Launch.warp_size
+  ; warps =
+      Array.init l.Launch.num_blocks (fun _ -> Array.init nwarps make_wtrace)
+  }
+
+let image t = t.image
+let block_size t = t.block_size
+let num_blocks t = t.num_blocks
+let warp_size t = t.warp_size
+
+let events t =
+  Array.fold_left
+    (fun acc ws ->
+       Array.fold_left (fun acc w -> acc + w.n + w.addr_n) acc ws)
+    0 t.warps
+
+(* ---------- recording ---------- *)
+
+let wtrace t ~ctaid ~wid = t.warps.(ctaid).(wid)
+
+let record w ~pc ~mask =
+  let cap = Array.length w.pcs in
+  if w.n = cap then begin
+    let grow a = Array.append a (Array.make cap 0) in
+    w.pcs <- grow w.pcs;
+    w.masks <- grow w.masks
+  end;
+  Array.unsafe_set w.pcs w.n pc;
+  Array.unsafe_set w.masks w.n mask;
+  w.n <- w.n + 1
+
+let record_addr w addr =
+  let cap = Array.length w.addrs in
+  if w.addr_n = cap then w.addrs <- Array.append w.addrs (Array.make cap 0.0);
+  Array.unsafe_set w.addrs w.addr_n (Int64.float_of_bits addr);
+  w.addr_n <- w.addr_n + 1
+
+let finish t =
+  Array.iter
+    (fun ws ->
+       Array.iter
+         (fun w ->
+            if Array.length w.pcs > w.n then begin
+              w.pcs <- Array.sub w.pcs 0 w.n;
+              w.masks <- Array.sub w.masks 0 w.n
+            end;
+            if Array.length w.addrs > w.addr_n then
+              w.addrs <- Array.sub w.addrs 0 w.addr_n)
+         ws)
+    t.warps
+
+(* ---------- replay ---------- *)
+
+type cursor =
+  { tr : wtrace
+  ; code : Dcode.t
+  ; mutable i : int  (* next event index *)
+  ; mutable ai : int  (* next unconsumed address index *)
+  ; mutable cur_addr_off : int  (* addresses of the last E_mem step *)
+  ; mutable cur_addr_n : int
+  ; mutable finished : bool
+  }
+
+let cursor t ~ctaid ~wid =
+  { tr = t.warps.(ctaid).(wid)
+  ; code = t.image.Image.code
+  ; i = 0
+  ; ai = 0
+  ; cur_addr_off = 0
+  ; cur_addr_n = 0
+  ; finished = false
+  }
+
+let is_done c = c.finished || c.i >= c.tr.n
+let warp_id c = c.tr.wid
+let fetch c = if is_done c then -1 else Array.unsafe_get c.tr.pcs c.i
+let active_mask c = Array.unsafe_get c.tr.masks c.i
+
+(* branch-free SWAR popcount, as Interp.popcount (duplicated so replay
+   has no interpreter dependency at all) *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+let step c =
+  let pc = Array.unsafe_get c.tr.pcs c.i in
+  let mask = Array.unsafe_get c.tr.masks c.i in
+  c.i <- c.i + 1;
+  let exec = Array.unsafe_get c.code.Dcode.exec_of pc in
+  (match exec with
+   | Dcode.E_mem _ ->
+     let n = popcount mask in
+     c.cur_addr_off <- c.ai;
+     c.cur_addr_n <- n;
+     c.ai <- c.ai + n
+   | Dcode.E_exit -> c.finished <- true
+   | Dcode.E_alu _ | Dcode.E_barrier -> ());
+  exec
+
+let mem_count c = c.cur_addr_n
+
+let mem_addr c j =
+  Int64.bits_of_float (Array.unsafe_get c.tr.addrs (c.cur_addr_off + j))
+
+(* ---------- launch keys ---------- *)
+
+let launch_key ?kernel_digest (l : Launch.t) =
+  let kd =
+    match kernel_digest with
+    | Some d -> d
+    | None -> Digest.to_hex (Digest.string (Ptx.Printer.kernel_to_string l.Launch.kernel))
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b kd;
+  Printf.bprintf b "|%d|%d|%d|" l.Launch.block_size l.Launch.num_blocks
+    l.Launch.warp_size;
+  Buffer.add_string b (Digest.string (Marshal.to_string l.Launch.params []));
+  Buffer.add_string b (Memory.digest l.Launch.memory);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ---------- trace store ---------- *)
+
+module Store = struct
+  type trace = t
+
+  let weight : trace -> int = events
+
+  type t =
+    { lock : Mutex.t
+    ; tbl : (string, trace) Hashtbl.t
+    ; order : string Queue.t  (* insertion order, for oldest-first eviction *)
+    ; max_events : int
+    ; mutable total : int
+    }
+
+  let create ?(max_events = 1 lsl 25) () =
+    { lock = Mutex.create ()
+    ; tbl = Hashtbl.create 64
+    ; order = Queue.create ()
+    ; max_events
+    ; total = 0
+    }
+
+  let locked s f =
+    Mutex.lock s.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+  let find s key = locked s (fun () -> Hashtbl.find_opt s.tbl key)
+  let mem s key = locked s (fun () -> Hashtbl.mem s.tbl key)
+  let length s = locked s (fun () -> Hashtbl.length s.tbl)
+  let events s = locked s (fun () -> s.total)
+
+  let evict_one s =
+    match Queue.take_opt s.order with
+    | None -> ()
+    | Some k ->
+      (match Hashtbl.find_opt s.tbl k with
+       | Some tr ->
+         s.total <- s.total - weight tr;
+         Hashtbl.remove s.tbl k
+       | None -> ())
+
+  let add s key tr =
+    let w = weight tr in
+    locked s (fun () ->
+      if w <= s.max_events && not (Hashtbl.mem s.tbl key) then begin
+        while s.total + w > s.max_events && not (Queue.is_empty s.order) do
+          evict_one s
+        done;
+        Hashtbl.replace s.tbl key tr;
+        Queue.push key s.order;
+        s.total <- s.total + w
+      end)
+
+  let clear s =
+    locked s (fun () ->
+      Hashtbl.reset s.tbl;
+      Queue.clear s.order;
+      s.total <- 0)
+end

@@ -1,13 +1,43 @@
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; num_blocks : int
-  ; tlp_limit : int
-  ; params : (string * Value.t) list
-  ; memory : Memory.t
-  }
-
 exception Cycle_limit of Stats.t
+
+(* The instruction front-end: either a live functional interpreter warp
+   or a replay cursor over a previously recorded trace. The timing
+   machinery below consumes only the surface both share — next pc,
+   active mask, step outcome and resolved lane addresses — so replay
+   produces bit-identical statistics while skipping operand evaluation
+   and register-file writes entirely. *)
+type front =
+  | Live of Interp.warp
+  | Cur of Replay.cursor
+
+let f_done = function
+  | Live w -> Interp.is_done w
+  | Cur c -> Replay.is_done c
+
+let f_fetch = function
+  | Live w -> Interp.fetch w
+  | Cur c -> Replay.fetch c
+
+let f_mask = function
+  | Live w -> Interp.active_mask w
+  | Cur c -> Replay.active_mask c
+
+let f_wid = function
+  | Live w -> Interp.warp_id w
+  | Cur c -> Replay.warp_id c
+
+let f_step = function
+  | Live w -> Interp.step w
+  | Cur c -> Replay.step c
+
+let f_mem_count = function
+  | Live w -> Interp.mem_count w
+  | Cur c -> Replay.mem_count c
+
+let f_mem_addr f i =
+  match f with
+  | Live w -> Interp.mem_addr w i
+  | Cur c -> Replay.mem_addr c i
 
 (* an in-flight load: registers become ready when all segments return *)
 type pending_load =
@@ -18,7 +48,8 @@ type pending_load =
   }
 
 and wstate =
-  { w : Interp.warp
+  { w : front
+  ; tr : Replay.wtrace option  (** recording sink, when capturing a trace *)
   ; sb : int array  (** scoreboard: register slot -> ready cycle *)
   ; mutable waiting_barrier : bool
   ; bstate : bstate
@@ -83,6 +114,11 @@ let shared_l2_stats m = Cache.stats m.l2
 
 (* ---------- SM state ---------- *)
 
+type mode =
+  | M_live
+  | M_record of Replay.t
+  | M_replay of Replay.t
+
 (* The LSU segment queue is a ring of parallel arrays (addresses as bit
    patterns in a float array; write/write_alloc/bypass packed into flag
    bits) so the steady state pushes and pops without allocating. The
@@ -93,6 +129,8 @@ type t =
   ; st : Stats.t
   ; lctx : Interp.launch_ctx
   ; code : Dcode.t
+  ; mode : mode
+  ; nwarps : int  (* warps per block *)
   ; shared : shared_memsys
   ; l1 : Cache.t
   ; remote : cycle:int -> addr:int64 -> Cache.result
@@ -128,11 +166,18 @@ let launch_block sm =
       sm.active_blocks <- sm.active_blocks + 1;
       sm.st.Stats.max_concurrent_blocks <-
         max sm.st.Stats.max_concurrent_blocks sm.active_blocks;
-      let _bctx, warps =
-        Interp.make_block sm.lctx ~ctaid ~warp_size:sm.cfg.Config.warp_size
+      let fronts =
+        match sm.mode with
+        | M_live | M_record _ ->
+          let _bctx, warps =
+            Interp.make_block sm.lctx ~ctaid ~warp_size:sm.cfg.Config.warp_size
+          in
+          List.map (fun w -> Live w) warps
+        | M_replay tr ->
+          List.init sm.nwarps (fun wid -> Cur (Replay.cursor tr ~ctaid ~wid))
       in
       let bs =
-        { live_warps = List.length warps
+        { live_warps = List.length fronts
         ; at_barrier = 0
         ; warps = []
         ; paused = false
@@ -141,16 +186,20 @@ let launch_block sm =
       in
       let nslots = max 1 (Dcode.num_slots sm.code) in
       bs.warps <-
-        List.map
-          (fun w ->
+        List.mapi
+          (fun wid w ->
              sm.age_counter <- sm.age_counter + 1;
              { w
+             ; tr =
+                 (match sm.mode with
+                  | M_record tr -> Some (Replay.wtrace tr ~ctaid ~wid)
+                  | M_live | M_replay _ -> None)
              ; sb = Array.make nslots 0
              ; waiting_barrier = false
              ; bstate = bs
              ; age = sm.age_counter
              })
-          warps;
+          fronts;
       sm.live_blocks <- sm.live_blocks @ [ bs ];
       sm.pools_dirty <- true
   end
@@ -162,31 +211,44 @@ let rebuild_pools sm =
       (fun bs -> if bs.paused then [] else bs.warps)
       sm.live_blocks
   in
-  let alive = List.filter (fun ws -> not (Interp.is_done ws.w)) all in
+  let alive = List.filter (fun ws -> not (f_done ws.w)) all in
   for s = 0 to total - 1 do
     sm.pools.(s) <-
-      Array.of_list
-        (List.filter (fun ws -> Interp.warp_id ws.w mod total = s) alive)
+      Array.of_list (List.filter (fun ws -> f_wid ws.w mod total = s) alive)
   done;
   (* blocks are appended in launch order and warps in wid order, so the
      pools are already oldest-first *)
   sm.pools_dirty <- false
 
 let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
-    (cfg : Config.t) shared ~next_block (l : launch) =
+    ?record ?replay (cfg : Config.t) shared ~next_block (l : Launch.t) =
+  if l.Launch.warp_size <> cfg.Config.warp_size then
+    invalid_arg "Sm.create: launch warp_size differs from the configuration's";
+  let mode, image =
+    match (record, replay) with
+    | Some _, Some _ -> invalid_arg "Sm.create: record and replay are exclusive"
+    | Some tr, None -> (M_record tr, Replay.image tr)
+    | None, Some tr ->
+      if
+        Replay.block_size tr <> l.Launch.block_size
+        || Replay.num_blocks tr <> l.Launch.num_blocks
+        || Replay.warp_size tr <> l.Launch.warp_size
+      then invalid_arg "Sm.create: replay trace does not match the launch";
+      (M_replay tr, Replay.image tr)
+    | None, None -> (M_live, Image.prepare l.Launch.kernel)
+  in
   (* each SM owns its interconnect port; the L2 and DRAM behind it are
      shared between SMs *)
   let icnt =
     Cache.Dram.create ~latency:cfg.Config.l2_latency
       ~bytes_per_cycle:cfg.Config.icnt_bytes_per_cycle
   in
-  let image = Image.prepare l.kernel in
   let lctx =
     { Interp.image
-    ; global = l.memory
-    ; params = l.params
-    ; block_size = l.block_size
-    ; num_blocks = l.num_blocks
+    ; global = l.Launch.memory
+    ; params = l.Launch.params
+    ; block_size = l.Launch.block_size
+    ; num_blocks = l.Launch.num_blocks
     }
   in
   let l1_next ~cycle ~addr =
@@ -207,6 +269,8 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
     ; st = Stats.create ()
     ; lctx
     ; code = image.Image.code
+    ; mode
+    ; nwarps = l.Launch.block_size / l.Launch.warp_size
     ; shared
     ; l1
     ; remote = l1_next
@@ -234,7 +298,7 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
     ; greedy = Array.make cfg.Config.num_schedulers None
     }
   in
-  for _ = 1 to max 1 l.tlp_limit do
+  for _ = 1 to max 1 l.Launch.tlp_limit do
     launch_block sm
   done;
   sm
@@ -295,10 +359,10 @@ let sb_ready sm ws pc =
 let set_pending ws slot ready = ws.sb.(slot) <- ready
 
 let status sm ws : blocked =
-  if Interp.is_done ws.w then Done
+  if f_done ws.w then Done
   else if ws.waiting_barrier then Barrier
   else begin
-    let pc = Interp.fetch ws.w in
+    let pc = f_fetch ws.w in
     if pc < 0 then Done
     else if not (sb_ready sm ws pc) then Scoreboard
     else if
@@ -311,12 +375,12 @@ let status sm ws : blocked =
 (* Coalescing: the warp's recorded lane addresses, reduced to the sorted
    set of distinct L1-line indices (in [seg_buf]; ascending, as the
    reference [List.sort_uniq] produced). Returns the segment count. *)
-let coalesce sm (w : Interp.warp) =
+let coalesce sm (w : front) =
   let line = Int64.of_int sm.cfg.Config.l1_line in
-  let n = Interp.mem_count w in
+  let n = f_mem_count w in
   let buf = sm.seg_buf in
   for i = 0 to n - 1 do
-    buf.(i) <- Int64.to_int (Int64.div (Interp.mem_addr w i) line)
+    buf.(i) <- Int64.to_int (Int64.div (f_mem_addr w i) line)
   done;
   for i = 1 to n - 1 do
     let x = buf.(i) in
@@ -366,12 +430,12 @@ let finish_warp sm ws =
    bank of a word is its signed remainder, so counts index
    [bank + shared_banks] to keep negative classes distinct, as the
    reference Hashtbl keying did. *)
-let bank_conflict_degree sm (w : Interp.warp) =
-  let n = Interp.mem_count w in
+let bank_conflict_degree sm (w : front) =
+  let n = f_mem_count w in
   let words = sm.word_buf in
   let m = ref 0 in
   for i = 0 to n - 1 do
-    let word = Int64.to_int (Int64.div (Interp.mem_addr w i) 4L) in
+    let word = Int64.to_int (Int64.div (f_mem_addr w i) 4L) in
     let dup = ref false in
     for j = 0 to !m - 1 do
       if words.(j) = word then dup := true
@@ -395,11 +459,23 @@ let bank_conflict_degree sm (w : Interp.warp) =
 let issue sm ws =
   let st = sm.st in
   let cfg = sm.cfg in
-  let mask = Interp.active_mask ws.w in
+  let mask = f_mask ws.w in
   let lanes = Interp.popcount mask in
-  let pc = Interp.fetch ws.w in
+  let pc = f_fetch ws.w in
   let defs = sm.code.Dcode.defs.(pc) in
-  let exec = Interp.step ws.w in
+  let exec = f_step ws.w in
+  (* recording appends to flat arrays only — it cannot perturb timing *)
+  (match ws.tr with
+   | Some tr ->
+     Replay.record tr ~pc ~mask;
+     (match (exec, ws.w) with
+      | Interp.E_mem _, Live w ->
+        let n = Interp.mem_count w in
+        for i = 0 to n - 1 do
+          Replay.record_addr tr (Interp.mem_addr w i)
+        done
+      | _ -> ())
+   | None -> ());
   st.Stats.warp_instrs <- st.Stats.warp_instrs + 1;
   st.Stats.thread_instrs <- st.Stats.thread_instrs + lanes;
   match exec with
@@ -415,7 +491,7 @@ let issue sm ws =
       set_pending ws defs.(i) ready
     done
   | Interp.E_mem { space = Ptx.Types.Shared; write; _ } ->
-    let n = Interp.mem_count ws.w in
+    let n = f_mem_count ws.w in
     let degree = bank_conflict_degree sm ws.w in
     st.Stats.shared_bank_conflicts <-
       st.Stats.shared_bank_conflicts + (degree - 1);
@@ -429,7 +505,7 @@ let issue sm ws =
     end
   | Interp.E_mem { space; write; _ } ->
     let local = Ptx.Types.equal_space space Ptx.Types.Local in
-    let n = Interp.mem_count ws.w in
+    let n = f_mem_count ws.w in
     (match (local, write) with
      | true, true -> st.Stats.local_store_lanes <- st.Stats.local_store_lanes + n
      | true, false -> st.Stats.local_load_lanes <- st.Stats.local_load_lanes + n
@@ -513,7 +589,7 @@ let schedulers_issue sm =
         | `Gto ->
           let g_ok =
             match sm.greedy.(s) with
-            | Some g when (not (Interp.is_done g.w)) && ready g -> Some g
+            | Some g when (not (f_done g.w)) && ready g -> Some g
             | Some _ | None -> None
           in
           (match g_ok with
@@ -622,18 +698,21 @@ let finalize sm =
   sm.st
 
 let run ?(max_cycles = 40_000_000) ?scheduler ?bypass_global ?dynamic_tlp
-    (cfg : Config.t) (l : launch) =
+    ?record ?replay (cfg : Config.t) (l : Launch.t) =
   let shared = make_shared cfg in
   let next = ref 0 in
   let next_block () =
-    if !next >= l.num_blocks then None
+    if !next >= l.Launch.num_blocks then None
     else begin
       let b = !next in
       incr next;
       Some b
     end
   in
-  let sm = create ?scheduler ?dynamic_tlp ?bypass_global cfg shared ~next_block l in
+  let sm =
+    create ?scheduler ?dynamic_tlp ?bypass_global ?record ?replay cfg shared
+      ~next_block l
+  in
   while busy sm do
     if sm.now > max_cycles then begin
       ignore (finalize sm);

@@ -14,18 +14,17 @@
     - block-level barriers and a block dispatcher that refills freed
       slots, mirroring the paper's thread-block-level throttling.
 
+    The instruction front-end is pluggable: a live {!Interp} warp
+    (functional execution), optionally capturing a {!Replay} trace as a
+    side effect ([?record]), or a replay cursor over a previously
+    recorded trace ([?replay]) that feeds the timing pipeline the same
+    (pc, mask, addresses) stream while skipping operand evaluation and
+    register-file writes — replayed statistics are bit-identical to a
+    cold run's.
+
     The stepping API ({!create}/{!step}) lets {!Gpu} advance several SMs
     against one shared memory hierarchy; {!run} is the single-SM
     convenience wrapper used throughout the experiments. *)
-
-type launch =
-  { kernel : Ptx.Kernel.t
-  ; block_size : int
-  ; num_blocks : int  (** total blocks executed by this SM *)
-  ; tlp_limit : int  (** concurrent blocks (the TLP knob) *)
-  ; params : (string * Value.t) list
-  ; memory : Memory.t  (** global memory, mutated in place *)
-  }
 
 exception Cycle_limit of Stats.t
 
@@ -51,15 +50,23 @@ val create :
           straight to the interconnect/L2); local spill traffic still
           caches. An extension hook: the paper notes CRAT composes with
           cache-bypassing techniques *)
+  -> ?record:Replay.t
+      (** capture the dynamic trace into this (empty) trace while
+          executing functionally; exclusive with [?replay] *)
+  -> ?replay:Replay.t
+      (** drive the timing pipeline from this recorded trace instead of
+          executing functionally; the launch's geometry must match the
+          trace's, and global memory is left untouched *)
   -> Config.t
   -> shared_memsys
   -> next_block:(unit -> int option)
       (** global block dispenser: called whenever a slot frees; [None]
           when the grid is exhausted *)
-  -> launch
+  -> Launch.t
   -> t
 (** [launch.num_blocks] is only used for the kernel's [%nctaid]; block
-    ids come from [next_block]. *)
+    ids come from [next_block]. The launch's [warp_size] must equal the
+    configuration's. *)
 
 val step : t -> unit
 (** Advance one cycle. *)
@@ -78,9 +85,12 @@ val run :
   -> ?scheduler:[ `Gto | `Lrr ]
   -> ?bypass_global:bool
   -> ?dynamic_tlp:bool
+  -> ?record:Replay.t
+  -> ?replay:Replay.t
   -> Config.t
-  -> launch
+  -> Launch.t
   -> Stats.t
 (** Single-SM convenience: private memory hierarchy, sequential block
-    ids [0 .. num_blocks-1].
+    ids [0 .. num_blocks-1]; the launch's [tlp_limit] bounds concurrent
+    blocks.
     @raise Cycle_limit when [max_cycles] (default 40_000_000) elapses. *)

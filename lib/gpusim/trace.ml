@@ -5,13 +5,19 @@ type entry =
   ; def_value : Value.t option
   }
 
-let warp_trace ?(max_steps = 10_000) ~kernel ~block_size ~num_blocks ~params
-    ~memory ~ctaid ~warp () =
-  let image = Image.prepare kernel in
+let warp_trace ?(max_steps = 10_000) ~ctaid ~warp (l : Launch.t) =
+  let image = Image.prepare l.Launch.kernel in
   let lctx =
-    { Interp.image; global = memory; params; block_size; num_blocks }
+    { Interp.image
+    ; global = l.Launch.memory
+    ; params = l.Launch.params
+    ; block_size = l.Launch.block_size
+    ; num_blocks = l.Launch.num_blocks
+    }
   in
-  let _block, warps = Interp.make_block lctx ~ctaid ~warp_size:32 in
+  let _block, warps =
+    Interp.make_block lctx ~ctaid ~warp_size:l.Launch.warp_size
+  in
   let warps = Array.of_list warps in
   if warp < 0 || warp >= Array.length warps then
     invalid_arg "Trace.warp_trace: no such warp";

@@ -10,17 +10,7 @@ type entry =
   ; def_value : Value.t option  (** lane 0 of the defined register *)
   }
 
-val warp_trace :
-  ?max_steps:int
-  -> kernel:Ptx.Kernel.t
-  -> block_size:int
-  -> num_blocks:int
-  -> params:(string * Value.t) list
-  -> memory:Memory.t
-  -> ctaid:int
-  -> warp:int
-  -> unit
-  -> entry list
+val warp_trace : ?max_steps:int -> ctaid:int -> warp:int -> Launch.t -> entry list
 (** Execute block [ctaid] functionally and record warp [warp]'s steps.
     Other warps of the block run too (shared-memory staging and barriers
     behave normally). [max_steps] (default 10_000) bounds the log. *)

@@ -80,19 +80,15 @@ let shared_decl_bytes a = Ptx.Kernel.shared_bytes (kernel a)
 
 let output_words a (i : input) = a.block_size * i.num_blocks
 
-let sm_launch a ?kernel:k ~input ~tlp () =
+let launch a ?kernel:k ?(tlp = 1) ~input () =
   let kern =
     match k with
     | Some k -> k
     | None -> kernel a
   in
-  { Gpusim.Sm.kernel = kern
-  ; block_size = a.block_size
-  ; num_blocks = input.num_blocks
-  ; tlp_limit = tlp
-  ; params = params a input
-  ; memory = memory a input
-  }
+  Gpusim.Launch.make ~kernel:kern ~block_size:a.block_size
+    ~num_blocks:input.num_blocks ~tlp_limit:tlp ~params:(params a input)
+    (memory a input)
 
 let pp fmt a =
   Format.fprintf fmt "%-5s %-14s %-22s %-8s %s (block=%d, shm=%dB)" a.abbr

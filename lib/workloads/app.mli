@@ -49,10 +49,13 @@ val params : t -> input -> (string * Gpusim.Value.t) list
 val shared_decl_bytes : t -> int
 (** Shared memory declared by the application kernel itself (ShmSize). *)
 
-val sm_launch :
-  t -> ?kernel:Ptx.Kernel.t -> input:input -> tlp:int -> unit -> Gpusim.Sm.launch
+val launch :
+  t -> ?kernel:Ptx.Kernel.t -> ?tlp:int -> input:input -> unit -> Gpusim.Launch.t
 (** Build a launch with a fresh memory image. The optional [kernel]
-    substitutes an allocated kernel for the SSA one. *)
+    substitutes an allocated kernel for the SSA one; [tlp] (default 1)
+    sets the launch's TLP limit. Calling twice with the same arguments
+    yields structurally identical launches (the memory image is a
+    deterministic function of the input). *)
 
 val output_words : t -> input -> int
 val pp : Format.formatter -> t -> unit

@@ -141,17 +141,15 @@ let run_emulated ?(block_size = 64) ?(num_blocks = 2) k =
   Gpusim.Memory.write_f32_array mem ~base:0x1000_0000L
     (Workloads.Data.uniform_f32 ~seed:5 1024);
   let launch =
-    { Gpusim.Emulator.kernel = k
-    ; block_size
-    ; num_blocks
-    ; params =
+    Gpusim.Launch.make ~kernel:k ~block_size ~num_blocks
+      ~params:
         [ ("inp", Gpusim.Value.I 0x1000_0000L)
         ; ("out", Gpusim.Value.I 0x2000_0000L)
         ; ("n", Gpusim.Value.of_int 1024)
         ]
-    }
+      mem
   in
-  Gpusim.Emulator.run launch mem;
+  Gpusim.Emulator.run launch;
   Gpusim.Memory.read_f32_array mem ~base:0x2000_0000L (block_size * num_blocks)
 
 let outputs_equal a b =

@@ -18,6 +18,14 @@ let small_app abbr =
   in
   { a with Workloads.App.inputs = [ small ] }
 
+let launch_of ?kernel ?tlp ?input a =
+  let input =
+    match input with
+    | Some i -> i
+    | None -> Workloads.App.default_input a
+  in
+  Workloads.App.launch a ?kernel ?tlp ~input ()
+
 (* ---------- key structure ---------- *)
 
 (* Regression: the old evaluation cache was keyed on a free-form variant
@@ -26,7 +34,6 @@ let small_app abbr =
 let test_key_covers_kernel_identity () =
   let e = Crat.Engine.create () in
   let a = small_app "STM" in
-  let input = Workloads.App.default_input a in
   let r = Crat.Resource.analyze fermi a in
   let k_hi =
     (Crat.Engine.allocate e a ~reg_limit:r.Crat.Resource.max_reg)
@@ -38,11 +45,11 @@ let test_key_covers_kernel_identity () =
   in
   check "builds differ" true
     (Ptx.Printer.kernel_to_string k_hi <> Ptx.Printer.kernel_to_string k_lo);
-  let job kernel = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp = 2 } in
   check "keys separate the two builds" true
-    (Crat.Engine.sim_key e (job k_hi) <> Crat.Engine.sim_key e (job k_lo));
-  let s_hi = Crat.Engine.run e fermi a ~kernel:k_hi ~input ~tlp:2 in
-  let s_lo = Crat.Engine.run e fermi a ~kernel:k_lo ~input ~tlp:2 in
+    (Crat.Engine.sim_key e (launch_of ~kernel:k_hi a) fermi ~tlp:2
+     <> Crat.Engine.sim_key e (launch_of ~kernel:k_lo a) fermi ~tlp:2);
+  let s_hi = Crat.Engine.simulate e (launch_of ~kernel:k_hi a) fermi ~tlp:2 in
+  let s_lo = Crat.Engine.simulate e (launch_of ~kernel:k_lo a) fermi ~tlp:2 in
   let rep = Crat.Engine.report e in
   check_int "both builds simulated" 2 rep.Crat.Engine.sim_runs;
   (* the spilling build executes more instructions *)
@@ -53,21 +60,41 @@ let test_key_covers_config_input_tlp () =
   let e = Crat.Engine.create () in
   let a = small_app "GAU" in
   let input = Workloads.App.default_input a in
-  let kernel =
-    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
-      .Regalloc.Allocator.kernel
-  in
-  let base = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp = 2 } in
-  let key = Crat.Engine.sim_key e base in
-  check "TLP in key" true
-    (key <> Crat.Engine.sim_key e { base with Crat.Engine.tlp = 3 });
+  let l = launch_of ~input a in
+  let key = Crat.Engine.sim_key e l fermi ~tlp:2 in
+  check "TLP in key" true (key <> Crat.Engine.sim_key e l fermi ~tlp:3);
   check "config in key" true
-    (key <> Crat.Engine.sim_key e { base with Crat.Engine.cfg = Gpusim.Config.kepler });
+    (key <> Crat.Engine.sim_key e l Gpusim.Config.kepler ~tlp:2);
   let other =
     { input with Workloads.App.num_blocks = input.Workloads.App.num_blocks + 1 }
   in
   check "input in key" true
-    (key <> Crat.Engine.sim_key e { base with Crat.Engine.input = other })
+    (key <> Crat.Engine.sim_key e (launch_of ~input:other a) fermi ~tlp:2)
+
+(* The trace-store key covers everything the dynamic trace depends on —
+   and nothing it does not: timing configuration and TLP must NOT
+   separate launches, while params and initial memory must. *)
+let test_launch_key_scope () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let input = Workloads.App.default_input a in
+  let l = launch_of ~input a in
+  let key = Crat.Engine.launch_key e l in
+  check "launch_key ignores TLP" true
+    (let l3 = Gpusim.Launch.with_tlp l 3 in
+     Crat.Engine.launch_key e l3 = key);
+  check "sim_key still separates configs the launch_key ignores" true
+    (Crat.Engine.sim_key e l fermi ~tlp:2
+     <> Crat.Engine.sim_key e l Gpusim.Config.kepler ~tlp:2);
+  let other =
+    { input with Workloads.App.num_blocks = input.Workloads.App.num_blocks + 1 }
+  in
+  check "launch_key separates inputs (params and memory)" true
+    (Crat.Engine.launch_key e (launch_of ~input:other a) <> key);
+  (* structurally identical launch built from scratch: the physical
+     memo misses but the content key must agree *)
+  check "launch_key is structural, not physical" true
+    (Crat.Engine.launch_key e (launch_of ~input a) = key)
 
 (* QCheck: distinct kernel images get distinct keys *)
 let test_key_injective =
@@ -75,13 +102,19 @@ let test_key_injective =
     QCheck.(pair Testsupport.Gen.arbitrary_kernel Testsupport.Gen.arbitrary_kernel)
     (fun (k1, k2) ->
        let e = Crat.Engine.create () in
-       let a = small_app "GAU" in
-       let input = Workloads.App.default_input a in
-       let job k = { Crat.Engine.cfg = fermi; app = a; kernel = k; input; tlp = 1 } in
+       let mk k =
+         let mem = Gpusim.Memory.create () in
+         Gpusim.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2
+           ~params:[ ("out", Gpusim.Value.I 0x2000_0000L) ]
+           mem
+       in
        let same_image =
          Ptx.Printer.kernel_to_string k1 = Ptx.Printer.kernel_to_string k2
        in
-       let same_key = Crat.Engine.sim_key e (job k1) = Crat.Engine.sim_key e (job k2) in
+       let same_key =
+         Crat.Engine.sim_key e (mk k1) fermi ~tlp:1
+         = Crat.Engine.sim_key e (mk k2) fermi ~tlp:1
+       in
        same_image = same_key)
 
 (* ---------- store behaviour ---------- *)
@@ -89,17 +122,18 @@ let test_key_injective =
 let test_batch_dedups () =
   let e = Crat.Engine.create () in
   let a = small_app "GAU" in
-  let input = Workloads.App.default_input a in
-  let kernel =
-    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
-      .Regalloc.Allocator.kernel
+  let l = launch_of a in
+  let stats =
+    Crat.Engine.simulate_batch e
+      (List.map (fun tlp -> (l, fermi, tlp)) [ 1; 2; 1; 2; 1 ])
   in
-  let job tlp = { Crat.Engine.cfg = fermi; app = a; kernel; input; tlp } in
-  let stats = Crat.Engine.run_batch e [ job 1; job 2; job 1; job 2; job 1 ] in
   check_int "five results" 5 (List.length stats);
   let rep = Crat.Engine.report e in
   check_int "two distinct simulations" 2 rep.Crat.Engine.sim_runs;
   check "duplicates answered from the store" true (rep.Crat.Engine.sim_hits >= 3);
+  (* both TLP points share one launch: one recorded it, the other replayed *)
+  check_int "one trace recorded" 1 rep.Crat.Engine.trace_records;
+  check_int "one point replayed" 1 rep.Crat.Engine.trace_replays;
   check "results scattered in submission order" true
     (List.nth stats 0 = List.nth stats 2
      && List.nth stats 0 = List.nth stats 4
@@ -109,15 +143,12 @@ let test_batch_dedups () =
 let test_cache_false_bypasses_store () =
   let e = Crat.Engine.create () in
   let a = small_app "GAU" in
-  let input = Workloads.App.default_input a in
-  let kernel =
-    (Crat.Engine.allocate e a ~reg_limit:a.Workloads.App.default_regs)
-      .Regalloc.Allocator.kernel
-  in
-  let s1 = Crat.Engine.run ~cache:false e fermi a ~kernel ~input ~tlp:1 in
-  let s2 = Crat.Engine.run ~cache:false e fermi a ~kernel ~input ~tlp:1 in
+  let l = launch_of a in
+  let s1 = Crat.Engine.simulate ~cache:false e l fermi ~tlp:1 in
+  let s2 = Crat.Engine.simulate ~cache:false e l fermi ~tlp:1 in
   let rep = Crat.Engine.report e in
   check_int "every uncached run simulates" 2 rep.Crat.Engine.sim_runs;
+  check_int "uncached runs record no trace" 0 rep.Crat.Engine.trace_records;
   check "simulation is deterministic anyway" true (s1 = s2)
 
 (* ---------- determinism across jobs ---------- *)
@@ -148,9 +179,8 @@ let test_design_space_batch_determinism () =
 let test_parallel_stress () =
   let e = Crat.Engine.create ~jobs:8 () in
   let a = small_app "GAU" in
-  let input = Workloads.App.default_input a in
   (* many tasks, few distinct keys: domains race on the same store
-     entries and on the allocation cache *)
+     entries, the trace store and the allocation cache *)
   let tasks = List.init 32 (fun i -> i) in
   let results =
     Crat.Engine.map e
@@ -158,8 +188,9 @@ let test_parallel_stress () =
          let reg = a.Workloads.App.default_regs - (i mod 2) in
          let al = Crat.Engine.allocate e a ~reg_limit:reg in
          let st =
-           Crat.Engine.run e fermi a ~kernel:al.Regalloc.Allocator.kernel ~input
-             ~tlp:(1 + (i mod 3))
+           Crat.Engine.simulate e
+             (launch_of ~kernel:al.Regalloc.Allocator.kernel a)
+             fermi ~tlp:(1 + (i mod 3))
          in
          (i, st.Gpusim.Stats.cycles))
       tasks
@@ -173,8 +204,9 @@ let test_parallel_stress () =
        let reg = a.Workloads.App.default_regs - (i mod 2) in
        let al = Crat.Engine.allocate serial a ~reg_limit:reg in
        let st =
-         Crat.Engine.run serial fermi a ~kernel:al.Regalloc.Allocator.kernel
-           ~input ~tlp:(1 + (i mod 3))
+         Crat.Engine.simulate serial
+           (launch_of ~kernel:al.Regalloc.Allocator.kernel a)
+           fermi ~tlp:(1 + (i mod 3))
        in
        check_int (Printf.sprintf "task %d matches serial" i)
          st.Gpusim.Stats.cycles cycles)
@@ -216,6 +248,8 @@ let () =
             `Slow test_key_covers_kernel_identity
         ; Alcotest.test_case "config/input/TLP in key" `Quick
             test_key_covers_config_input_tlp
+        ; Alcotest.test_case "launch_key scope (no config/TLP)" `Quick
+            test_launch_key_scope
         ; QCheck_alcotest.to_alcotest test_key_injective
         ] )
     ; ( "store"

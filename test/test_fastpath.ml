@@ -128,11 +128,12 @@ let prop_ref_vs_sm =
         ; ("n", G.Value.of_int 1024)
         ]
       in
-      G.Refinterp.run ~kernel:k ~block_size:64 ~num_blocks:2 ~params mem_r;
+      G.Refinterp.run
+        (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2 ~params mem_r);
       let _ =
         G.Sm.run G.Config.fermi
-          { G.Sm.kernel = k; block_size = 64; num_blocks = 2; tlp_limit = 2
-          ; params; memory = mem_f }
+          (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2 ~tlp_limit:2
+             ~params mem_f)
       in
       Testsupport.Gen.outputs_equal
         (G.Memory.read_f32_array mem_r ~base:0x2000_0000L 128)
@@ -249,6 +250,8 @@ let mk_report ~descr n =
       { Crat.Engine.jobs = 1
       ; sim_runs = n
       ; sim_hits = 0
+      ; trace_records = 0
+      ; trace_replays = 0
       ; alloc_runs = n
       ; alloc_hits = 0
       ; job_wall = 1.0

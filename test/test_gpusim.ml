@@ -262,13 +262,10 @@ let test_simt_divergence () =
   let k = divergent_kernel () in
   let mem = G.Memory.create () in
   let launch =
-    { G.Emulator.kernel = k
-    ; block_size = 32
-    ; num_blocks = 1
-    ; params = [ ("out", G.Value.I 0L) ]
-    }
+    G.Launch.make ~kernel:k ~block_size:32 ~num_blocks:1
+      ~params:[ ("out", G.Value.I 0L) ] mem
   in
-  G.Emulator.run launch mem;
+  G.Emulator.run launch;
   let out = G.Memory.read_u32_array mem ~base:0L 32 in
   Array.iteri
     (fun i v -> check_int (Printf.sprintf "lane %d" i) (if i land 1 = 1 then 15 else 10) v)
@@ -331,9 +328,8 @@ let test_barrier_communication_emulator () =
   let k = barrier_kernel () in
   let mem = G.Memory.create () in
   G.Emulator.run
-    { G.Emulator.kernel = k; block_size = 64; num_blocks = 1
-    ; params = [ ("out", G.Value.I 0L) ] }
-    mem;
+    (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:1
+       ~params:[ ("out", G.Value.I 0L) ] mem);
   let out = G.Memory.read_u32_array mem ~base:0L 64 in
   Array.iteri
     (fun i v -> check_int (Printf.sprintf "t%d" i) (100 + (i / 32)) v)
@@ -344,8 +340,8 @@ let test_barrier_communication_sm () =
   let mem = G.Memory.create () in
   let st =
     G.Sm.run fermi
-      { G.Sm.kernel = k; block_size = 64; num_blocks = 3; tlp_limit = 2
-      ; params = [ ("out", G.Value.I 0L) ]; memory = mem }
+      (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:3 ~tlp_limit:2
+         ~params:[ ("out", G.Value.I 0L) ] mem)
   in
   let out = G.Memory.read_u32_array mem ~base:0L 64 in
   Array.iteri (fun i v -> check_int (Printf.sprintf "t%d" i) (100 + (i / 32)) v) out;
@@ -373,9 +369,9 @@ let coalesce_kernel ~stride_words =
 let run_coalesce k =
   let mem = G.Memory.create () in
   G.Sm.run fermi
-    { G.Sm.kernel = k; block_size = 32; num_blocks = 1; tlp_limit = 1
-    ; params = [ ("inp", G.Value.I 0x1000L); ("out", G.Value.I 0x80000L) ]
-    ; memory = mem }
+    (G.Launch.make ~kernel:k ~block_size:32 ~num_blocks:1
+       ~params:[ ("inp", G.Value.I 0x1000L); ("out", G.Value.I 0x80000L) ]
+       mem)
 
 let test_coalescing_segments () =
   let unit = run_coalesce (coalesce_kernel ~stride_words:1) in
@@ -413,8 +409,8 @@ let bank_kernel ~stride_words =
 let run_bank_kernel k =
   let mem = G.Memory.create () in
   G.Sm.run fermi
-    { G.Sm.kernel = k; block_size = 32; num_blocks = 1; tlp_limit = 1
-    ; params = [ ("out", G.Value.I 0L) ]; memory = mem }
+    (G.Launch.make ~kernel:k ~block_size:32 ~num_blocks:1
+       ~params:[ ("out", G.Value.I 0L) ] mem)
 
 let test_bank_conflicts_detected () =
   let clean = run_bank_kernel (bank_kernel ~stride_words:1) in
@@ -443,51 +439,48 @@ let test_sm_matches_emulator () =
   in
   let m_ref =
     G.Emulator.run_to_memory
-      { G.Emulator.kernel = k
-      ; block_size = app.Workloads.App.block_size
-      ; num_blocks = 2
-      ; params = Workloads.App.params app input
-      }
-      (Workloads.App.memory app input)
+      (G.Launch.make ~kernel:k ~block_size:app.Workloads.App.block_size
+         ~num_blocks:2 ~params:(Workloads.App.params app input)
+         (Workloads.App.memory app input))
   in
-  let launch = Workloads.App.sm_launch app ~input ~tlp:2 () in
+  let launch = Workloads.App.launch app ~tlp:2 ~input () in
   let _ = G.Sm.run fermi launch in
   let n = Workloads.App.output_words app input in
   let a = G.Memory.read_f32_array m_ref ~base:Workloads.Data.out_base n in
-  let b' = G.Memory.read_f32_array launch.G.Sm.memory ~base:Workloads.Data.out_base n in
+  let b' = G.Memory.read_f32_array launch.G.Launch.memory ~base:Workloads.Data.out_base n in
   check "timing sim computes the same outputs" true (Testsupport.Gen.outputs_equal a b')
 
 let test_sm_deterministic () =
   let app = Workloads.Suite.find "GAU" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 } in
-  let run () = (G.Sm.run fermi (Workloads.App.sm_launch app ~input ~tlp:2 ())).G.Stats.cycles in
+  let run () = (G.Sm.run fermi (Workloads.App.launch app ~tlp:2 ~input ())).G.Stats.cycles in
   check_int "same cycles on repeat" (run ()) (run ())
 
 let test_sm_tlp_limit_respected () =
   let app = Workloads.Suite.find "GAU" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 6 } in
-  let st = G.Sm.run fermi (Workloads.App.sm_launch app ~input ~tlp:2 ()) in
+  let st = G.Sm.run fermi (Workloads.App.launch app ~tlp:2 ~input ()) in
   check "never more than 2 blocks" true (st.G.Stats.max_concurrent_blocks <= 2);
   check_int "all blocks ran" 6 st.G.Stats.blocks_completed
 
 let test_sm_more_tlp_not_slower_for_insensitive () =
   let app = Workloads.Suite.find "GAU" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 4 } in
-  let c tlp = (G.Sm.run fermi (Workloads.App.sm_launch app ~input ~tlp ())).G.Stats.cycles in
+  let c tlp = (G.Sm.run fermi (Workloads.App.launch app ~tlp ~input ())).G.Stats.cycles in
   check "tlp 4 at least as fast as tlp 1 on a light kernel" true (c 4 <= c 1)
 
 let test_sm_gto_vs_lrr () =
   let app = Workloads.Suite.find "PATH" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 } in
-  let gto = G.Sm.run ~scheduler:`Gto fermi (Workloads.App.sm_launch app ~input ~tlp:2 ()) in
-  let lrr = G.Sm.run ~scheduler:`Lrr fermi (Workloads.App.sm_launch app ~input ~tlp:2 ()) in
+  let gto = G.Sm.run ~scheduler:`Gto fermi (Workloads.App.launch app ~tlp:2 ~input ()) in
+  let lrr = G.Sm.run ~scheduler:`Lrr fermi (Workloads.App.launch app ~tlp:2 ~input ()) in
   check_int "same instructions" gto.G.Stats.warp_instrs lrr.G.Stats.warp_instrs
 
 let test_cycle_limit_raised () =
   let app = Workloads.Suite.find "PATH" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 } in
   try
-    let _ = G.Sm.run ~max_cycles:10 fermi (Workloads.App.sm_launch app ~input ~tlp:1 ()) in
+    let _ = G.Sm.run ~max_cycles:10 fermi (Workloads.App.launch app ~tlp:1 ~input ()) in
     Alcotest.fail "must raise Cycle_limit"
   with G.Sm.Cycle_limit _ -> ()
 
@@ -505,12 +498,11 @@ let prop_emulator_vs_sm =
         ]
       in
       G.Emulator.run
-        { G.Emulator.kernel = k; block_size = 64; num_blocks = 2; params }
-        mem1;
+        (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2 ~params mem1);
       let _ =
         G.Sm.run fermi
-          { G.Sm.kernel = k; block_size = 64; num_blocks = 2; tlp_limit = 2
-          ; params; memory = mem2 }
+          (G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2 ~tlp_limit:2
+             ~params mem2)
       in
       Testsupport.Gen.outputs_equal
         (G.Memory.read_f32_array mem1 ~base:0x2000_0000L 128)
@@ -524,27 +516,24 @@ let test_dynamic_tlp_correct () =
   let k = Workloads.App.kernel app in
   let m_ref =
     G.Emulator.run_to_memory
-      { G.Emulator.kernel = k
-      ; block_size = app.Workloads.App.block_size
-      ; num_blocks = 4
-      ; params = Workloads.App.params app input
-      }
-      (Workloads.App.memory app input)
+      (G.Launch.make ~kernel:k ~block_size:app.Workloads.App.block_size
+         ~num_blocks:4 ~params:(Workloads.App.params app input)
+         (Workloads.App.memory app input))
   in
-  let launch = Workloads.App.sm_launch app ~input ~tlp:4 () in
+  let launch = Workloads.App.launch app ~tlp:4 ~input () in
   let st = G.Sm.run ~dynamic_tlp:true fermi launch in
   check_int "all blocks completed despite pausing" 4 st.G.Stats.blocks_completed;
   let n = Workloads.App.output_words app input in
   check "outputs unaffected by throttling" true
     (Testsupport.Gen.outputs_equal
        (G.Memory.read_f32_array m_ref ~base:Workloads.Data.out_base n)
-       (G.Memory.read_f32_array launch.G.Sm.memory ~base:Workloads.Data.out_base n))
+       (G.Memory.read_f32_array launch.G.Launch.memory ~base:Workloads.Data.out_base n))
 
 let test_dynamic_tlp_helps_thrashing () =
   let app = Workloads.Suite.find "KMN" in
   let input = Workloads.App.default_input app in
   let run dyn =
-    (G.Sm.run ~dynamic_tlp:dyn fermi (Workloads.App.sm_launch app ~input ~tlp:5 ()))
+    (G.Sm.run ~dynamic_tlp:dyn fermi (Workloads.App.launch app ~tlp:5 ~input ()))
       .G.Stats.cycles
   in
   check "throttling helps the thrashing kernel" true (run true < run false)
@@ -558,23 +547,15 @@ let test_gpu_multi_sm_correct () =
   (* reference: emulator over all 8 blocks *)
   let m_ref =
     G.Emulator.run_to_memory
-      { G.Emulator.kernel = k
-      ; block_size = app.Workloads.App.block_size
-      ; num_blocks = 8
-      ; params = Workloads.App.params app input
-      }
-      (Workloads.App.memory app input)
+      (G.Launch.make ~kernel:k ~block_size:app.Workloads.App.block_size
+         ~num_blocks:8 ~params:(Workloads.App.params app input)
+         (Workloads.App.memory app input))
   in
   let mem = Workloads.App.memory app input in
   let r =
     G.Gpu.run ~sms:4 fermi
-      { G.Gpu.kernel = k
-      ; block_size = app.Workloads.App.block_size
-      ; grid_blocks = 8
-      ; tlp_limit = 1
-      ; params = Workloads.App.params app input
-      ; memory = mem
-      }
+      (G.Launch.make ~kernel:k ~block_size:app.Workloads.App.block_size
+         ~num_blocks:8 ~params:(Workloads.App.params app input) mem)
   in
   let n = Workloads.App.output_words app input in
   check "multi-SM outputs match the emulator" true
@@ -591,13 +572,9 @@ let test_gpu_scaling () =
   let cycles sms =
     let mem = Workloads.App.memory app input in
     (G.Gpu.run ~sms fermi
-       { G.Gpu.kernel = k
-       ; block_size = app.Workloads.App.block_size
-       ; grid_blocks = 8
-       ; tlp_limit = 2
-       ; params = Workloads.App.params app input
-       ; memory = mem
-       })
+       (G.Launch.make ~kernel:k ~block_size:app.Workloads.App.block_size
+          ~num_blocks:8 ~tlp_limit:2
+          ~params:(Workloads.App.params app input) mem))
       .G.Gpu.total_cycles
   in
   check "4 SMs at least as fast as 1" true (cycles 4 <= cycles 1)
@@ -608,13 +585,9 @@ let test_gpu_deterministic () =
   let run () =
     let mem = Workloads.App.memory app input in
     (G.Gpu.run ~sms:3 fermi
-       { G.Gpu.kernel = Workloads.App.kernel app
-       ; block_size = app.Workloads.App.block_size
-       ; grid_blocks = 6
-       ; tlp_limit = 1
-       ; params = Workloads.App.params app input
-       ; memory = mem
-       })
+       (G.Launch.make ~kernel:(Workloads.App.kernel app)
+          ~block_size:app.Workloads.App.block_size ~num_blocks:6
+          ~params:(Workloads.App.params app input) mem))
       .G.Gpu.total_cycles
   in
   check_int "deterministic across runs" (run ()) (run ())
@@ -625,12 +598,8 @@ let test_trace_records_execution () =
   let app = Workloads.Suite.find "GAU" in
   let input = { (Workloads.App.default_input app) with Workloads.App.num_blocks = 1 } in
   let entries =
-    G.Trace.warp_trace ~max_steps:50
-      ~kernel:(Workloads.App.kernel app)
-      ~block_size:app.Workloads.App.block_size ~num_blocks:1
-      ~params:(Workloads.App.params app input)
-      ~memory:(Workloads.App.memory app input)
-      ~ctaid:0 ~warp:0 ()
+    G.Trace.warp_trace ~max_steps:50 ~ctaid:0 ~warp:0
+      (Workloads.App.launch app ~input ())
   in
   check_int "capped at max_steps" 50 (List.length entries);
   let first = List.hd entries in

@@ -32,12 +32,10 @@ let test_crat_kernels_semantically_equal () =
        let run kernel =
          let mem = Workloads.App.memory a i in
          Gpusim.Emulator.run
-           { Gpusim.Emulator.kernel
-           ; block_size = a.Workloads.App.block_size
-           ; num_blocks = i.Workloads.App.num_blocks
-           ; params = Workloads.App.params a i
-           }
-           mem;
+           (Gpusim.Launch.make ~kernel
+              ~block_size:a.Workloads.App.block_size
+              ~num_blocks:i.Workloads.App.num_blocks
+              ~params:(Workloads.App.params a i) mem);
          Gpusim.Memory.read_f32_array mem ~base:Workloads.Data.out_base
            (Workloads.App.output_words a i)
        in

@@ -1,0 +1,242 @@
+(* Trace-driven replay: replayed statistics must be bit-identical to a
+   cold run's across the full statdump fingerprint surface, and the
+   trace store must key launches correctly. *)
+
+module G = Gpusim
+
+let fermi = G.Config.fermi
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* record under one run, replay under the same point, compare every
+   Stats.t field structurally (Stats.t is pure data, so (=) is
+   bit-identity) *)
+let record_then_replay ?scheduler cfg (l : G.Launch.t) =
+  let tr = G.Replay.create l in
+  let cold =
+    G.Sm.run ?scheduler ~record:tr cfg
+      { l with G.Launch.memory = G.Memory.copy l.G.Launch.memory }
+  in
+  G.Replay.finish tr;
+  let replayed = G.Sm.run ?scheduler ~replay:tr cfg l in
+  (cold, replayed, tr)
+
+(* ---------- differential sweep (statdump fingerprint surface) ---------- *)
+
+(* The same 88-config surface bench/statdump.ml fingerprints: every
+   workload, default and r20-allocated builds, TLP 1 and 3, 2 blocks. *)
+let test_replay_bit_identical_suite () =
+  List.iter
+    (fun (app : Workloads.App.t) ->
+       let input =
+         { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 }
+       in
+       let alloc =
+         Regalloc.Allocator.allocate ~block_size:app.Workloads.App.block_size
+           ~shared_policy:(`Spare 512) ~reg_limit:20
+           (Workloads.App.kernel app)
+       in
+       List.iter
+         (fun tlp ->
+            List.iter
+              (fun (variant, kernel) ->
+                 let l =
+                   match kernel with
+                   | None -> Workloads.App.launch app ~tlp ~input ()
+                   | Some k -> Workloads.App.launch app ~kernel:k ~tlp ~input ()
+                 in
+                 let cold, replayed, _ = record_then_replay fermi l in
+                 check
+                   (Printf.sprintf "%s/%s/tlp%d bit-identical"
+                      app.Workloads.App.abbr variant tlp)
+                   true (cold = replayed))
+              [ ("default", None)
+              ; ("r20", Some alloc.Regalloc.Allocator.kernel)
+              ])
+         [ 1; 3 ])
+    Workloads.Suite.all
+
+(* the trace is config- and TLP-independent: record once under fermi,
+   replay under kepler and at a different TLP; each must equal its own
+   cold run *)
+let test_trace_valid_across_config_and_tlp () =
+  let app = Workloads.Suite.find "CFD" in
+  let input =
+    { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 }
+  in
+  let l = Workloads.App.launch app ~tlp:1 ~input () in
+  let tr = G.Replay.create l in
+  let _ =
+    G.Sm.run ~record:tr fermi
+      { l with G.Launch.memory = G.Memory.copy l.G.Launch.memory }
+  in
+  G.Replay.finish tr;
+  List.iter
+    (fun (name, cfg, tlp) ->
+       let lt = G.Launch.with_tlp l tlp in
+       let cold =
+         G.Sm.run cfg { lt with G.Launch.memory = G.Memory.copy lt.G.Launch.memory }
+       in
+       let replayed = G.Sm.run ~replay:tr cfg lt in
+       check (name ^ " matches its cold run") true (cold = replayed))
+    [ ("fermi tlp3", fermi, 3)
+    ; ("kepler tlp1", G.Config.kepler, 1)
+    ; ("kepler tlp2", G.Config.kepler, 2)
+    ]
+
+(* replay must not touch global memory *)
+let test_replay_leaves_memory_untouched () =
+  let app = Workloads.Suite.find "GAU" in
+  let input =
+    { (Workloads.App.default_input app) with Workloads.App.num_blocks = 2 }
+  in
+  let l = Workloads.App.launch app ~tlp:2 ~input () in
+  let before = G.Memory.copy l.G.Launch.memory in
+  let _, _, tr = record_then_replay fermi l in
+  ignore tr;
+  check "initial memory preserved through record+replay" true
+    (G.Memory.equal before l.G.Launch.memory)
+
+(* QCheck: random kernels through the same record/replay differential,
+   reusing the fastpath harness generator *)
+let prop_replay_random_kernels =
+  QCheck.Test.make ~count:25 ~name:"replay bit-identical on random kernels"
+    Testsupport.Gen.arbitrary_kernel (fun k ->
+      let mem = G.Memory.create () in
+      G.Memory.write_f32_array mem ~base:0x1000_0000L
+        (Workloads.Data.uniform_f32 ~seed:11 1024);
+      let l =
+        G.Launch.make ~kernel:k ~block_size:64 ~num_blocks:2 ~tlp_limit:2
+          ~params:
+            [ ("inp", G.Value.I 0x1000_0000L)
+            ; ("out", G.Value.I 0x2000_0000L)
+            ; ("n", G.Value.of_int 1024)
+            ]
+          mem
+      in
+      let cold, replayed, _ = record_then_replay fermi l in
+      cold = replayed)
+
+(* ---------- launch keys ---------- *)
+
+(* the trace key must ignore what the trace does not depend on (timing
+   config, TLP) and separate what it does (params, initial memory) *)
+let test_launch_key_discrimination () =
+  let mk ?(param = 0x1000_0000L) ?(seed = 3) () =
+    let mem = G.Memory.create () in
+    G.Memory.write_f32_array mem ~base:0x1000_0000L
+      (Workloads.Data.uniform_f32 ~seed 64);
+    let app = Workloads.Suite.find "GAU" in
+    let input = Workloads.App.default_input app in
+    G.Launch.make
+      ~kernel:(Workloads.App.kernel app)
+      ~block_size:app.Workloads.App.block_size
+      ~num_blocks:input.Workloads.App.num_blocks
+      ~params:[ ("inp", G.Value.I param) ]
+      mem
+  in
+  let base = G.Replay.launch_key (mk ()) in
+  check "structural: same launch content, same key" true
+    (G.Replay.launch_key (mk ()) = base);
+  check "TLP not in the key" true
+    (G.Replay.launch_key (G.Launch.with_tlp (mk ()) 5) = base);
+  check "params in the key" true
+    (G.Replay.launch_key (mk ~param:0x2000_0000L ()) <> base);
+  check "initial memory in the key" true
+    (G.Replay.launch_key (mk ~seed:4 ()) <> base)
+
+(* a written-then-zeroed slot must digest like an unwritten one only if
+   the value genuinely reads back identically; integer zero does *)
+let test_memory_digest_canonical () =
+  let a = G.Memory.create () in
+  let b = G.Memory.create () in
+  G.Memory.write b 0x100L Ptx.Types.U32 (G.Value.of_int 0);
+  check "writing integer zero keeps the canonical digest" true
+    (G.Memory.digest a = G.Memory.digest b);
+  G.Memory.write b 0x100L Ptx.Types.U32 (G.Value.of_int 7);
+  check "a real write changes the digest" true
+    (G.Memory.digest a <> G.Memory.digest b)
+
+(* ---------- the store through the engine ---------- *)
+
+let small_app abbr =
+  let a = Workloads.Suite.find abbr in
+  let i = Workloads.App.default_input a in
+  { a with
+    Workloads.App.inputs =
+      [ { i with Workloads.App.num_blocks = 2; ilabel = "replay-small" } ]
+  }
+
+(* one launch, two configs: the engine records once and replays once,
+   answering both from the same trace *)
+let test_engine_records_once_per_launch () =
+  let e = Crat.Engine.create () in
+  let a = small_app "KMN" in
+  let l = Workloads.App.launch a ~input:(Workloads.App.default_input a) () in
+  let s_f = Crat.Engine.simulate e l fermi ~tlp:1 in
+  let s_k = Crat.Engine.simulate e l G.Config.kepler ~tlp:1 in
+  let rep = Crat.Engine.report e in
+  check_int "two simulations ran" 2 rep.Crat.Engine.sim_runs;
+  check_int "one trace recorded" 1 rep.Crat.Engine.trace_records;
+  check_int "second config replayed" 1 rep.Crat.Engine.trace_replays;
+  (* and each equals a replay-free engine's answer *)
+  let e0 = Crat.Engine.create ~replay:false () in
+  check "fermi stats match a no-replay engine" true
+    (s_f = Crat.Engine.simulate e0 l fermi ~tlp:1);
+  check "kepler stats match a no-replay engine" true
+    (s_k = Crat.Engine.simulate e0 l G.Config.kepler ~tlp:1)
+
+(* different params/memory are different launches: no trace sharing *)
+let test_engine_separates_launches () =
+  let e = Crat.Engine.create () in
+  let a = small_app "GAU" in
+  let i1 = Workloads.App.default_input a in
+  let i2 = { i1 with Workloads.App.num_blocks = i1.Workloads.App.num_blocks + 1 } in
+  let _ = Crat.Engine.simulate e (Workloads.App.launch a ~input:i1 ()) fermi ~tlp:1 in
+  let _ = Crat.Engine.simulate e (Workloads.App.launch a ~input:i2 ()) fermi ~tlp:1 in
+  let rep = Crat.Engine.report e in
+  check_int "each distinct launch records its own trace" 2
+    rep.Crat.Engine.trace_records;
+  check_int "nothing replayed across distinct launches" 0
+    rep.Crat.Engine.trace_replays
+
+(* a budget too small for any trace degrades to cold-only, never wrong *)
+let test_store_budget_eviction () =
+  let e = Crat.Engine.create ~trace_budget:4 () in
+  let a = small_app "GAU" in
+  let l = Workloads.App.launch a ~input:(Workloads.App.default_input a) () in
+  let s1 = Crat.Engine.simulate e l fermi ~tlp:1 in
+  let s2 = Crat.Engine.simulate e l G.Config.kepler ~tlp:1 in
+  let rep = Crat.Engine.report e in
+  check_int "oversized trace never replayed" 0 rep.Crat.Engine.trace_replays;
+  let e0 = Crat.Engine.create ~replay:false () in
+  check "results still correct" true
+    (s1 = Crat.Engine.simulate e0 l fermi ~tlp:1
+     && s2 = Crat.Engine.simulate e0 l G.Config.kepler ~tlp:1)
+
+let () =
+  Alcotest.run "replay"
+    [ ( "differential"
+      , [ Alcotest.test_case "suite sweep bit-identical (22 apps x 2 builds x 2 TLPs)"
+            `Slow test_replay_bit_identical_suite
+        ; Alcotest.test_case "trace valid across config and TLP" `Slow
+            test_trace_valid_across_config_and_tlp
+        ; Alcotest.test_case "replay leaves memory untouched" `Quick
+            test_replay_leaves_memory_untouched
+        ; QCheck_alcotest.to_alcotest prop_replay_random_kernels
+        ] )
+    ; ( "keys"
+      , [ Alcotest.test_case "launch key discrimination" `Quick
+            test_launch_key_discrimination
+        ; Alcotest.test_case "memory digest canonical" `Quick
+            test_memory_digest_canonical
+        ] )
+    ; ( "engine"
+      , [ Alcotest.test_case "records once per launch" `Slow
+            test_engine_records_once_per_launch
+        ; Alcotest.test_case "separates distinct launches" `Slow
+            test_engine_separates_launches
+        ; Alcotest.test_case "tiny budget degrades to cold" `Slow
+            test_store_budget_eviction
+        ] )
+    ]

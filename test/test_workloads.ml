@@ -99,13 +99,12 @@ let test_all_apps_emulate () =
        let i = tiny_input a in
        let mem = Workloads.App.memory a i in
        let launch =
-         { Gpusim.Emulator.kernel = Workloads.App.kernel a
-         ; block_size = a.Workloads.App.block_size
-         ; num_blocks = i.Workloads.App.num_blocks
-         ; params = Workloads.App.params a i
-         }
+         Gpusim.Launch.make ~kernel:(Workloads.App.kernel a)
+           ~block_size:a.Workloads.App.block_size
+           ~num_blocks:i.Workloads.App.num_blocks
+           ~params:(Workloads.App.params a i) mem
        in
-       Gpusim.Emulator.run launch mem;
+       Gpusim.Emulator.run launch;
        let out =
          Gpusim.Memory.read_f32_array mem ~base:Workloads.Data.out_base
            (Workloads.App.output_words a i)
