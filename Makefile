@@ -1,4 +1,4 @@
-.PHONY: all build test verify lint bench bench-smoke bench-perf clean
+.PHONY: all build test verify lint bench bench-smoke bench-perf bench-backend clean
 
 all: build
 
@@ -35,6 +35,10 @@ bench-smoke:
 bench-perf:
 	dune exec bench/main.exe -- --fast --json bench-perf.json
 	dune exec bench/replaybench.exe -- BENCH_PR5.json
+
+# fig13 per register-file backend + scalarization statistics
+bench-backend:
+	dune exec bench/backendbench.exe -- BENCH_PR6.json
 
 clean:
 	dune clean

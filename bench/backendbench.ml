@@ -1,0 +1,114 @@
+(* BENCH_PR6 harness: the fig13 headline sweep re-run per register-file
+   backend (PTX single-file vs machine ISA with split vector/scalar
+   files), plus a per-app scalarization table over the whole suite:
+   spill-free vector limit under each backend, scalar footprint,
+   scalarized register count and the occupancy each backend reaches at
+   its own spill-free point.
+
+     dune exec bench/backendbench.exe                  # print JSON
+     dune exec bench/backendbench.exe -- BENCH_PR6.json
+
+   (make bench-backend writes BENCH_PR6.json at the repo root.) *)
+
+module A = Regalloc.Allocator
+
+let fermi = Gpusim.Config.fermi
+
+type sweep =
+  { backend : Machine.Backend.t
+  ; wall_s : float
+  ; rows : Crat.Experiments.fig13_row list
+  ; geo_max : float
+  ; geo_crat_local : float
+  ; geo_crat : float
+  }
+
+let run_sweep backend =
+  let engine = Crat.Engine.create () in
+  let t0 = Unix.gettimeofday () in
+  let rows, _ =
+    Crat.Experiments.fig13 ~backend engine fermi Workloads.Suite.sensitive
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let geo f = Crat.Experiments.geomean (List.map f rows) in
+  { backend
+  ; wall_s
+  ; rows
+  ; geo_max = geo (fun (r : Crat.Experiments.fig13_row) -> r.s_max)
+  ; geo_crat_local = geo (fun r -> r.s_crat_local)
+  ; geo_crat = geo (fun r -> r.s_crat)
+  }
+
+let row_json (r : Crat.Experiments.fig13_row) =
+  Printf.sprintf
+    {|        {"abbr": "%s", "s_max": %.4f, "s_crat_local": %.4f, "s_crat": %.4f}|}
+    r.abbr r.s_max r.s_crat_local r.s_crat
+
+let sweep_json s =
+  Printf.sprintf
+    {|    {"backend": "%s", "wall_s": %.3f,
+     "geomean_vs_opt": {"max_tlp": %.4f, "crat_local": %.4f, "crat": %.4f},
+     "rows": [
+%s
+     ]}|}
+    (Machine.Backend.to_string s.backend)
+    s.wall_s s.geo_max s.geo_crat_local s.geo_crat
+    (String.concat ",\n" (List.map row_json s.rows))
+
+(* scalarization on (machine) vs off (ptx), per app: the register-file
+   split's whole payoff in one table *)
+let scal_json (a : Workloads.App.t) =
+  let rp = Crat.Resource.analyze fermi a in
+  let rm = Crat.Resource.analyze ~backend:Machine.Backend.Machine fermi a in
+  let k = Workloads.App.kernel a in
+  let alloc =
+    A.allocate
+      ~scalar:(Machine.Scalarize.predicate ~block_size:a.Workloads.App.block_size k)
+      ~scalar_limit:Machine.Backend.default_scalar_limit
+      ~block_size:a.Workloads.App.block_size
+      ~reg_limit:rm.Crat.Resource.max_reg k
+  in
+  let tlp_at (r : Crat.Resource.t) =
+    Gpusim.Occupancy.max_tlp fermi
+      (Crat.Resource.usage_at r ~regs:r.Crat.Resource.max_reg)
+  in
+  Printf.sprintf
+    {|    {"abbr": "%s", "max_reg_ptx": %d, "max_reg_machine": %d, "sregs_per_warp": %d, "scalarized": %d, "tlp_at_max_reg_ptx": %d, "tlp_at_max_reg_machine": %d}|}
+    a.Workloads.App.abbr rp.Crat.Resource.max_reg rm.Crat.Resource.max_reg
+    rm.Crat.Resource.sregs_per_warp alloc.A.scalarized (tlp_at rp) (tlp_at rm)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let sweeps =
+    List.map
+      (fun b ->
+        let s = run_sweep b in
+        Printf.eprintf "backend=%s: %.1fs  geomean crat=%.3f\n%!"
+          (Machine.Backend.to_string b) s.wall_s s.geo_crat;
+        s)
+      Machine.Backend.all
+  in
+  let scal = List.map scal_json Workloads.Suite.all in
+  let json =
+    Printf.sprintf
+      {|{
+  "description": "fig13 headline sweep (fermi, resource-sensitive apps) per register-file backend, plus scalarization on/off statistics across the full suite: spill-free vector limit under each backend, per-warp scalar footprint, registers moved to the scalar file, and the occupancy each backend reaches at its own spill-free point.",
+  "command": "dune exec bench/backendbench.exe -- BENCH_PR6.json",
+  "backends": [
+%s
+  ],
+  "scalarization": [
+%s
+  ]
+}
+|}
+      (String.concat ",\n" (List.map sweep_json sweeps))
+      (String.concat ",\n" scal)
+  in
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
+  | None -> print_string json

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --only fig13,tab1
      dune exec bench/main.exe -- --jobs 4     # fan simulations over 4 domains
      dune exec bench/main.exe -- --json out.json  # machine-readable run report
+     dune exec bench/main.exe -- --backend machine --only fig13
      dune exec bench/main.exe -- --bechamel   # Bechamel timings *)
 
 let fermi = Gpusim.Config.fermi
@@ -15,20 +16,23 @@ let kepler = Gpusim.Config.kepler
 
 type ctx =
   { engine : Crat.Engine.t
+  ; backend : Machine.Backend.t  (** register-file model of the fig13 family *)
   ; sensitive : Workloads.App.t list
   ; insensitive : Workloads.App.t list
   ; input_apps : Workloads.App.t list  (** fig18 *)
   }
 
-let full_ctx engine =
+let full_ctx ?(backend = Machine.Backend.Ptx) engine =
   { engine
+  ; backend
   ; sensitive = Workloads.Suite.sensitive
   ; insensitive = Workloads.Suite.insensitive
   ; input_apps = [ Workloads.Suite.find "CFD"; Workloads.Suite.find "BLK" ]
   }
 
-let fast_ctx engine =
+let fast_ctx ?(backend = Machine.Backend.Ptx) engine =
   { engine
+  ; backend
   ; sensitive =
       List.map Workloads.Suite.find [ "CFD"; "KMN"; "FDTD"; "STM"; "BLK" ]
   ; insensitive = List.map Workloads.Suite.find [ "PATH"; "GAU"; "BFS" ]
@@ -44,7 +48,9 @@ let get_comparisons ctx =
   match !comparisons with
   | Some c -> c
   | None ->
-    let _, comps = Crat.Experiments.fig13 ctx.engine fermi ctx.sensitive in
+    let _, comps =
+      Crat.Experiments.fig13 ~backend:ctx.backend ctx.engine fermi ctx.sensitive
+    in
     comparisons := Some comps;
     comps
 
@@ -110,7 +116,10 @@ let experiments : (string * string * (ctx -> unit)) list =
   ; ( "fig13"
     , "Fig 13: headline performance comparison"
     , fun ctx ->
-        let rows, comps = Crat.Experiments.fig13 ctx.engine fermi ctx.sensitive in
+        let rows, comps =
+          Crat.Experiments.fig13 ~backend:ctx.backend ctx.engine fermi
+            ctx.sensitive
+        in
         comparisons := Some comps;
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig14"
@@ -127,7 +136,10 @@ let experiments : (string * string * (ctx -> unit)) list =
   ; ( "fig17"
     , "Fig 17: Kepler-like scalability"
     , fun ctx ->
-        let rows, _ = Crat.Experiments.fig13 ctx.engine kepler ctx.sensitive in
+        let rows, _ =
+          Crat.Experiments.fig13 ~backend:ctx.backend ctx.engine kepler
+            ctx.sensitive
+        in
         Format.fprintf fmt "Fig 17: Kepler-like architecture@.";
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig18"
@@ -138,7 +150,10 @@ let experiments : (string * string * (ctx -> unit)) list =
   ; ( "fig19"
     , "Fig 19: resource-insensitive applications"
     , fun ctx ->
-        let rows, _ = Crat.Experiments.fig13 ctx.engine fermi ctx.insensitive in
+        let rows, _ =
+          Crat.Experiments.fig13 ~backend:ctx.backend ctx.engine fermi
+            ctx.insensitive
+        in
         Format.fprintf fmt "Fig 19: resource-insensitive applications@.";
         Crat.Experiments.pp_fig13 fmt rows )
   ; ( "fig20"
@@ -278,6 +293,7 @@ let () =
   let jobs = ref 1 in
   let json = ref "" in
   let replay = ref true in
+  let backend = ref Machine.Backend.Ptx in
   let spec =
     [ ("--bechamel", Arg.Set bechamel, " run Bechamel timing benchmarks")
     ; ("--fast", Arg.Set fast, " reduced application sets")
@@ -298,12 +314,20 @@ let () =
     ; ( "--no-replay"
       , Arg.Clear replay
       , " run every simulation cold through the functional front-end" )
+    ; ( "--backend"
+      , Arg.Symbol
+          ( List.map Machine.Backend.to_string Machine.Backend.all
+          , fun s ->
+              match Machine.Backend.of_string s with
+              | Some b -> backend := b
+              | None -> raise (Arg.Bad ("unknown backend " ^ s)) )
+      , " register-file model for the fig13 sweep family (default ptx)" )
     ]
   in
   Arg.parse spec
     (fun _ -> ())
     "bench/main.exe [--bechamel] [--fast] [--only ids] [--jobs N] \
-     [--json file] [--replay|--no-replay]";
+     [--json file] [--replay|--no-replay] [--backend ptx|machine]";
   if !jobs < 1 then begin
     prerr_endline "bench: --jobs must be >= 1";
     exit 2
@@ -326,7 +350,10 @@ let () =
   if !bechamel then bechamel_mode ()
   else begin
     let engine = Crat.Engine.create ~jobs:!jobs ~replay:!replay () in
-    let ctx = if !fast then fast_ctx engine else full_ctx engine in
+    let ctx =
+      if !fast then fast_ctx ~backend:!backend engine
+      else full_ctx ~backend:!backend engine
+    in
     let wanted (id, _, _) = !only = [] || List.mem id !only in
     let t_all = Unix.gettimeofday () in
     let records = ref [] in

@@ -64,6 +64,24 @@ let replay_arg =
   in
   Term.(const not $ no_replay)
 
+let backend_arg =
+  let backend_conv =
+    let parse s =
+      match Machine.Backend.of_string s with
+      | Some b -> Ok b
+      | None -> Error (`Msg "expected 'ptx' or 'machine'")
+    in
+    Arg.conv
+      ( parse
+      , fun fmt b -> Format.pp_print_string fmt (Machine.Backend.to_string b) )
+  in
+  Arg.(value & opt backend_conv Machine.Backend.Ptx
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Register-file model: $(b,ptx) (one per-thread file, the \
+                 paper's setup) or $(b,machine) (lower to the SASS-like ISA \
+                 with split per-thread vector and per-warp scalar files; \
+                 proven warp-uniform values are scalarized).")
+
 let gate_arg =
   let doc =
     "Arm the static-verifier gate: every pipeline stage is re-verified and \
@@ -92,11 +110,15 @@ let config_cmd =
 
 let analyze_cmd =
   let doc = "Resource-usage analysis: MaxReg/MinReg/MaxTLP/ShmSize + OptTLP." in
-  let run kepler abbr static jobs replay =
+  let run kepler abbr backend static jobs replay =
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
-    let r = Crat.Resource.analyze cfg app in
-    Format.printf "%s: %a@." abbr Crat.Resource.pp r;
+    let r = Crat.Resource.analyze ~backend cfg app in
+    Format.printf "%s [%s]: %a@." abbr
+      (Machine.Backend.to_string backend)
+      Crat.Resource.pp r;
+    if backend = Machine.Backend.Machine then
+      Format.printf "scalar file: %d units/warp@." r.Crat.Resource.sregs_per_warp;
     let opt =
       if static then Crat.Opttlp.estimate_static cfg app ~max_tlp:r.Crat.Resource.max_tlp ()
       else
@@ -114,25 +136,34 @@ let analyze_cmd =
     Arg.(value & flag & info [ "static" ] ~doc:"Estimate OptTLP statically instead of profiling.")
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ kepler_arg $ app_arg $ static $ jobs_arg $ replay_arg)
+    Term.(const run $ kepler_arg $ app_arg $ backend_arg $ static $ jobs_arg
+          $ replay_arg)
 
 (* ---------- allocate ---------- *)
 
-let do_allocate kernel ~block_size ~regs ~spare ~linear_scan ~dump =
+let do_allocate ?(backend = Machine.Backend.Ptx) kernel ~block_size ~regs
+    ~spare ~linear_scan ~dump =
   let strategy =
     if linear_scan then Regalloc.Allocator.Linear_scan
     else Regalloc.Allocator.Chaitin_briggs
   in
   let shared_policy = if spare > 0 then `Spare spare else `Off in
+  let scalar, scalar_limit =
+    match backend with
+    | Machine.Backend.Ptx -> ((fun _ -> false), 0)
+    | Machine.Backend.Machine ->
+      ( Machine.Scalarize.predicate ~block_size kernel
+      , Machine.Backend.default_scalar_limit )
+  in
   Verify.Gate.check_kernel ~stage:"cli:pre-alloc" ~block_size kernel;
   let a =
-    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
-      ~reg_limit:regs kernel
+    Regalloc.Allocator.allocate ~strategy ~shared_policy ~scalar ~scalar_limit
+      ~block_size ~reg_limit:regs kernel
   in
   Verify.Gate.check_allocation ~stage:"cli:post-alloc" a;
   Format.printf
-    "allocated at limit %d: %d units used, %d predicates, %d spilled@." regs
-    a.Regalloc.Allocator.units_used a.Regalloc.Allocator.pred_used
+    "allocated at limit %d: %d vector units used, %d predicates, %d spilled@."
+    regs a.Regalloc.Allocator.units_used a.Regalloc.Allocator.pred_used
     (List.length a.Regalloc.Allocator.spilled);
   Format.printf
     "spill code: %d local + %d shared accesses, %d setup instrs; %dB local/thread, %dB shared/block@."
@@ -141,7 +172,22 @@ let do_allocate kernel ~block_size ~regs ~spare ~linear_scan ~dump =
     a.Regalloc.Allocator.stats.Regalloc.Spill.num_other
     a.Regalloc.Allocator.spill_local_bytes
     a.Regalloc.Allocator.spill_shared_bytes_per_block;
-  if dump then print_string (Ptx.Printer.kernel_to_string a.Regalloc.Allocator.kernel)
+  match backend with
+  | Machine.Backend.Ptx ->
+    if dump then
+      print_string (Ptx.Printer.kernel_to_string a.Regalloc.Allocator.kernel)
+  | Machine.Backend.Machine ->
+    Format.printf "scalar file: %d units/warp (%d registers scalarized)@."
+      a.Regalloc.Allocator.scalar_units_used a.Regalloc.Allocator.scalarized;
+    let m = Machine.Lower.run a in
+    Verify.Gate.check_machine ~stage:"cli:post-lower" m;
+    Format.printf
+      "machine code: %d insns (%d bytes), V=%d S=%d P=%d@."
+      (Array.length m.Machine.Lower.code)
+      (Array.length m.Machine.Lower.encoded * 8)
+      m.Machine.Lower.vector_units m.Machine.Lower.scalar_units
+      m.Machine.Lower.pred_count;
+    if dump then Format.printf "%a" Machine.Lower.pp m
 
 let spare_arg =
   Arg.(value & opt int 0 & info [ "shared-spare" ] ~docv:"BYTES"
@@ -155,16 +201,16 @@ let dump_arg =
 
 let allocate_cmd =
   let doc = "Allocate registers for a suite kernel at a per-thread limit." in
-  let run abbr regs spare linear_scan dump gate =
+  let run abbr backend regs spare linear_scan dump gate =
     arm_gate gate;
     let app = find_app abbr in
     let regs = Option.value ~default:app.Workloads.App.default_regs regs in
-    do_allocate (Workloads.App.kernel app)
+    do_allocate ~backend (Workloads.App.kernel app)
       ~block_size:app.Workloads.App.block_size ~regs ~spare ~linear_scan ~dump
   in
   Cmd.v (Cmd.info "allocate" ~doc)
-    Term.(const run $ app_arg $ regs_arg $ spare_arg $ ls_arg $ dump_arg
-          $ gate_arg)
+    Term.(const run $ app_arg $ backend_arg $ regs_arg $ spare_arg $ ls_arg
+          $ dump_arg $ gate_arg)
 
 let allocate_file_cmd =
   let doc = "Allocate registers for an external PTX kernel file." in
@@ -286,18 +332,24 @@ let optimize_cmd =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the engine's job/cache statistics after the run.")
   in
-  let run kepler abbr static no_shared jobs report gate replay =
+  let run kepler abbr backend static no_shared jobs report gate replay =
     arm_gate gate;
     let cfg = config_of_kepler kepler in
     let app = find_app abbr in
     let mode = if static then `Static else `Profile in
     let engine = Crat.Engine.create ~jobs ~replay () in
-    let m = Crat.Baselines.max_tlp engine cfg app () in
-    let o = Crat.Baselines.opt_tlp engine cfg app () in
+    let m = Crat.Baselines.max_tlp ~backend engine cfg app () in
+    let o = Crat.Baselines.opt_tlp ~backend engine cfg app () in
     let c, plan =
-      Crat.Baselines.crat ~mode ~shared_spilling:(not no_shared) engine cfg app ()
+      Crat.Baselines.crat ~mode ~backend ~shared_spilling:(not no_shared)
+        engine cfg app ()
     in
     Format.printf "%a@." Crat.Optimizer.pp_plan plan;
+    if backend = Machine.Backend.Machine then
+      Format.printf
+        "machine backend: %d registers scalarized, %d scalar units/warp@."
+        c.Crat.Baselines.alloc.Regalloc.Allocator.scalarized
+        c.Crat.Baselines.alloc.Regalloc.Allocator.scalar_units_used;
     let show (e : Crat.Baselines.evaluated) =
       Format.printf "  %-12s reg=%2d TLP=%d %9d cycles (%.3fx vs OptTLP)@."
         e.Crat.Baselines.label e.Crat.Baselines.reg e.Crat.Baselines.tlp
@@ -311,8 +363,8 @@ let optimize_cmd =
       Format.printf "%a@." Crat.Engine.pp_report (Crat.Engine.report engine)
   in
   Cmd.v (Cmd.info "optimize" ~doc)
-    Term.(const run $ kepler_arg $ app_arg $ static_arg $ no_shared_arg
-          $ jobs_arg $ report_arg $ gate_arg $ replay_arg)
+    Term.(const run $ kepler_arg $ app_arg $ backend_arg $ static_arg
+          $ no_shared_arg $ jobs_arg $ report_arg $ gate_arg $ replay_arg)
 
 (* ---------- verify ---------- *)
 
@@ -401,9 +453,7 @@ let verify_cmd =
   in
   let run abbr all corpus codes regs linear_scan spare =
     if codes then
-      List.iter
-        (fun (c, d) -> Format.printf "%s  %s@." c d)
-        Verify.Diagnostic.all_codes
+      print_endline (Verify.Diagnostic.codes_listing ())
     else begin
       let apps =
         if all then Workloads.Suite.all
@@ -475,11 +525,7 @@ let lint_cmd =
   in
   let run kepler abbr all validate codes regs =
     if codes then
-      List.iter
-        (fun (c, d) -> Format.printf "%s  %s@." c d)
-        (List.filter
-           (fun (c, _) -> String.length c > 0 && c.[0] = 'P')
-           Verify.Diagnostic.all_codes)
+      print_endline (Verify.Diagnostic.codes_listing ~prefix:"P" ())
     else begin
       let apps =
         if all then Workloads.Suite.all

@@ -12,17 +12,18 @@ let cycles e = e.stats.Gpusim.Stats.cycles
 let speedup_over ~baseline e =
   float_of_int (cycles baseline) /. float_of_int (cycles e)
 
-let default_build engine (app : Workloads.App.t) =
-  Engine.allocate engine app ~reg_limit:app.Workloads.App.default_regs
+let default_build ?backend engine (app : Workloads.App.t) =
+  Engine.allocate engine ?backend app
+    ~reg_limit:app.Workloads.App.default_regs
 
 let resolve_input app = function
   | Some i -> i
   | None -> Workloads.App.default_input app
 
-let max_tlp engine cfg (app : Workloads.App.t) ?input () =
+let max_tlp ?backend engine cfg (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let alloc = default_build engine app in
-  let r = Resource.analyze cfg app in
+  let alloc = default_build ?backend engine app in
+  let r = Resource.analyze ?backend cfg app in
   let tlp = max 1 r.Resource.max_tlp in
   let launch =
     Workloads.App.launch app ~kernel:alloc.Regalloc.Allocator.kernel ~input ()
@@ -36,10 +37,10 @@ let max_tlp engine cfg (app : Workloads.App.t) ?input () =
   ; input
   }
 
-let opt_tlp engine cfg (app : Workloads.App.t) ?input () =
+let opt_tlp ?backend engine cfg (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let alloc = default_build engine app in
-  let r = Resource.analyze cfg app in
+  let alloc = default_build ?backend engine app in
+  let r = Resource.analyze ?backend cfg app in
   let pr =
     Opttlp.profile engine cfg app ~input
       ~kernel:alloc.Regalloc.Allocator.kernel
@@ -58,10 +59,12 @@ let opt_tlp engine cfg (app : Workloads.App.t) ?input () =
   ; input
   }
 
-let crat ?mode ?shared_spilling ?profile_input engine cfg
+let crat ?mode ?backend ?shared_spilling ?profile_input engine cfg
     (app : Workloads.App.t) ?input () =
   let input = resolve_input app input in
-  let plan = Optimizer.plan ?mode ?shared_spilling ?profile_input engine cfg app in
+  let plan =
+    Optimizer.plan ?mode ?backend ?shared_spilling ?profile_input engine cfg app
+  in
   let c = plan.Optimizer.chosen in
   let launch =
     Workloads.App.launch app ~kernel:c.Optimizer.alloc.Regalloc.Allocator.kernel
@@ -89,6 +92,7 @@ let crat ?mode ?shared_spilling ?profile_input engine cfg
 let register_utilization cfg (app : Workloads.App.t) e =
   Gpusim.Occupancy.register_utilization cfg
     { Gpusim.Occupancy.regs_per_thread = e.alloc.Regalloc.Allocator.units_used
+    ; sregs_per_warp = e.alloc.Regalloc.Allocator.scalar_units_used
     ; block_size = app.Workloads.App.block_size
     ; shared_per_block = Workloads.App.shared_decl_bytes app
     }

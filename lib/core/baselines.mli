@@ -20,7 +20,8 @@ val cycles : evaluated -> int
 val speedup_over : baseline:evaluated -> evaluated -> float
 
 val max_tlp :
-  Engine.t
+  ?backend:Machine.Backend.t
+  -> Engine.t
   -> Gpusim.Config.t
   -> Workloads.App.t
   -> ?input:Workloads.App.input
@@ -28,7 +29,8 @@ val max_tlp :
   -> evaluated
 
 val opt_tlp :
-  Engine.t
+  ?backend:Machine.Backend.t
+  -> Engine.t
   -> Gpusim.Config.t
   -> Workloads.App.t
   -> ?input:Workloads.App.input
@@ -38,6 +40,7 @@ val opt_tlp :
 
 val crat :
   ?mode:Optimizer.mode
+  -> ?backend:Machine.Backend.t
   -> ?shared_spilling:bool
   -> ?profile_input:Workloads.App.input
   -> Engine.t

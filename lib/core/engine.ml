@@ -107,12 +107,13 @@ let sim_key t (l : Gpusim.Launch.t) cfg ~tlp =
     (String.concat "|"
        [ launch_key t l; data_digest cfg; string_of_int tlp ])
 
-let alloc_key t ~strategy ~shared_spare ~block_size ~reg_limit kernel =
+let alloc_key t ~strategy ~backend ~shared_spare ~block_size ~reg_limit kernel =
   String.concat "|"
     [ kernel_digest t kernel
     ; (match (strategy : Regalloc.Allocator.strategy) with
        | Regalloc.Allocator.Chaitin_briggs -> "cb"
        | Regalloc.Allocator.Linear_scan -> "ls")
+    ; Machine.Backend.to_string backend
     ; string_of_int shared_spare
     ; string_of_int block_size
     ; string_of_int reg_limit
@@ -180,16 +181,26 @@ let map t f xs = Array.to_list (pmap t f (Array.of_list xs))
 (* ---------- allocation ---------- *)
 
 let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
-    ?(shared_spare = 0) (app : Workloads.App.t) ~reg_limit =
+    ?(backend = Machine.Backend.Ptx) ?(shared_spare = 0)
+    (app : Workloads.App.t) ~reg_limit =
   let kernel = Workloads.App.kernel app in
   let block_size = app.Workloads.App.block_size in
-  let key = alloc_key t ~strategy ~shared_spare ~block_size ~reg_limit kernel in
+  let key =
+    alloc_key t ~strategy ~backend ~shared_spare ~block_size ~reg_limit kernel
+  in
   match locked t (fun () -> Hashtbl.find_opt t.alloc_store key) with
   | Some a ->
     locked t (fun () -> t.alloc_hits <- t.alloc_hits + 1);
     a
   | None ->
     let shared_policy = if shared_spare > 0 then `Spare shared_spare else `Off in
+    let scalar, scalar_limit =
+      match backend with
+      | Machine.Backend.Ptx -> ((fun _ -> false), 0)
+      | Machine.Backend.Machine ->
+        ( Machine.Scalarize.predicate ~block_size kernel
+        , Machine.Backend.default_scalar_limit )
+    in
     (* debug gate: verify the input kernel and audit the allocation; both
        are no-ops unless CRAT_VERIFY / Verify.Gate.set enables them *)
     Verify.Gate.check_kernel
@@ -197,11 +208,17 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
       ~block_size kernel;
     let t0 = now () in
     let a =
-      Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
-        ~reg_limit kernel
+      Regalloc.Allocator.allocate ~strategy ~shared_policy ~scalar
+        ~scalar_limit ~block_size ~reg_limit kernel
     in
     Verify.Gate.check_allocation
       ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
+    (* under the machine backend, also lower and run the V6xx audit
+       (a no-op unless the gate is on) *)
+    if backend = Machine.Backend.Machine && Verify.Gate.enabled () then
+      Verify.Gate.check_machine
+        ~stage:(app.Workloads.App.abbr ^ ":post-lower")
+        (Machine.Lower.run a);
     let dt = now () -. t0 in
     locked t (fun () ->
       t.alloc_runs <- t.alloc_runs + 1;

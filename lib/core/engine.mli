@@ -73,14 +73,20 @@ val launch_key : t -> Gpusim.Launch.t -> string
 val allocate :
   t
   -> ?strategy:Regalloc.Allocator.strategy
+  -> ?backend:Machine.Backend.t
   -> ?shared_spare:int
   -> Workloads.App.t
   -> reg_limit:int
   -> Regalloc.Allocator.t
 (** Allocate the app's kernel at a per-thread limit, memoized on the
-    pre-allocation kernel image, strategy, block size, [reg_limit] and
-    [shared_spare]; [shared_spare > 0] enables Algorithm 1 with that
-    many spare shared bytes per block. *)
+    pre-allocation kernel image, strategy, backend, block size,
+    [reg_limit] and [shared_spare]; [shared_spare > 0] enables
+    Algorithm 1 with that many spare shared bytes per block.
+    [backend] (default [Ptx]) joins the memo key; [Machine] colours the
+    proven-uniform registers against the scalar file
+    ({!Machine.Scalarize}, {!Machine.Backend.default_scalar_limit}) and,
+    when the verify gate is on, lowers the result and runs the V6xx
+    machine audit. *)
 
 val simulate :
   ?cache:bool

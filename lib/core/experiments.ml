@@ -14,11 +14,13 @@ type comparison =
   ; plan : Optimizer.plan
   }
 
-let compare_app engine cfg app =
-  let max_tlp = Baselines.max_tlp engine cfg app () in
-  let opt_tlp = Baselines.opt_tlp engine cfg app () in
-  let crat_local, _ = Baselines.crat ~shared_spilling:false engine cfg app () in
-  let crat, plan = Baselines.crat engine cfg app () in
+let compare_app ?backend engine cfg app =
+  let max_tlp = Baselines.max_tlp ?backend engine cfg app () in
+  let opt_tlp = Baselines.opt_tlp ?backend engine cfg app () in
+  let crat_local, _ =
+    Baselines.crat ?backend ~shared_spilling:false engine cfg app ()
+  in
+  let crat, plan = Baselines.crat ?backend engine cfg app () in
   { app; max_tlp; opt_tlp; crat_local; crat; plan }
 
 let speedup_vs_opt c e = Baselines.speedup_over ~baseline:c.opt_tlp e
@@ -376,9 +378,9 @@ type fig13_row =
   ; s_crat : float
   }
 
-let fig13 engine cfg apps =
+let fig13 ?backend engine cfg apps =
   (* apps are independent: one full comparison per domain *)
-  let comps = Engine.map engine (compare_app engine cfg) apps in
+  let comps = Engine.map engine (compare_app ?backend engine cfg) apps in
   let rows =
     List.map
       (fun c ->

@@ -20,7 +20,15 @@ type comparison =
   ; plan : Optimizer.plan
   }
 
-val compare_app : Engine.t -> Gpusim.Config.t -> Workloads.App.t -> comparison
+(** [compare_app ?backend engine cfg app] evaluates every baseline;
+    [backend] (default [Ptx]) selects the register-file model for the
+    resource analysis and allocations (see {!Optimizer.plan}). *)
+val compare_app :
+  ?backend:Machine.Backend.t
+  -> Engine.t
+  -> Gpusim.Config.t
+  -> Workloads.App.t
+  -> comparison
 val speedup_vs_opt : comparison -> Baselines.evaluated -> float
 
 (** {2 Characterisation (Section 1-2)} *)
@@ -128,7 +136,14 @@ type fig13_row =
   ; s_crat : float  (** all normalised to OptTLP *)
   }
 
-val fig13 : Engine.t -> Gpusim.Config.t -> Workloads.App.t list -> fig13_row list * comparison list
+(** The headline sweep; [~backend:Machine] re-runs it on the machine
+    ISA with split register files. *)
+val fig13 :
+  ?backend:Machine.Backend.t
+  -> Engine.t
+  -> Gpusim.Config.t
+  -> Workloads.App.t list
+  -> fig13_row list * comparison list
 val pp_fig13 : Format.formatter -> fig13_row list -> unit
 
 type fig14_row =

@@ -15,14 +15,16 @@ type plan =
   ; resource : Resource.t
   ; opt_tlp : int
   ; mode : mode
+  ; backend : Machine.Backend.t
   ; shared_spilling : bool
   ; candidates : candidate list
   ; chosen : candidate
   }
 
-let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_counts)
+let plan ?(mode = `Profile) ?(backend = Machine.Backend.Ptx)
+    ?(shared_spilling = true) ?(metric = `Weighted_counts)
     ?profile_input engine cfg app =
-  let resource = Resource.analyze cfg app in
+  let resource = Resource.analyze ~backend cfg app in
   let max_tlp = resource.Resource.max_tlp in
   let opt_tlp =
     match mode with
@@ -45,7 +47,7 @@ let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_count
            else 0
          in
          let alloc =
-           Engine.allocate engine app ~reg_limit:p.Design_space.reg
+           Engine.allocate engine app ~backend ~reg_limit:p.Design_space.reg
              ~shared_spare:spare
          in
          let tpsc =
@@ -66,7 +68,7 @@ let plan ?(mode = `Profile) ?(shared_spilling = true) ?(metric = `Weighted_count
     | first :: rest ->
       List.fold_left (fun best c -> if c.tpsc < best.tpsc then c else best) first rest
   in
-  { app; resource; opt_tlp; mode; shared_spilling; candidates; chosen }
+  { app; resource; opt_tlp; mode; backend; shared_spilling; candidates; chosen }
 
 let pp_plan fmt p =
   Format.fprintf fmt "%s: %a; OptTLP=%d (%s)@." p.app.Workloads.App.abbr

@@ -19,6 +19,7 @@ type plan =
   ; resource : Resource.t
   ; opt_tlp : int
   ; mode : mode
+  ; backend : Machine.Backend.t
   ; shared_spilling : bool
   ; candidates : candidate list  (** TLP descending *)
   ; chosen : candidate
@@ -26,6 +27,11 @@ type plan =
 
 val plan :
   ?mode:mode
+  -> ?backend:Machine.Backend.t
+      (** [Machine] (default [Ptx]) runs resource analysis and every
+          candidate allocation with the split scalar/vector register
+          files — uniform values stop counting against the per-thread
+          budget, widening the feasible (reg, TLP) frontier *)
   -> ?shared_spilling:bool
   -> ?metric:[ `Static_counts | `Weighted_counts ]
       (** [`Static_counts] is the paper's TPSC exactly;

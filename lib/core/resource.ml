@@ -6,49 +6,81 @@ type t =
   ; max_tlp : int
   ; default_regs : int
   ; max_live_units : int
+  ; sregs_per_warp : int
   }
 
 (* MaxReg: the smallest limit at which allocation inserts no spill code.
    MaxLive is a lower bound; colouring (and the paper's type-sensitivity)
-   can need a little more, so probe upward from MaxLive. *)
-let probe_max_reg kernel ~block_size ~max_live ~cap =
-  let rec probe lim =
-    if lim >= cap then cap
-    else
-      let a = Regalloc.Allocator.allocate ~block_size ~reg_limit:lim kernel in
-      if a.Regalloc.Allocator.spilled = [] then lim else probe (lim + 1)
+   can need a little more, so probe upward from MaxLive. Under the
+   machine backend the scalar partition relieves vector pressure, so
+   the probe starts below MaxLive and searches downward first. *)
+let probe_max_reg ?(scalar = fun _ -> false) ?(scalar_limit = 0) kernel
+    ~block_size ~max_live ~cap =
+  let spill_free lim =
+    let a =
+      Regalloc.Allocator.allocate ~scalar ~scalar_limit ~block_size
+        ~reg_limit:lim kernel
+    in
+    a.Regalloc.Allocator.spilled = []
   in
-  probe max_live
+  let rec up lim = if lim >= cap || spill_free lim then min lim cap else up (lim + 1) in
+  let rec down lim =
+    if lim > 1 && spill_free (lim - 1) then down (lim - 1) else lim
+  in
+  let lo = up max_live in
+  if scalar_limit > 0 && spill_free lo then down lo else lo
 
-let analyze (cfg : Gpusim.Config.t) (app : Workloads.App.t) =
+let analyze ?(backend = Machine.Backend.Ptx) (cfg : Gpusim.Config.t)
+    (app : Workloads.App.t) =
   let kernel = Workloads.App.kernel app in
+  let block_size = app.Workloads.App.block_size in
   let flow = Cfg.Flow.of_kernel kernel in
   let live = Cfg.Liveness.compute flow in
   let max_live_units = Cfg.Liveness.max_pressure live in
   let cap = cfg.Gpusim.Config.max_regs_per_thread in
+  let scalar, scalar_limit =
+    match backend with
+    | Machine.Backend.Ptx -> ((fun _ -> false), 0)
+    | Machine.Backend.Machine ->
+      ( Machine.Scalarize.predicate ~block_size kernel
+      , Machine.Backend.default_scalar_limit )
+  in
   let max_reg =
-    probe_max_reg kernel ~block_size:app.Workloads.App.block_size
+    probe_max_reg kernel ~scalar ~scalar_limit ~block_size
       ~max_live:(min max_live_units cap) ~cap
+  in
+  let sregs_per_warp =
+    if scalar_limit = 0 then 0
+    else
+      (* the scalar footprint barely moves with the vector limit (the
+         uniform set is fixed by the analysis), so measure it once at
+         the spill-free point *)
+      (Regalloc.Allocator.allocate ~scalar ~scalar_limit ~block_size
+         ~reg_limit:max_reg kernel)
+        .Regalloc.Allocator.scalar_units_used
   in
   let shm_size = Workloads.App.shared_decl_bytes app in
   let max_tlp =
     Gpusim.Occupancy.max_tlp cfg
       { Gpusim.Occupancy.regs_per_thread = app.Workloads.App.default_regs
-      ; block_size = app.Workloads.App.block_size
+      ; sregs_per_warp
+      ; block_size
       ; shared_per_block = shm_size
       }
   in
   { max_reg
   ; min_reg = Gpusim.Config.min_reg cfg
-  ; block_size = app.Workloads.App.block_size
+  ; block_size
   ; shm_size
   ; max_tlp
   ; default_regs = app.Workloads.App.default_regs
   ; max_live_units
+  ; sregs_per_warp
   }
 
 let usage_at t ~regs =
   { Gpusim.Occupancy.regs_per_thread = regs
+  ; sregs_per_warp = t.sregs_per_warp
   ; block_size = t.block_size
   ; shared_per_block = t.shm_size
   }

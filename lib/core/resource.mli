@@ -19,9 +19,17 @@ type t =
           MaxTLP baseline *)
   ; default_regs : int
   ; max_live_units : int  (** raw MaxLive in 32-bit units *)
+  ; sregs_per_warp : int
+      (** scalar-file units per warp the machine backend's allocation
+          occupies; 0 under the PTX backend *)
   }
 
-val analyze : Gpusim.Config.t -> Workloads.App.t -> t
+val analyze : ?backend:Machine.Backend.t -> Gpusim.Config.t -> Workloads.App.t -> t
+(** [backend] (default [Ptx]) selects the register-file model:
+    [Machine] probes [MaxReg] with the proven-uniform registers coloured
+    against the per-warp scalar file ({!Machine.Scalarize}), which can
+    lower [MaxReg] below MaxLive — the backend's TLP headroom — and
+    reports the resulting scalar footprint in [sregs_per_warp]. *)
 
 val usage_at : t -> regs:int -> Gpusim.Occupancy.usage
 (** Occupancy usage record for a candidate register count. *)

@@ -5,6 +5,7 @@ type t =
   ; max_threads_per_sm : int
   ; max_blocks_per_sm : int
   ; regfile_bytes_per_sm : int
+  ; scalar_regs_per_sm : int
   ; shared_bytes_per_sm : int
   ; num_schedulers : int
   ; max_regs_per_thread : int
@@ -38,6 +39,7 @@ let fermi =
   ; max_threads_per_sm = 1536
   ; max_blocks_per_sm = 8
   ; regfile_bytes_per_sm = 128 * 1024
+  ; scalar_regs_per_sm = 2048
   ; shared_bytes_per_sm = 48 * 1024
   ; num_schedulers = 2
   ; max_regs_per_thread = 63
@@ -67,6 +69,7 @@ let kepler =
   { fermi with
     name = "Kepler-like (Sec. 7.3)"
   ; regfile_bytes_per_sm = 256 * 1024
+  ; scalar_regs_per_sm = 4096
   ; max_threads_per_sm = 2048
   ; max_blocks_per_sm = 16
   ; max_regs_per_thread = 255
@@ -81,6 +84,8 @@ let pp fmt c =
     c.num_sms c.warp_size c.num_schedulers;
   Format.fprintf fmt "  Register     : %dKB (%d regs), max %d regs/thread@."
     (c.regfile_bytes_per_sm / 1024) (registers_per_sm c) c.max_regs_per_thread;
+  Format.fprintf fmt "  Scalar regs  : %d per SM (machine backend)@."
+    c.scalar_regs_per_sm;
   Format.fprintf fmt "  Shared memory: %dKB@." (c.shared_bytes_per_sm / 1024);
   Format.fprintf fmt "  TLP limits   : %d threads, %d thread blocks@."
     c.max_threads_per_sm c.max_blocks_per_sm;

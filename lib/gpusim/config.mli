@@ -11,6 +11,9 @@ type t =
   ; max_threads_per_sm : int
   ; max_blocks_per_sm : int
   ; regfile_bytes_per_sm : int
+  ; scalar_regs_per_sm : int
+      (** scalar-file 32-bit registers per SM, shared per-warp by the
+          machine backend; the PTX backend never touches it *)
   ; shared_bytes_per_sm : int
   ; num_schedulers : int  (** warp schedulers per SM *)
   ; max_regs_per_thread : int  (** hardware/ABI cap per thread *)

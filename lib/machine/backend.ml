@@ -1,0 +1,16 @@
+type t =
+  | Ptx
+  | Machine
+
+let all = [ Ptx; Machine ]
+
+let to_string = function
+  | Ptx -> "ptx"
+  | Machine -> "machine"
+
+let of_string = function
+  | "ptx" -> Some Ptx
+  | "machine" -> Some Machine
+  | _ -> None
+
+let default_scalar_limit = 64

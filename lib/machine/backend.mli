@@ -1,0 +1,25 @@
+(** The backend axis of the CRAT study.
+
+    [Ptx] is the original configuration: allocation targets a single
+    per-thread register file and the machine layers below this library
+    are unused. [Machine] lowers every allocation to the SASS-like ISA
+    with split vector/scalar register files: warp-uniform values proven
+    by {!Scalarize} are coloured against a per-warp scalar budget,
+    freeing vector registers — and therefore TLP — at the same
+    per-thread limit. *)
+
+type t =
+  | Ptx
+  | Machine
+
+val all : t list
+
+val to_string : t -> string
+(** ["ptx"] / ["machine"] — the CLI and benchmark spelling. *)
+
+val of_string : string -> t option
+
+val default_scalar_limit : int
+(** Per-warp scalar-file budget in 32-bit units used when the [Machine]
+    backend does not specify one (64 units = 32 scalar 64-bit values
+    per warp, a SASS-like SGPR file size). *)

@@ -1,0 +1,402 @@
+let width_bytes = 32
+
+(* ---------- field dictionaries ---------- *)
+
+let scalar_code (t : Ptx.Types.scalar) =
+  match t with
+  | Ptx.Types.U16 -> 0
+  | Ptx.Types.U32 -> 1
+  | Ptx.Types.U64 -> 2
+  | Ptx.Types.S16 -> 3
+  | Ptx.Types.S32 -> 4
+  | Ptx.Types.S64 -> 5
+  | Ptx.Types.F32 -> 6
+  | Ptx.Types.F64 -> 7
+  | Ptx.Types.B8 -> 8
+  | Ptx.Types.B16 -> 9
+  | Ptx.Types.B32 -> 10
+  | Ptx.Types.B64 -> 11
+  | Ptx.Types.Pred -> 12
+
+let scalar_of_code = function
+  | 0 -> Ptx.Types.U16
+  | 1 -> Ptx.Types.U32
+  | 2 -> Ptx.Types.U64
+  | 3 -> Ptx.Types.S16
+  | 4 -> Ptx.Types.S32
+  | 5 -> Ptx.Types.S64
+  | 6 -> Ptx.Types.F32
+  | 7 -> Ptx.Types.F64
+  | 8 -> Ptx.Types.B8
+  | 9 -> Ptx.Types.B16
+  | 10 -> Ptx.Types.B32
+  | 11 -> Ptx.Types.B64
+  | 12 -> Ptx.Types.Pred
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad scalar code %d" c)
+
+let space_code (s : Ptx.Types.space) =
+  match s with
+  | Ptx.Types.Reg -> 0
+  | Ptx.Types.Local -> 1
+  | Ptx.Types.Shared -> 2
+  | Ptx.Types.Global -> 3
+  | Ptx.Types.Param -> 4
+  | Ptx.Types.Const -> 5
+
+let space_of_code = function
+  | 0 -> Ptx.Types.Reg
+  | 1 -> Ptx.Types.Local
+  | 2 -> Ptx.Types.Shared
+  | 3 -> Ptx.Types.Global
+  | 4 -> Ptx.Types.Param
+  | 5 -> Ptx.Types.Const
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad space code %d" c)
+
+let special_code (s : Ptx.Reg.special) =
+  match s with
+  | Ptx.Reg.Tid_x -> 0
+  | Ptx.Reg.Tid_y -> 1
+  | Ptx.Reg.Ctaid_x -> 2
+  | Ptx.Reg.Ctaid_y -> 3
+  | Ptx.Reg.Ntid_x -> 4
+  | Ptx.Reg.Ntid_y -> 5
+  | Ptx.Reg.Nctaid_x -> 6
+  | Ptx.Reg.Nctaid_y -> 7
+  | Ptx.Reg.Laneid -> 8
+  | Ptx.Reg.Warpid -> 9
+
+let special_of_code = function
+  | 0 -> Ptx.Reg.Tid_x
+  | 1 -> Ptx.Reg.Tid_y
+  | 2 -> Ptx.Reg.Ctaid_x
+  | 3 -> Ptx.Reg.Ctaid_y
+  | 4 -> Ptx.Reg.Ntid_x
+  | 5 -> Ptx.Reg.Ntid_y
+  | 6 -> Ptx.Reg.Nctaid_x
+  | 7 -> Ptx.Reg.Nctaid_y
+  | 8 -> Ptx.Reg.Laneid
+  | 9 -> Ptx.Reg.Warpid
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad special code %d" c)
+
+let binop_code (o : Ptx.Instr.binop) =
+  match o with
+  | Ptx.Instr.Add -> 0
+  | Ptx.Instr.Sub -> 1
+  | Ptx.Instr.Mul_lo -> 2
+  | Ptx.Instr.Div -> 3
+  | Ptx.Instr.Rem -> 4
+  | Ptx.Instr.Min -> 5
+  | Ptx.Instr.Max -> 6
+  | Ptx.Instr.And -> 7
+  | Ptx.Instr.Or -> 8
+  | Ptx.Instr.Xor -> 9
+  | Ptx.Instr.Shl -> 10
+  | Ptx.Instr.Shr -> 11
+
+let binop_of_code = function
+  | 0 -> Ptx.Instr.Add
+  | 1 -> Ptx.Instr.Sub
+  | 2 -> Ptx.Instr.Mul_lo
+  | 3 -> Ptx.Instr.Div
+  | 4 -> Ptx.Instr.Rem
+  | 5 -> Ptx.Instr.Min
+  | 6 -> Ptx.Instr.Max
+  | 7 -> Ptx.Instr.And
+  | 8 -> Ptx.Instr.Or
+  | 9 -> Ptx.Instr.Xor
+  | 10 -> Ptx.Instr.Shl
+  | 11 -> Ptx.Instr.Shr
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad binop code %d" c)
+
+let unop_code (o : Ptx.Instr.unop) =
+  match o with
+  | Ptx.Instr.Neg -> 0
+  | Ptx.Instr.Not -> 1
+  | Ptx.Instr.Abs -> 2
+  | Ptx.Instr.Sqrt -> 3
+  | Ptx.Instr.Rcp -> 4
+  | Ptx.Instr.Ex2 -> 5
+  | Ptx.Instr.Lg2 -> 6
+
+let unop_of_code = function
+  | 0 -> Ptx.Instr.Neg
+  | 1 -> Ptx.Instr.Not
+  | 2 -> Ptx.Instr.Abs
+  | 3 -> Ptx.Instr.Sqrt
+  | 4 -> Ptx.Instr.Rcp
+  | 5 -> Ptx.Instr.Ex2
+  | 6 -> Ptx.Instr.Lg2
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad unop code %d" c)
+
+let cmp_code (c : Ptx.Instr.cmp) =
+  match c with
+  | Ptx.Instr.Eq -> 0
+  | Ptx.Instr.Ne -> 1
+  | Ptx.Instr.Lt -> 2
+  | Ptx.Instr.Le -> 3
+  | Ptx.Instr.Gt -> 4
+  | Ptx.Instr.Ge -> 5
+
+let cmp_of_code = function
+  | 0 -> Ptx.Instr.Eq
+  | 1 -> Ptx.Instr.Ne
+  | 2 -> Ptx.Instr.Lt
+  | 3 -> Ptx.Instr.Le
+  | 4 -> Ptx.Instr.Gt
+  | 5 -> Ptx.Instr.Ge
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad cmp code %d" c)
+
+let file_code (f : Isa.file) =
+  match f with
+  | Isa.Vector -> 0
+  | Isa.Scalar -> 1
+  | Isa.Pred -> 2
+
+let file_of_code = function
+  | 0 -> Isa.Vector
+  | 1 -> Isa.Scalar
+  | 2 -> Isa.Pred
+  | c -> failwith (Printf.sprintf "Machine.Encode: bad file code %d" c)
+
+(* ---------- register packing: file(2) | idx(14) | ty(4) = 20 bits ---------- *)
+
+let pack_reg (r : Isa.reg) =
+  if r.Isa.idx < 0 || r.Isa.idx >= 1 lsl 14 then
+    failwith
+      (Printf.sprintf "Machine.Encode: register index %d out of range" r.Isa.idx);
+  (file_code r.Isa.file lsl 18) lor (r.Isa.idx lsl 4)
+  lor scalar_code r.Isa.ty
+
+let unpack_reg bits =
+  { Isa.file = file_of_code ((bits lsr 18) land 0x3)
+  ; idx = (bits lsr 4) land 0x3fff
+  ; ty = scalar_of_code (bits land 0xf)
+  }
+
+(* ---------- operand slots ---------- *)
+
+(* Slot kinds, 4 bits each in word 0; payloads are full 64-bit words. *)
+let k_none = 0
+and k_reg = 1
+and k_imm = 2
+and k_fimm = 3
+and k_spec = 4
+and k_param = 5
+and k_loc = 6
+and k_target = 7
+and k_offset = 8
+
+type slot =
+  | S_none
+  | S_src of Isa.src
+  | S_reg of Isa.reg
+  | S_target of int
+  | S_offset of int
+
+let slot_kind_payload = function
+  | S_none -> (k_none, 0L)
+  | S_src (Isa.Rsrc r) -> (k_reg, Int64.of_int (pack_reg r))
+  | S_src (Isa.Imm i) -> (k_imm, i)
+  | S_src (Isa.Fimm f) -> (k_fimm, Int64.bits_of_float f)
+  | S_src (Isa.Spec s) -> (k_spec, Int64.of_int (special_code s))
+  | S_src (Isa.Param i) -> (k_param, Int64.of_int i)
+  | S_src (Isa.Loc off) -> (k_loc, Int64.of_int off)
+  | S_reg r -> (k_reg, Int64.of_int (pack_reg r))
+  | S_target t -> (k_target, Int64.of_int t)
+  | S_offset o -> (k_offset, Int64.of_int o)
+
+let src_of_slot kind payload =
+  if kind = k_reg then Isa.Rsrc (unpack_reg (Int64.to_int payload))
+  else if kind = k_imm then Isa.Imm payload
+  else if kind = k_fimm then Isa.Fimm (Int64.float_of_bits payload)
+  else if kind = k_spec then Isa.Spec (special_of_code (Int64.to_int payload))
+  else if kind = k_param then Isa.Param (Int64.to_int payload)
+  else if kind = k_loc then Isa.Loc (Int64.to_int payload)
+  else failwith (Printf.sprintf "Machine.Encode: slot kind %d is not a source" kind)
+
+let reg_of_slot kind payload =
+  if kind = k_reg then unpack_reg (Int64.to_int payload)
+  else failwith (Printf.sprintf "Machine.Encode: slot kind %d is not a register" kind)
+
+let int_of_slot expect kind payload =
+  if kind = expect then Int64.to_int payload
+  else failwith (Printf.sprintf "Machine.Encode: unexpected slot kind %d" kind)
+
+(* ---------- opcodes ---------- *)
+
+let op_mov = 1
+and op_binop = 2
+and op_mad = 3
+and op_unop = 4
+and op_cvt = 5
+and op_setp = 6
+and op_selp = 7
+and op_ld = 8
+and op_st = 9
+and op_bra = 10
+and op_bra_pred = 11
+and op_bar = 12
+and op_exit = 13
+
+(* word 0: opcode(6) @0 | subop(6) @6 | ty1(4) @12 | ty2(4) @16
+   | dest(20) @20 | slot kinds(3 x 4) @40 *)
+let pack_word0 ~opcode ~subop ~ty1 ~ty2 ~dest slots =
+  let kinds =
+    List.mapi (fun i s -> fst (slot_kind_payload s) lsl (40 + (4 * i))) slots
+  in
+  let bits =
+    opcode lor (subop lsl 6) lor (ty1 lsl 12) lor (ty2 lsl 16)
+    lor (dest lsl 20)
+    lor List.fold_left ( lor ) 0 kinds
+  in
+  Int64.of_int bits
+
+let fields_of_word0 w =
+  let bits = Int64.to_int w in
+  ( bits land 0x3f
+  , (bits lsr 6) land 0x3f
+  , (bits lsr 12) land 0xf
+  , (bits lsr 16) land 0xf
+  , (bits lsr 20) land 0xfffff
+  , [ (bits lsr 40) land 0xf; (bits lsr 44) land 0xf; (bits lsr 48) land 0xf ] )
+
+let build ~opcode ?(subop = 0) ?(ty1 = 0) ?(ty2 = 0) ?dest slots =
+  let dest_bits =
+    match dest with
+    | Some r -> pack_reg r
+    | None -> 0
+  in
+  let slots3 =
+    match slots with
+    | [ _; _; _ ] -> slots
+    | _ ->
+      let pad = List.init (3 - List.length slots) (fun _ -> S_none) in
+      slots @ pad
+  in
+  let w0 = pack_word0 ~opcode ~subop ~ty1 ~ty2 ~dest:dest_bits slots3 in
+  let payloads = List.map (fun s -> snd (slot_kind_payload s)) slots3 in
+  Array.of_list (w0 :: payloads)
+
+let encode (ins : Isa.insn) =
+  match ins with
+  | Isa.Mov (ty, d, a) ->
+    build ~opcode:op_mov ~ty1:(scalar_code ty) ~dest:d [ S_src a ]
+  | Isa.Binop (op, ty, d, a, b) ->
+    build ~opcode:op_binop ~subop:(binop_code op) ~ty1:(scalar_code ty) ~dest:d
+      [ S_src a; S_src b ]
+  | Isa.Mad (ty, d, a, b, c) ->
+    build ~opcode:op_mad ~ty1:(scalar_code ty) ~dest:d
+      [ S_src a; S_src b; S_src c ]
+  | Isa.Unop (op, ty, d, a) ->
+    build ~opcode:op_unop ~subop:(unop_code op) ~ty1:(scalar_code ty) ~dest:d
+      [ S_src a ]
+  | Isa.Cvt (dt, st, d, a) ->
+    build ~opcode:op_cvt ~ty1:(scalar_code dt) ~ty2:(scalar_code st) ~dest:d
+      [ S_src a ]
+  | Isa.Setp (c, ty, d, a, b) ->
+    build ~opcode:op_setp ~subop:(cmp_code c) ~ty1:(scalar_code ty) ~dest:d
+      [ S_src a; S_src b ]
+  | Isa.Selp (ty, d, a, b, p) ->
+    build ~opcode:op_selp ~ty1:(scalar_code ty) ~dest:d
+      [ S_src a; S_src b; S_reg p ]
+  | Isa.Ld (sp, ty, d, a) ->
+    build ~opcode:op_ld ~ty1:(scalar_code ty) ~ty2:(space_code sp) ~dest:d
+      [ S_src a.Isa.abase; S_offset a.Isa.aoffset ]
+  | Isa.St (sp, ty, a, v) ->
+    build ~opcode:op_st ~ty1:(scalar_code ty) ~ty2:(space_code sp)
+      [ S_src a.Isa.abase; S_offset a.Isa.aoffset; S_src v ]
+  | Isa.Bra t -> build ~opcode:op_bra [ S_target t ]
+  | Isa.Bra_pred (p, sense, t) ->
+    build ~opcode:op_bra_pred
+      ~subop:(if sense then 1 else 0)
+      [ S_reg p; S_target t ]
+  | Isa.Bar -> build ~opcode:op_bar []
+  | Isa.Exit -> build ~opcode:op_exit []
+
+let decode (words : int64 array) =
+  if Array.length words <> 4 then
+    failwith "Machine.Encode.decode: expected 4 words";
+  let opcode, subop, ty1, ty2, dest_bits, kinds = fields_of_word0 words.(0) in
+  let kind i = List.nth kinds i in
+  let payload i = words.(i + 1) in
+  let src i = src_of_slot (kind i) (payload i) in
+  let reg i = reg_of_slot (kind i) (payload i) in
+  let target i = int_of_slot k_target (kind i) (payload i) in
+  let offset i = int_of_slot k_offset (kind i) (payload i) in
+  let none i =
+    if kind i <> k_none then
+      failwith "Machine.Encode.decode: unexpected populated slot"
+  in
+  let dest () = unpack_reg dest_bits in
+  if opcode = op_mov then begin
+    none 1;
+    none 2;
+    Isa.Mov (scalar_of_code ty1, dest (), src 0)
+  end
+  else if opcode = op_binop then begin
+    none 2;
+    Isa.Binop (binop_of_code subop, scalar_of_code ty1, dest (), src 0, src 1)
+  end
+  else if opcode = op_mad then
+    Isa.Mad (scalar_of_code ty1, dest (), src 0, src 1, src 2)
+  else if opcode = op_unop then begin
+    none 1;
+    none 2;
+    Isa.Unop (unop_of_code subop, scalar_of_code ty1, dest (), src 0)
+  end
+  else if opcode = op_cvt then begin
+    none 1;
+    none 2;
+    Isa.Cvt (scalar_of_code ty1, scalar_of_code ty2, dest (), src 0)
+  end
+  else if opcode = op_setp then begin
+    none 2;
+    Isa.Setp (cmp_of_code subop, scalar_of_code ty1, dest (), src 0, src 1)
+  end
+  else if opcode = op_selp then
+    Isa.Selp (scalar_of_code ty1, dest (), src 0, src 1, reg 2)
+  else if opcode = op_ld then begin
+    none 2;
+    Isa.Ld
+      ( space_of_code ty2
+      , scalar_of_code ty1
+      , dest ()
+      , { Isa.abase = src 0; aoffset = offset 1 } )
+  end
+  else if opcode = op_st then
+    Isa.St
+      ( space_of_code ty2
+      , scalar_of_code ty1
+      , { Isa.abase = src 0; aoffset = offset 1 }
+      , src 2 )
+  else if opcode = op_bra then begin
+    none 1;
+    none 2;
+    Isa.Bra (target 0)
+  end
+  else if opcode = op_bra_pred then begin
+    none 2;
+    Isa.Bra_pred (reg 0, subop land 1 = 1, target 1)
+  end
+  else if opcode = op_bar then begin
+    none 0;
+    none 1;
+    none 2;
+    Isa.Bar
+  end
+  else if opcode = op_exit then begin
+    none 0;
+    none 1;
+    none 2;
+    Isa.Exit
+  end
+  else failwith (Printf.sprintf "Machine.Encode.decode: bad opcode %d" opcode)
+
+let encode_program code =
+  Array.concat (Array.to_list (Array.map encode code))
+
+let decode_program words =
+  let n = Array.length words in
+  if n mod 4 <> 0 then
+    failwith "Machine.Encode.decode_program: length not a multiple of 4";
+  Array.init (n / 4) (fun i -> decode (Array.sub words (4 * i) 4))

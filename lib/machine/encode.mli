@@ -1,0 +1,24 @@
+(** Fixed-width binary encoding of the machine ISA.
+
+    Every instruction encodes to exactly {!width_bytes} bytes — four
+    64-bit words: one packed control word (opcode, sub-operation, types,
+    destination register, operand-slot kinds) followed by three operand
+    payload words (a 64-bit immediate always fits its own word, so no
+    instruction needs a second encoding form). [decode] is a strict
+    inverse: it rejects unknown opcodes, malformed operand kinds and
+    out-of-range fields rather than guessing, which is what makes the
+    encode/decode roundtrip a meaningful audit (code V604). *)
+
+val width_bytes : int
+(** 32: one 256-bit word per instruction. *)
+
+val encode : Isa.insn -> int64 array
+(** Always returns 4 words. *)
+
+val decode : int64 array -> Isa.insn
+(** @raise Failure on a malformed word. *)
+
+val encode_program : Isa.insn array -> int64 array
+(** Concatenated encodings, [4 * length] words. *)
+
+val decode_program : int64 array -> Isa.insn array

@@ -1,0 +1,23 @@
+(** Functional executor for lowered machine programs.
+
+    A faithful port of {!Gpusim.Refinterp}'s SIMT machinery (per-warp
+    reconvergence stacks, barrier-scheduled round-robin across warps)
+    over the machine register files:
+
+    - {b vector} and {b predicate} registers hold one value per lane;
+    - {b scalar} registers hold {e one value per warp} — a write
+      executes once for the warp, so the executor is only equivalent to
+      the per-lane reference semantics when the written value really is
+      warp-uniform. Unsound scalarization therefore shows up as a
+      memory-level divergence from {!Gpusim.Refinterp}, which is
+      exactly what the differential test checks.
+
+    The launch's [kernel] field is ignored; the program carries its own
+    code. Geometry, parameters and memory come from the launch, so the
+    same {!Gpusim.Launch.t} drives both executors. *)
+
+val run : Lower.t -> Gpusim.Launch.t -> unit
+(** Execute every block to completion, mutating the launch's memory —
+    the machine-ISA counterpart of {!Gpusim.Refinterp.run}.
+    @raise Failure on a divergent [EXIT] or a barrier deadlock, like
+    the reference interpreter. *)

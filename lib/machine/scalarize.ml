@@ -1,0 +1,75 @@
+module RSet = Ptx.Reg.Set
+
+(* The ALU-only forms a scalar unit can execute, plus parameter loads
+   (a constant-bank read on real hardware). Memory loads are excluded
+   even when their address is uniform: the loaded value's uniformity
+   depends on memory contents, which the abstract domain does not
+   track. *)
+let eligible_form (ins : Ptx.Instr.t) =
+  match ins with
+  | Ptx.Instr.Mov _ | Ptx.Instr.Binop _ | Ptx.Instr.Mad _ | Ptx.Instr.Unop _
+  | Ptx.Instr.Cvt _ -> true
+  | Ptx.Instr.Ld (Ptx.Types.Param, _, _, _) -> true
+  | Ptx.Instr.Ld _ | Ptx.Instr.St _ | Ptx.Instr.Setp _ | Ptx.Instr.Selp _
+  | Ptx.Instr.Bra _ | Ptx.Instr.Bra_pred _ | Ptx.Instr.Bar_sync
+  | Ptx.Instr.Ret -> false
+
+let source_operands (ins : Ptx.Instr.t) =
+  match ins with
+  | Ptx.Instr.Mov (_, _, a) | Ptx.Instr.Unop (_, _, _, a)
+  | Ptx.Instr.Cvt (_, _, _, a) -> [ a ]
+  | Ptx.Instr.Binop (_, _, _, a, b) -> [ a; b ]
+  | Ptx.Instr.Mad (_, _, a, b, c) -> [ a; b; c ]
+  | Ptx.Instr.Ld (_, _, _, addr) -> [ addr.Ptx.Instr.base ]
+  | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.St _ | Ptx.Instr.Bra _
+  | Ptx.Instr.Bra_pred _ | Ptx.Instr.Bar_sync | Ptx.Instr.Ret -> []
+
+let run ?(block_size = 128) k =
+  let flow = Cfg.Flow.of_kernel k in
+  let an = Absint.Analysis.run ~block_size flow in
+  (* defs of each non-predicate register *)
+  let defs : (int * Ptx.Instr.t) list Ptx.Reg.Tbl.t = Ptx.Reg.Tbl.create 64 in
+  Cfg.Flow.iter_instrs flow (fun i ins ->
+    List.iter
+      (fun d ->
+         if Ptx.Types.reg_class (Ptx.Reg.ty d) <> Ptx.Types.Cpred then
+           Ptx.Reg.Tbl.replace defs d
+             ((i, ins) :: Option.value ~default:[] (Ptx.Reg.Tbl.find_opt defs d)))
+      (Ptx.Instr.defs ins));
+  let def_ok (i, ins) =
+    eligible_form ins
+    && (not
+          (Absint.Analysis.divergent_block an flow.Cfg.Flow.block_of_instr.(i)))
+    && List.for_all
+         (fun op -> (Absint.Analysis.operand_at an i op).Absint.Dom.uni)
+         (source_operands ins)
+    (* predicate sources never feed the scalar file *)
+    && List.for_all
+         (fun r -> Ptx.Types.reg_class (Ptx.Reg.ty r) <> Ptx.Types.Cpred)
+         (Ptx.Instr.uses ins)
+  in
+  let candidates =
+    Ptx.Reg.Tbl.fold
+      (fun r ds acc -> if List.for_all def_ok ds then RSet.add r acc else acc)
+      defs RSet.empty
+  in
+  (* greatest fixpoint: a scalar instruction may only read scalar
+     registers, so drop any candidate computed from a non-candidate *)
+  let sources_in set (_, ins) =
+    List.for_all (fun r -> RSet.mem r set) (Ptx.Instr.uses ins)
+  in
+  let rec refine set =
+    let set' =
+      RSet.filter
+        (fun r ->
+           List.for_all (sources_in set)
+             (Option.value ~default:[] (Ptx.Reg.Tbl.find_opt defs r)))
+        set
+    in
+    if RSet.equal set' set then set else refine set'
+  in
+  refine candidates
+
+let predicate ?block_size k =
+  let set = run ?block_size k in
+  fun r -> RSet.mem r set

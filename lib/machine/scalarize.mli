@@ -1,0 +1,33 @@
+(** Scalarization: decide which virtual registers may live in the
+    per-warp scalar file.
+
+    The claim a scalar register embodies is warp-uniformity: one
+    architectural copy per warp must be indistinguishable from 32
+    per-lane copies. The pass derives that claim from {!Absint}'s
+    proven block-level uniformity (block-uniform implies warp-uniform),
+    then closes it under the machine's structural constraints — a
+    scalar-ALU instruction can only read scalar registers, so a value
+    is only scalarized when every register it is computed from is too.
+
+    A virtual register is scalarizable iff every definition of it:
+    - is a pure ALU form ([mov]/[binop]/[mad]/[unop]/[cvt]) or a
+      parameter load — never a memory load, whose value the analysis
+      cannot prove uniform;
+    - sits in a block that can never execute with a partially-active
+      warp ({!Absint.Analysis.divergent_block} is false), so the
+      once-per-warp write is architecturally equivalent to the
+      per-lane writes;
+    - has every source operand proven uniform at that program point,
+      with every non-predicate register source itself scalarizable
+      (greatest-fixpoint refinement).
+
+    Predicates are never scalarized: they stay in the predicate file. *)
+
+val run : ?block_size:int -> Ptx.Kernel.t -> Ptx.Reg.Set.t
+(** The scalarizable virtual registers of the (pre-allocation) kernel.
+    [block_size] (default 128) parameterises the uniformity analysis
+    exactly as in {!Absint.Analysis.run}. *)
+
+val predicate : ?block_size:int -> Ptx.Kernel.t -> Ptx.Reg.t -> bool
+(** [run] packaged as the membership predicate
+    {!Regalloc.Allocator.allocate} expects. *)

@@ -20,6 +20,9 @@ type t =
   ; reg_limit : int
   ; units_used : int
   ; pred_used : int
+  ; scalar_limit : int
+  ; scalar_units_used : int
+  ; scalarized : int
   ; spilled : Spill.placement list
   ; stats : Spill.stats
   ; weighted_local : float
@@ -28,6 +31,13 @@ type t =
   ; spill_shared_bytes_per_block : int
   ; rounds : int
   }
+
+let scalar_color_base t = t.reg_limit
+
+let is_scalar_phys t r =
+  t.scalar_limit > 0
+  && Ptx.Types.reg_class (Ptx.Reg.ty r) <> Ptx.Types.Cpred
+  && Ptx.Reg.id r >= t.reg_limit
 
 let max_rounds = 16
 
@@ -55,8 +65,12 @@ let remat_candidates k =
 
 let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
     ?(shared_policy = `Off) ?(spill_preference = `Cheap_first) ?shared_chunk
-    ?(coalesce = false) ?(remat = false) ?weight_provider ~block_size ~reg_limit
+    ?(coalesce = false) ?(remat = false) ?weight_provider
+    ?(scalar = fun _ -> false) ?(scalar_limit = 0) ~block_size ~reg_limit
     k =
+  if scalar_limit < 0 then invalid_arg "Allocator: scalar_limit must be >= 0";
+  if scalar_limit > 0 && scalar_limit < 8 then
+    invalid_arg "Allocator: a scalar file needs at least 8 units";
   (* optional pre-pass: conservative copy coalescing on the input *)
   let k =
     if not coalesce then k
@@ -145,11 +159,25 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
         | `Cheap_first -> w
         | `Expensive_first -> 1. /. (1. +. w)
     in
-    let color_class cls kcolors =
+    (* the scalar partition: caller-classified registers move to the
+       per-warp scalar file, colouring against [scalar_limit] instead of
+       [reg_limit]. Spill temporaries and other registers born inside
+       this round's rewrite are never in the caller's set, so they fall
+       to the vector file, as does everything when scalar_limit = 0. *)
+    let is_scalar r =
+      scalar_limit > 0
+      && Ptx.Types.reg_class (Ptx.Reg.ty r) <> Ptx.Types.Cpred
+      && scalar r
+    in
+    let is_vector r = not (is_scalar r) in
+    let color_class ?member cls kcolors =
       match strategy with
       | Chaitin_briggs ->
-        Coloring.color ~type_strict ~graph ~cls ~k:kcolors ~spill_cost:cost ()
-      | Linear_scan -> Linear_scan.color ~flow ~live ~cls ~k:kcolors ~spill_cost:cost
+        Coloring.color ~type_strict ?member ~graph ~cls ~k:kcolors
+          ~spill_cost:cost ()
+      | Linear_scan ->
+        Linear_scan.color ?member ~flow ~live ~cls ~k:kcolors ~spill_cost:cost
+          ()
     in
     let need64 = Interference.max_live graph live Ptx.Types.C64 in
     (* linear scan works on conservative whole-range intervals, which
@@ -169,26 +197,54 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
         max floor64 ((reg_limit - 4) / 2)
       end
     in
-    let r64 = color_class Ptx.Types.C64 k64 in
+    let r64 = color_class ~member:is_vector Ptx.Types.C64 k64 in
     let k32 = reg_limit - (2 * r64.Coloring.colors_used) in
     if k32 < 3 then
       failwith
         (Printf.sprintf "Allocator: reg_limit %d too small (needs %d 64-bit regs)"
            reg_limit r64.Coloring.colors_used);
-    let r32 = color_class Ptx.Types.C32 k32 in
+    let r32 = color_class ~member:is_vector Ptx.Types.C32 k32 in
     let rp = color_class Ptx.Types.Cpred 1024 in
-    let new_spills = r64.Coloring.spilled @ r32.Coloring.spilled in
+    let empty_result =
+      { Coloring.assignment = RMap.empty
+      ; spilled = []
+      ; colors_used = 0
+      ; type_waste = 0
+      }
+    in
+    let s64, s32 =
+      if scalar_limit = 0 then (empty_result, empty_result)
+      else begin
+        let s64 =
+          color_class ~member:is_scalar Ptx.Types.C64 (scalar_limit / 2)
+        in
+        let ks32 = scalar_limit - (2 * s64.Coloring.colors_used) in
+        let s32 = color_class ~member:is_scalar Ptx.Types.C32 (max ks32 0) in
+        (s64, s32)
+      end
+    in
+    let new_spills =
+      r64.Coloring.spilled @ r32.Coloring.spilled @ s64.Coloring.spilled
+      @ s32.Coloring.spilled
+    in
     if new_spills = [] then begin
-      (* finalize: substitute physical registers for virtual ones *)
+      (* finalize: substitute physical registers for virtual ones.
+         Scalar-file colours are offset by [reg_limit], so physical ids
+         partition cleanly: id < reg_limit is a vector register, id >=
+         reg_limit a scalar one (per class; predicates untouched). *)
       let lookup r =
-        let asg =
+        let asg, base =
           match Ptx.Types.reg_class (Ptx.Reg.ty r) with
-          | Ptx.Types.C64 -> r64.Coloring.assignment
-          | Ptx.Types.C32 -> r32.Coloring.assignment
-          | Ptx.Types.Cpred -> rp.Coloring.assignment
+          | Ptx.Types.C64 ->
+            if is_scalar r then (s64.Coloring.assignment, reg_limit)
+            else (r64.Coloring.assignment, 0)
+          | Ptx.Types.C32 ->
+            if is_scalar r then (s32.Coloring.assignment, reg_limit)
+            else (r32.Coloring.assignment, 0)
+          | Ptx.Types.Cpred -> (rp.Coloring.assignment, 0)
         in
         match RMap.find_opt r asg with
-        | Some c -> Ptx.Reg.make c (Ptx.Reg.ty r)
+        | Some c -> Ptx.Reg.make (base + c) (Ptx.Reg.ty r)
         | None -> r
       in
       let allocated = Ptx.Kernel.map_instrs (Ptx.Instr.map_regs lookup) k' in
@@ -212,6 +268,12 @@ let allocate ?(strategy = Chaitin_briggs) ?(type_strict = true)
       ; reg_limit
       ; units_used = r32.Coloring.colors_used + (2 * r64.Coloring.colors_used)
       ; pred_used = rp.Coloring.colors_used
+      ; scalar_limit
+      ; scalar_units_used =
+          s32.Coloring.colors_used + (2 * s64.Coloring.colors_used)
+      ; scalarized =
+          RMap.cardinal s32.Coloring.assignment
+          + RMap.cardinal s64.Coloring.assignment
       ; spilled = spec.placements
       ; stats
       ; weighted_local = weighted Ptx.Types.Local

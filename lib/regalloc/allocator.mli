@@ -43,8 +43,16 @@ type t =
   ; block_size : int  (** the launch block size the spill layout assumed *)
   ; reg_limit : int  (** the requested per-thread limit, in 32-bit units *)
   ; units_used : int
-      (** 32-bit register units actually occupied per thread *)
+      (** {b vector-file} 32-bit register units actually occupied per
+          thread *)
   ; pred_used : int
+  ; scalar_limit : int
+      (** per-warp scalar-file budget in units; 0 = the scalar file was
+          disabled (PTX backend), every value lives in the vector file *)
+  ; scalar_units_used : int
+      (** scalar-file units occupied per warp *)
+  ; scalarized : int
+      (** virtual registers placed in the scalar file *)
   ; spilled : Spill.placement list
   ; stats : Spill.stats  (** static inserted-instruction counts *)
   ; weighted_local : float
@@ -55,6 +63,14 @@ type t =
   ; rounds : int  (** colouring rounds until fixpoint *)
   }
 
+val scalar_color_base : t -> int
+(** First physical id of the scalar file (= [reg_limit]): scalar-file
+    colours are offset past the vector budget so the two files never
+    share an id within a class. *)
+
+val is_scalar_phys : t -> Ptx.Reg.t -> bool
+(** Is this {e physical} (allocated) register in the scalar file? *)
+
 val allocate :
   ?strategy:strategy
   -> ?type_strict:bool
@@ -64,6 +80,8 @@ val allocate :
   -> ?coalesce:bool
   -> ?remat:bool
   -> ?weight_provider:(Cfg.Flow.t -> int -> float)
+  -> ?scalar:(Ptx.Reg.t -> bool)
+  -> ?scalar_limit:int
   -> block_size:int
   -> reg_limit:int
   -> Ptx.Kernel.t
@@ -82,6 +100,14 @@ val allocate :
     in place of the [10^depth] heuristic for spill-cost and
     shared-sub-stack gain estimation (Algorithm 1); wire it to
     [Absint.Trip.weight_provider] for trip-count-proven weights.
+    [scalar] with [scalar_limit > 0] (units, at least 8) enables the
+    split register-class interface of the machine backend: virtual
+    registers the predicate classifies (e.g. proven warp-uniform by
+    [Machine.Scalarize]) are coloured against the per-warp scalar
+    budget instead of the per-thread vector budget, with their physical
+    ids offset by [reg_limit] (see {!scalar_color_base}). Predicates
+    and registers introduced by spilling always stay vector-side;
+    scalar-partition overflow spills like any other register.
     @raise Failure when [reg_limit] is below the feasible minimum (a few
     registers are needed to execute any instruction plus the spill
     infrastructure). *)

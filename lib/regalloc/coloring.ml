@@ -8,8 +8,9 @@ type result =
   ; type_waste : int
   }
 
-let color ?(type_strict = true) ~graph ~cls ~k ~spill_cost () =
-  let nodes = Interference.nodes_of_class graph cls in
+let color ?(type_strict = true) ?(member = fun _ -> true) ~graph ~cls ~k
+    ~spill_cost () =
+  let nodes = List.filter member (Interference.nodes_of_class graph cls) in
   let node_set = RSet.of_list nodes in
   (* degrees restricted to the remaining subgraph *)
   let remaining = ref node_set in

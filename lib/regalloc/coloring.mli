@@ -25,6 +25,7 @@ type result =
 
 val color :
   ?type_strict:bool
+  -> ?member:(Ptx.Reg.t -> bool)
   -> graph:Interference.t
   -> cls:Ptx.Types.reg_class
   -> k:int
@@ -32,6 +33,11 @@ val color :
   -> unit
   -> result
 (** Colour the subgraph of class [cls] with at most [k] colours.
+    [member] (default: everything) restricts the node set further than
+    the class alone — the backend-parametric allocator colours the
+    vector and scalar partitions of one class as two independent
+    subproblems against separate budgets. Nodes outside the subproblem
+    never constrain a colour (colours are per register file).
     [spill_cost r = infinity] marks [r] unspillable (spill infrastructure
     registers); unspillable nodes are never chosen as spill candidates.
     @raise Failure if colouring is impossible because every uncoloured

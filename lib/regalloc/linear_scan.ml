@@ -6,12 +6,12 @@ type interval =
   ; stop : int
   }
 
-let color ~flow ~live ~cls ~k ~spill_cost =
+let color ?(member = fun _ -> true) ~flow ~live ~cls ~k ~spill_cost () =
   let ranges = Cfg.Liveness.live_ranges flow live in
   let intervals =
     List.filter_map
       (fun (r, (lo, hi)) ->
-         if Ptx.Types.reg_class (Ptx.Reg.ty r) = cls then
+         if Ptx.Types.reg_class (Ptx.Reg.ty r) = cls && member r then
            Some { reg = r; start = lo; stop = hi }
          else None)
       ranges

@@ -4,12 +4,15 @@
     algorithms should agree on spill bytes except near tight limits. *)
 
 val color :
-  flow:Cfg.Flow.t
+  ?member:(Ptx.Reg.t -> bool)
+  -> flow:Cfg.Flow.t
   -> live:Cfg.Liveness.t
   -> cls:Ptx.Types.reg_class
   -> k:int
   -> spill_cost:(Ptx.Reg.t -> float)
+  -> unit
   -> Coloring.result
-(** Same contract as {!Coloring.color}: registers mapped to colours
-    [0..k-1], overflow spilled (never an unspillable register, i.e. one
-    whose cost is [infinity]). *)
+(** Same contract as {!Coloring.color}, including the [member]
+    partition filter: registers mapped to colours [0..k-1], overflow
+    spilled (never an unspillable register, i.e. one whose cost is
+    [infinity]). *)

@@ -122,19 +122,37 @@ let check (a : A.t) =
               end)
            out)
       (Instr.defs ins));
-  (* ----- V502: independently recount the physical register budget ----- *)
-  let ids cls =
+  (* ----- V502: independently recount the physical register budget,
+     per file: vector ids sit below [reg_limit], scalar ids at or above
+     it (see {!Regalloc.Allocator.scalar_color_base}) ----- *)
+  let ids cls ~scalar =
     RSet.fold
       (fun r acc ->
-         if Types.reg_class (Reg.ty r) = cls then ISet.add (Reg.id r) acc
+         if
+           Types.reg_class (Reg.ty r) = cls
+           && A.is_scalar_phys a r = scalar
+         then ISet.add (Reg.id r) acc
          else acc)
       (Kernel.registers a.A.kernel) ISet.empty
   in
-  let units = ISet.cardinal (ids Types.C32) + (2 * ISet.cardinal (ids Types.C64)) in
+  let count ~scalar =
+    ISet.cardinal (ids Types.C32 ~scalar)
+    + (2 * ISet.cardinal (ids Types.C64 ~scalar))
+  in
+  let units = count ~scalar:false in
   if units > a.A.reg_limit then
     err "V502"
-      (Printf.sprintf "allocated kernel occupies %d register units, budget %d"
+      (Printf.sprintf
+         "allocated kernel occupies %d vector register units, budget %d"
          units a.A.reg_limit);
+  if a.A.scalar_limit > 0 then begin
+    let sunits = count ~scalar:true in
+    if sunits > a.A.scalar_limit then
+      err "V502"
+        (Printf.sprintf
+           "allocated kernel occupies %d scalar register units, budget %d"
+           sunits a.A.scalar_limit)
+  end;
   (* ----- V503 / V504: spill slot layout and bracketing ----- *)
   let placements = a.A.spilled in
   if placements <> [] then begin

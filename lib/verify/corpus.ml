@@ -139,6 +139,9 @@ let bad_coloring () =
   ; reg_limit = 8
   ; units_used = 4
   ; pred_used = 0
+  ; scalar_limit = 0
+  ; scalar_units_used = 0
+  ; scalarized = 0
   ; spilled = []
   ; stats = { num_local = 0; num_shared = 0; num_other = 0; num_remat = 0 }
   ; weighted_local = 0.

@@ -82,6 +82,11 @@ let all_codes =
   ; ("V503", "spill slot may be read before it is written")
   ; ("V504", "spill slot layout overlaps or access width mismatch")
   ; ("V505", "allocated kernel diverges from the audited assignment")
+  ; ("V601", "machine code structurally diverges from the allocated PTX kernel")
+  ; ("V602", "machine register file budget exceeded or unit ranges overlap")
+  ; ("V603", "machine live ranges disagree with the PTX liveness through the register map")
+  ; ("V604", "machine instruction encoding does not round-trip")
+  ; ("V605", "scalar register written from a lane-dependent source")
   ; ("P101", "MAXLIVE exceeds the register budget: spilling is inevitable")
   ; ("P102", "register pressure hotspot concentrated in one block")
   ; ("P201", "global/local access may be uncoalesced (no affine address proof)")
@@ -98,3 +103,13 @@ let describe code =
   match List.assoc_opt code all_codes with
   | Some d -> d
   | None -> "unknown diagnostic code"
+
+let codes_listing ?prefix () =
+  let selected =
+    match prefix with
+    | None -> all_codes
+    | Some p ->
+      List.filter (fun (c, _) -> String.starts_with ~prefix:p c) all_codes
+  in
+  String.concat "\n"
+    (List.map (fun (c, d) -> Printf.sprintf "%s  %s" c d) selected)

@@ -46,3 +46,8 @@ val describe : string -> string
 
 val all_codes : (string * string) list
 (** [(code, description)] for every documented code, in order. *)
+
+val codes_listing : ?prefix:string -> unit -> string
+(** The [--codes] table of the CLI: one ["CODE  description"] line per
+    documented code, optionally restricted to codes starting with
+    [prefix] (e.g. ["P"] for the lint advisories). *)

@@ -29,3 +29,6 @@ let check_kernel ~stage ?block_size k =
 
 let check_allocation ~stage a =
   if enabled () then reject stage (Checker.check_allocation a)
+
+let check_machine ~stage m =
+  if enabled () then reject stage (Machine_audit.check m)

@@ -17,3 +17,7 @@ val clear : unit -> unit
 
 val check_kernel : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
 val check_allocation : stage:string -> Regalloc.Allocator.t -> unit
+
+val check_machine : stage:string -> Machine.Lower.t -> unit
+(** Run the V6xx machine-backend audit ({!Machine_audit.check}) on a
+    lowered program when the gate is enabled. *)

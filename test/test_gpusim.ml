@@ -179,35 +179,99 @@ let test_cache_writeback_dirty () =
 
 let fermi = G.Config.fermi
 
+let usage ?(sregs = 0) ?(shm = 0) ~regs ~block () =
+  { G.Occupancy.regs_per_thread = regs
+  ; sregs_per_warp = sregs
+  ; block_size = block
+  ; shared_per_block = shm
+  }
+
 let test_occupancy_paper_example () =
   check_int "MinReg" 21 (G.Config.min_reg fermi);
   check_int "register-limited TLP" 5
-    (G.Occupancy.max_tlp fermi
-       { G.Occupancy.regs_per_thread = 48; block_size = 128; shared_per_block = 0 });
+    (G.Occupancy.max_tlp fermi (usage ~regs:48 ~block:128 ()));
   check_int "thread-limited TLP" 8
-    (G.Occupancy.max_tlp fermi
-       { G.Occupancy.regs_per_thread = 16; block_size = 128; shared_per_block = 0 });
+    (G.Occupancy.max_tlp fermi (usage ~regs:16 ~block:128 ()));
   check_int "shared-limited TLP" 4
-    (G.Occupancy.max_tlp fermi
-       { G.Occupancy.regs_per_thread = 16
-       ; block_size = 128
-       ; shared_per_block = 12 * 1024
-       })
+    (G.Occupancy.max_tlp fermi (usage ~regs:16 ~block:128 ~shm:(12 * 1024) ()))
 
 let test_occupancy_utilization () =
-  let u = { G.Occupancy.regs_per_thread = 32; block_size = 128; shared_per_block = 0 } in
+  let u = usage ~regs:32 ~block:128 () in
   let util = G.Occupancy.register_utilization fermi u ~tlp:8 in
   check "32x128x8 = full file" true (Float.abs (util -. 1.0) < 0.01);
   check_int "spare shared at tlp 4" (12 * 1024)
     (G.Occupancy.spare_shared_bytes fermi u ~tlp:4)
 
+let limit_str u = G.Occupancy.limit_to_string (G.Occupancy.limiting_resource fermi u)
+
 let test_limiting_resource () =
   Alcotest.(check string) "registers bind" "registers"
-    (G.Occupancy.limiting_resource fermi
-       { G.Occupancy.regs_per_thread = 63; block_size = 256; shared_per_block = 0 });
+    (limit_str (usage ~regs:63 ~block:256 ()));
   Alcotest.(check string) "threads bind" "threads"
-    (G.Occupancy.limiting_resource fermi
-       { G.Occupancy.regs_per_thread = 16; block_size = 192; shared_per_block = 0 })
+    (limit_str (usage ~regs:16 ~block:192 ()));
+  Alcotest.(check string) "scalar registers bind" "scalar registers"
+    (limit_str (usage ~regs:16 ~sregs:128 ~block:128 ()));
+  Alcotest.(check string) "block slots bind" "thread blocks"
+    (limit_str (usage ~regs:1 ~block:64 ()))
+
+(* a kernel using no registers at all is limited by slots, never by the
+   register file (the divide-by-zero edge) *)
+let test_occupancy_zero_registers () =
+  let u = usage ~regs:0 ~block:128 () in
+  check_int "zero-register kernel hits the block cap"
+    fermi.G.Config.max_blocks_per_sm
+    (G.Occupancy.max_tlp fermi u);
+  Alcotest.(check string) "zero-register limit" "thread blocks" (limit_str u);
+  let us = usage ~regs:0 ~sregs:0 ~block:192 () in
+  check_int "block slots still apply" 8 (G.Occupancy.max_tlp fermi us)
+
+(* walking shared-memory usage up at fixed registers crosses from
+   register-limited to shared-limited exactly when the shared constraint
+   becomes the binding minimum *)
+let test_occupancy_reg_shm_crossover () =
+  let regs = 48 and block = 128 in
+  (* register-limited at 5 blocks; shared crosses below at > 9830B *)
+  Alcotest.(check string) "small shm: registers bind" "registers"
+    (limit_str (usage ~regs ~block ~shm:(8 * 1024) ()));
+  Alcotest.(check string) "large shm: shared binds" "shared memory"
+    (limit_str (usage ~regs ~block ~shm:(12 * 1024) ()));
+  check_int "crossover lowers TLP" 4
+    (G.Occupancy.max_tlp fermi (usage ~regs ~block ~shm:(12 * 1024) ()))
+
+(* property: limiting_resource is consistent with max_tlp — running one
+   more block than max_tlp must violate exactly the reported dimension *)
+let occupancy_consistency =
+  QCheck.Test.make ~count:500
+    ~name:"limiting_resource consistent with max_tlp"
+    QCheck.(
+      quad (int_range 0 64) (int_range 0 256) (int_range 1 8)
+        (int_range 0 (50 * 1024)))
+    (fun (regs, sregs, warps, shm) ->
+       let block = warps * fermi.G.Config.warp_size in
+       let u = usage ~regs ~sregs ~block ~shm () in
+       let tlp = G.Occupancy.max_tlp fermi u in
+       let next = tlp + 1 in
+       let fits_threads = next * block <= fermi.G.Config.max_threads_per_sm in
+       let fits_blocks = next <= fermi.G.Config.max_blocks_per_sm in
+       let fits_regs =
+         next * regs * block <= G.Config.registers_per_sm fermi
+       in
+       let fits_sregs = next * sregs * warps <= fermi.G.Config.scalar_regs_per_sm in
+       let fits_shm = next * shm <= fermi.G.Config.shared_bytes_per_sm in
+       (* max_tlp is maximal: one more block breaks something *)
+       let maximal =
+         not (fits_threads && fits_blocks && fits_regs && fits_sregs && fits_shm)
+       in
+       (* and the reported limit is a dimension that actually breaks *)
+       let reported_breaks =
+         match G.Occupancy.limiting_resource fermi u with
+         | G.Occupancy.Thread_slots -> not fits_threads
+         | G.Occupancy.Block_slots -> not fits_blocks
+         | G.Occupancy.Registers `Vector -> not fits_regs
+         | G.Occupancy.Registers `Scalar -> not fits_sregs
+         | G.Occupancy.Shared_memory -> not fits_shm
+       in
+       maximal && reported_breaks)
 
 (* ---------- image ---------- *)
 
@@ -638,6 +702,10 @@ let () =
       , [ Alcotest.test_case "paper examples" `Quick test_occupancy_paper_example
         ; Alcotest.test_case "utilization" `Quick test_occupancy_utilization
         ; Alcotest.test_case "limiting resource" `Quick test_limiting_resource
+        ; Alcotest.test_case "zero registers" `Quick test_occupancy_zero_registers
+        ; Alcotest.test_case "reg/shm crossover" `Quick
+            test_occupancy_reg_shm_crossover
+        ; QCheck_alcotest.to_alcotest occupancy_consistency
         ] )
     ; ( "image"
       , [ Alcotest.test_case "declaration layout" `Quick test_image_layout

@@ -139,7 +139,9 @@ let test_linear_scan_valid () =
   let k = Workloads.App.kernel (Workloads.Suite.find "PATH") in
   let flow, live, g = analyse k in
   let cost _ = 1.0 in
-  let r = Regalloc.Linear_scan.color ~flow ~live ~cls:T.C32 ~k:12 ~spill_cost:cost in
+  let r =
+    Regalloc.Linear_scan.color ~flow ~live ~cls:T.C32 ~k:12 ~spill_cost:cost ()
+  in
   check "linear scan colouring valid" true (color_ok g T.C32 r)
 
 (* ---------- allocation audit (lib/verify) ----------
