@@ -1,4 +1,4 @@
-.PHONY: all build test verify lint bench bench-smoke bench-perf bench-backend clean
+.PHONY: all build test verify lint sanitize bench bench-smoke bench-perf bench-backend clean
 
 all: build
 
@@ -20,6 +20,15 @@ lint:
 	dune exec bin/crat_cli.exe -- lint --all --validate > lint-report.txt \
 	  || { cat lint-report.txt; exit 1; }
 	cat lint-report.txt
+
+# hybrid memory-safety sweep: every workload at pre-opt/post-opt/post-alloc,
+# then a sanitized replay of each default launch (static proofs discharge the
+# dynamic checks; only the residue pays a bounds test); the S-code +
+# discharge-table report lands in sanitize-report.txt
+sanitize:
+	dune exec bin/crat_cli.exe -- sanitize --all --validate > sanitize-report.txt \
+	  || { cat sanitize-report.txt; exit 1; }
+	cat sanitize-report.txt
 
 bench:
 	dune exec bench/main.exe

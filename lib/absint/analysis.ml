@@ -32,6 +32,7 @@ type t =
 
 let flow t = t.ctx.cflow
 let block_size t = t.ctx.cblock_size
+let num_blocks t = t.ctx.cnum_blocks
 let in_state t i = t.instr_in.(i)
 let out_state t b = Option.value t.block_out.(b) ~default:Reg.Map.empty
 let divergent_block t b = t.div_block.(b)
@@ -328,22 +329,10 @@ let run ?(block_size = 128) ?num_blocks ?(warp_size = 32) ?(params = []) flow =
          if d.Kernel.dspace = space then Some d.Kernel.dname else None)
       k.Kernel.decls
   in
-  (* shared symbols resolve to concrete offsets; this mirrors the
-     sequential aligned layout of Gpusim.Image.layout_decls, which both
-     interpreters use, so the singletons below are exact *)
-  let shared_offsets =
-    let align_up x a = (x + a - 1) / a * a in
-    let off = ref 0 in
-    List.filter_map
-      (fun (d : Kernel.decl) ->
-         if d.Kernel.dspace = Types.Shared then begin
-           let o = align_up !off (max 1 d.Kernel.dalign) in
-           off := o + Kernel.decl_bytes d;
-           Some (d.Kernel.dname, o)
-         end
-         else None)
-      k.Kernel.decls
-  in
+  (* shared symbols resolve to concrete offsets at the sequential
+     aligned layout both interpreters load at, so the singletons below
+     are exact *)
+  let shared_offsets, _ = Gpusim.Image.layout_decls k.Kernel.decls Types.Shared in
   let ctx =
     { cflow = flow
     ; cblock_size = block_size

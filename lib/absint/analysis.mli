@@ -26,6 +26,9 @@ val run :
 val flow : t -> Cfg.Flow.t
 val block_size : t -> int
 
+val num_blocks : t -> int option
+(** The grid size the analysis was specialised to, when known. *)
+
 val in_state : t -> int -> state
 (** Abstract state on entry to instruction [i]. *)
 

@@ -213,6 +213,11 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
     in
     Verify.Gate.check_allocation
       ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
+    (* hybrid-sanitizer bounds proof over the allocated kernel: spill
+       code must stay inside its frame and per-thread sub-stacks *)
+    Verify.Gate.check_sanitize
+      ~stage:(app.Workloads.App.abbr ^ ":post-alloc")
+      ~block_size a.Regalloc.Allocator.kernel;
     (* under the machine backend, also lower and run the V6xx audit
        (a no-op unless the gate is on) *)
     if backend = Machine.Backend.Machine && Verify.Gate.enabled () then

@@ -11,10 +11,21 @@ type experiment =
   ; batches : int
   }
 
+type sanitizer =
+  { apps : int
+  ; accesses : int
+  ; proven : int
+  ; residual : int
+  ; san_seen : int
+  ; san_checked : int
+  ; san_violations : int
+  }
+
 type t =
   { jobs : int
   ; total_wall_s : float
   ; engine : Engine.report
+  ; sanitizer : sanitizer option
   ; experiments : experiment list
   }
 
@@ -49,6 +60,24 @@ let to_string t =
   Printf.bprintf b "    \"max_queue_depth\": %d,\n" t.engine.Engine.max_queue_depth;
   Printf.bprintf b "    \"batches\": %d\n" t.engine.Engine.batches;
   Buffer.add_string b "  },\n";
+  (match t.sanitizer with
+   | None -> ()
+   | Some s ->
+     let pct num den =
+       if den > 0 then 100.0 *. float_of_int num /. float_of_int den else 0.0
+     in
+     Buffer.add_string b "  \"sanitizer\": {\n";
+     Printf.bprintf b "    \"apps\": %d,\n" s.apps;
+     Printf.bprintf b "    \"static_accesses\": %d,\n" s.accesses;
+     Printf.bprintf b "    \"proven_safe\": %d,\n" s.proven;
+     Printf.bprintf b "    \"residual\": %d,\n" s.residual;
+     Printf.bprintf b "    \"proven_pct\": %.1f,\n" (pct s.proven s.accesses);
+     Printf.bprintf b "    \"dyn_seen\": %d,\n" s.san_seen;
+     Printf.bprintf b "    \"dyn_checked\": %d,\n" s.san_checked;
+     Printf.bprintf b "    \"discharged_pct\": %.1f,\n"
+       (pct (s.san_seen - s.san_checked) s.san_seen);
+     Printf.bprintf b "    \"violations\": %d\n" s.san_violations;
+     Buffer.add_string b "  },\n");
   Buffer.add_string b "  \"experiments\": [\n";
   let last = List.length t.experiments - 1 in
   List.iteri

@@ -14,10 +14,23 @@ type experiment =
   ; batches : int
   }
 
+type sanitizer =
+  { apps : int  (** workloads swept *)
+  ; accesses : int  (** static shared/local/param accesses classified *)
+  ; proven : int  (** proven safe — dynamic check discharged *)
+  ; residual : int  (** unprovable — dynamic check retained *)
+  ; san_seen : int  (** dynamic lane accesses monitored *)
+  ; san_checked : int  (** lane accesses that paid a bounds test *)
+  ; san_violations : int
+  }
+
 type t =
   { jobs : int
   ; total_wall_s : float
   ; engine : Engine.report
+  ; sanitizer : sanitizer option
+      (** residual-check counts from a sanitized suite sweep, when the
+          harness ran one *)
   ; experiments : experiment list
   }
 

@@ -28,6 +28,7 @@ let trace (cfg : Gpusim.Config.t) app input =
     ; params = Workloads.App.params app input
     ; block_size = app.Workloads.App.block_size
     ; num_blocks = input.Workloads.App.num_blocks
+    ; san = None
     }
   in
   let _block, warps =

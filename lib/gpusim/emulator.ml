@@ -35,7 +35,7 @@ let run_block lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Emulator: barrier deadlock"
 
-let run (l : Launch.t) =
+let run ?sanitize (l : Launch.t) =
   let image = Image.prepare l.Launch.kernel in
   let lctx =
     { Interp.image
@@ -43,6 +43,7 @@ let run (l : Launch.t) =
     ; params = l.Launch.params
     ; block_size = l.Launch.block_size
     ; num_blocks = l.Launch.num_blocks
+    ; san = sanitize
     }
   in
   for ctaid = 0 to l.Launch.num_blocks - 1 do

@@ -3,9 +3,10 @@
     the oracle that register allocation preserves kernel semantics
     (original and allocated kernels must leave identical global memory). *)
 
-val run : Launch.t -> unit
+val run : ?sanitize:Sancheck.runtime -> Launch.t -> unit
 (** Execute all blocks sequentially, mutating the launch's global
-    memory in place.
+    memory in place. [sanitize] arms the hybrid sanitizer in the
+    underlying {!Interp}; its counters belong to the caller.
     @raise Failure on barrier deadlock or divergent return. *)
 
 val run_to_memory : Launch.t -> Memory.t

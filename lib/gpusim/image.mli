@@ -20,6 +20,14 @@ type t =
 val prepare : Ptx.Kernel.t -> t
 val num_instrs : t -> int
 
+val layout_decls :
+  Ptx.Kernel.decl list -> Ptx.Types.space -> (string * int) list * int
+(** Sequential aligned layout of the declarations of one space:
+    per-symbol byte offsets in declaration order, and the total segment
+    bytes (rounded up to 8). This is the layout both interpreters load
+    at, so static address analyses ([Absint]) may treat the offsets as
+    exact. *)
+
 val local_base : int64
 (** Start of the per-thread local-memory heap in the global address
     space. *)

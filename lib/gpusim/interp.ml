@@ -21,6 +21,7 @@ type launch_ctx =
   ; params : (string * Value.t) list
   ; block_size : int
   ; num_blocks : int
+  ; san : Sancheck.runtime option
   }
 
 type block_ctx =
@@ -226,6 +227,28 @@ let mem_read_bits mem a ty =
   in
   Value.truncate_bits ty ~isf bits
 
+(* Sanitizer probes, mirroring {!Refinterp}: shared addresses are
+   checked as-is, local ones on the naive pre-interleave offset into
+   the thread's own frame (before {!Image.remap_local} could fault). *)
+
+let[@inline] san_shared w ~pc ~lane ~width a =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel:a
+
+let[@inline] san_local w ~pc ~lane ~width naive =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    let image = w.block.launch.image in
+    let rel =
+      Int64.sub naive
+        (Int64.add Image.local_base
+           (Int64.of_int (global_tid w lane * image.Image.local_frame_bytes)))
+    in
+    Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel
+
 let[@inline] record_addr w lane a =
   let n = w.addr_n in
   Array.unsafe_set w.addr_lane n lane;
@@ -375,6 +398,7 @@ let step w =
        let disf = Ptx.Types.is_float dty in
        let image = w.block.launch.image in
        let off64 = Int64.of_int off in
+       let width = Ptx.Types.width_bytes ty in
        w.addr_n <- 0;
        for l = 0 to nlanes - 1 do
          if mask land (1 lsl l) <> 0 then begin
@@ -384,28 +408,33 @@ let step w =
                   (eval_bits w l base))
                off64
            in
-           let bits =
-             match space with
-             | Ptx.Types.Const -> mem_read_bits w.block.launch.global a ty
-             | Ptx.Types.Shared ->
+           let finish bits =
+             rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf bits)
+           in
+           match space with
+           | Ptx.Types.Const -> finish (mem_read_bits w.block.launch.global a ty)
+           | Ptx.Types.Shared ->
+             if san_shared w ~pc:this_pc ~lane:l ~width a then begin
                record_addr w l a;
-               mem_read_bits w.block.shared a ty
-             | Ptx.Types.Global ->
-               record_addr w l a;
-               mem_read_bits w.block.launch.global a ty
-             | Ptx.Types.Local | Ptx.Types.Reg | Ptx.Types.Param ->
-               (* only Local reaches here (see Dcode.build) *)
+               finish (mem_read_bits w.block.shared a ty)
+             end
+           | Ptx.Types.Global ->
+             record_addr w l a;
+             finish (mem_read_bits w.block.launch.global a ty)
+           | Ptx.Types.Local | Ptx.Types.Reg | Ptx.Types.Param ->
+             (* only Local reaches here (see Dcode.build) *)
+             if san_local w ~pc:this_pc ~lane:l ~width a then begin
                let a = Image.remap_local image ~global_tid:(global_tid w l) a in
                record_addr w l a;
-               mem_read_bits w.block.launch.global a ty
-           in
-           rf_set w dst l ~isf:disf (Value.truncate_bits dty ~isf:visf bits)
+               finish (mem_read_bits w.block.launch.global a ty)
+             end
          end
        done
      | Dcode.DSt { space; ty; base; off; src } ->
        let sisf = Ptx.Types.is_float ty in
        let image = w.block.launch.image in
        let off64 = Int64.of_int off in
+       let width = Ptx.Types.width_bytes ty in
        w.addr_n <- 0;
        for l = 0 to nlanes - 1 do
          if mask land (1 lsl l) <> 0 then begin
@@ -415,21 +444,24 @@ let step w =
                   (eval_bits w l base))
                off64
            in
-           let mem, a =
-             match space with
-             | Ptx.Types.Shared -> (w.block.shared, a)
-             | Ptx.Types.Local ->
-               ( w.block.launch.global
-               , Image.remap_local image ~global_tid:(global_tid w l) a )
-             | Ptx.Types.Global | Ptx.Types.Reg | Ptx.Types.Param
-             | Ptx.Types.Const ->
-               (* only Global reaches here (see Dcode.build) *)
-               (w.block.launch.global, a)
+           let store mem a =
+             record_addr w l a;
+             Memory.store_bits mem a ~isf:sisf
+               (Value.truncate_bits ty ~isf:(eval_isf w l src)
+                  (eval_bits w l src))
            in
-           record_addr w l a;
-           Memory.store_bits mem a ~isf:sisf
-             (Value.truncate_bits ty ~isf:(eval_isf w l src)
-                (eval_bits w l src))
+           match space with
+           | Ptx.Types.Shared ->
+             if san_shared w ~pc:this_pc ~lane:l ~width a then
+               store w.block.shared a
+           | Ptx.Types.Local ->
+             if san_local w ~pc:this_pc ~lane:l ~width a then
+               store w.block.launch.global
+                 (Image.remap_local image ~global_tid:(global_tid w l) a)
+           | Ptx.Types.Global | Ptx.Types.Reg | Ptx.Types.Param
+           | Ptx.Types.Const ->
+             (* only Global reaches here (see Dcode.build) *)
+             store w.block.launch.global a
          end
        done
      | Dcode.DBra target -> Array.unsafe_set w.stk_pc w.sp target

@@ -24,6 +24,9 @@ type launch_ctx =
   ; params : (string * Value.t) list
   ; block_size : int
   ; num_blocks : int
+  ; san : Sancheck.runtime option
+      (** armed sanitizer: shared/local lane accesses are checked
+          against its per-pc mask, and violating lanes suppressed *)
   }
 
 type block_ctx =

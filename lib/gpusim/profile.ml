@@ -133,7 +133,7 @@ let run_block t ~line ~banks lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Profile: barrier deadlock"
 
-let run ?(line = 128) ?(banks = 32) (l : Launch.t) =
+let run ?(line = 128) ?(banks = 32) ?sanitize (l : Launch.t) =
   let image = Image.prepare l.Launch.kernel in
   let lctx =
     { Refinterp.image
@@ -141,6 +141,7 @@ let run ?(line = 128) ?(banks = 32) (l : Launch.t) =
     ; params = l.Launch.params
     ; block_size = l.Launch.block_size
     ; num_blocks = l.Launch.num_blocks
+    ; san = sanitize
     }
   in
   let t = { mem_tbl = Hashtbl.create 64; branch_tbl = Hashtbl.create 16 } in

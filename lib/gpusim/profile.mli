@@ -31,9 +31,11 @@ type branch_stat =
 
 type t
 
-val run : ?line:int -> ?banks:int -> Launch.t -> t
+val run : ?line:int -> ?banks:int -> ?sanitize:Sancheck.runtime -> Launch.t -> t
 (** Execute the launch (mutating its global memory in place) and
-    collect the counters. Geometry defaults match {!Config.fermi}. *)
+    collect the counters. Geometry defaults match {!Config.fermi}.
+    [sanitize] arms the hybrid sanitizer in the underlying
+    {!Refinterp}; its counters belong to the caller. *)
 
 val mems : t -> (int * mem_stat) list
 (** Per-pc memory counters, ascending by pc. *)

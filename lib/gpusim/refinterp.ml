@@ -16,6 +16,7 @@ type launch_ctx =
   ; params : (string * Value.t) list
   ; block_size : int
   ; num_blocks : int
+  ; san : Sancheck.runtime option
   }
 
 type block_ctx =
@@ -167,6 +168,29 @@ let eval w lane (op : Ptx.Instr.operand) =
 let addr_of w lane (a : Ptx.Instr.address) =
   Int64.add (Value.to_int64 (eval w lane a.base)) (Int64.of_int a.offset)
 
+(* Sanitizer probes. Shared addresses are already segment-relative;
+   local accesses are checked on the naive (pre-interleave) address,
+   reduced to an offset into the thread's own frame — which also keeps
+   [Image.remap_local] from being fed an out-of-frame address. *)
+
+let san_shared w ~pc ~lane ~width a =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel:a
+
+let san_local w ~pc ~lane ~width naive =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    let image = w.block.launch.image in
+    let rel =
+      Int64.sub naive
+        (Int64.add Image.local_base
+           (Int64.of_int (global_tid w lane * image.Image.local_frame_bytes)))
+    in
+    Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel
+
 type exec =
   | E_alu of Ptx.Instr.op_class
   | E_mem of
@@ -252,33 +276,42 @@ let step w =
         E_alu Ptx.Instr.Mem_const_param
       | Ptx.Instr.Ld (Ptx.Types.Shared, ty, d, addr) ->
         let lane_addrs = ref [] in
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let a = addr_of w l addr in
-          lane_addrs := (l, a) :: !lane_addrs;
-          set_reg d l (Memory.read w.block.shared a ty));
+          if san_shared w ~pc:this_pc ~lane:l ~width a then begin
+            lane_addrs := (l, a) :: !lane_addrs;
+            set_reg d l (Memory.read w.block.shared a ty)
+          end);
         E_mem
           { space = Ptx.Types.Shared
           ; write = false
-          ; width = Ptx.Types.width_bytes ty
+          ; width
           ; lane_addrs = List.rev !lane_addrs
           }
       | Ptx.Instr.Ld (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, d, addr) ->
         let lane_addrs = ref [] in
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let a = addr_of w l addr in
-          let a =
-            match sp with
-            | Ptx.Types.Local ->
-              Image.remap_local w.block.launch.image ~global_tid:(global_tid w l) a
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> a
-          in
-          lane_addrs := (l, a) :: !lane_addrs;
-          set_reg d l (Memory.read w.block.launch.global a ty));
+          match sp with
+          | Ptx.Types.Local ->
+            if san_local w ~pc:this_pc ~lane:l ~width a then begin
+              let a =
+                Image.remap_local w.block.launch.image
+                  ~global_tid:(global_tid w l) a
+              in
+              lane_addrs := (l, a) :: !lane_addrs;
+              set_reg d l (Memory.read w.block.launch.global a ty)
+            end
+          | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
+          | Ptx.Types.Param | Ptx.Types.Const ->
+            lane_addrs := (l, a) :: !lane_addrs;
+            set_reg d l (Memory.read w.block.launch.global a ty));
         E_mem
           { space = sp
           ; write = false
-          ; width = Ptx.Types.width_bytes ty
+          ; width
           ; lane_addrs = List.rev !lane_addrs
           }
       | Ptx.Instr.Ld ((Ptx.Types.Reg as sp), _, _, _) ->
@@ -286,33 +319,42 @@ let step w =
           (Printf.sprintf "Interp: ld.%s unsupported" (Ptx.Types.space_to_string sp))
       | Ptx.Instr.St (Ptx.Types.Shared, ty, addr, v) ->
         let lane_addrs = ref [] in
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let a = addr_of w l addr in
-          lane_addrs := (l, a) :: !lane_addrs;
-          Memory.write w.block.shared a ty (eval w l v));
+          if san_shared w ~pc:this_pc ~lane:l ~width a then begin
+            lane_addrs := (l, a) :: !lane_addrs;
+            Memory.write w.block.shared a ty (eval w l v)
+          end);
         E_mem
           { space = Ptx.Types.Shared
           ; write = true
-          ; width = Ptx.Types.width_bytes ty
+          ; width
           ; lane_addrs = List.rev !lane_addrs
           }
       | Ptx.Instr.St (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, addr, v) ->
         let lane_addrs = ref [] in
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let a = addr_of w l addr in
-          let a =
-            match sp with
-            | Ptx.Types.Local ->
-              Image.remap_local w.block.launch.image ~global_tid:(global_tid w l) a
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> a
-          in
-          lane_addrs := (l, a) :: !lane_addrs;
-          Memory.write w.block.launch.global a ty (eval w l v));
+          match sp with
+          | Ptx.Types.Local ->
+            if san_local w ~pc:this_pc ~lane:l ~width a then begin
+              let a =
+                Image.remap_local w.block.launch.image
+                  ~global_tid:(global_tid w l) a
+              in
+              lane_addrs := (l, a) :: !lane_addrs;
+              Memory.write w.block.launch.global a ty (eval w l v)
+            end
+          | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
+          | Ptx.Types.Param | Ptx.Types.Const ->
+            lane_addrs := (l, a) :: !lane_addrs;
+            Memory.write w.block.launch.global a ty (eval w l v));
         E_mem
           { space = sp
           ; write = true
-          ; width = Ptx.Types.width_bytes ty
+          ; width
           ; lane_addrs = List.rev !lane_addrs
           }
       | Ptx.Instr.St ((Ptx.Types.Reg | Ptx.Types.Param | Ptx.Types.Const), _, _, _)
@@ -386,7 +428,7 @@ let run_block lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Emulator: barrier deadlock"
 
-let run (l : Launch.t) =
+let run ?sanitize (l : Launch.t) =
   let image = Image.prepare l.Launch.kernel in
   let lctx =
     { image
@@ -394,6 +436,7 @@ let run (l : Launch.t) =
     ; params = l.Launch.params
     ; block_size = l.Launch.block_size
     ; num_blocks = l.Launch.num_blocks
+    ; san = sanitize
     }
   in
   for ctaid = 0 to l.Launch.num_blocks - 1 do

@@ -11,6 +11,9 @@ type launch_ctx =
   ; params : (string * Value.t) list
   ; block_size : int
   ; num_blocks : int
+  ; san : Sancheck.runtime option
+      (** armed sanitizer: shared/local lane accesses are checked
+          against its per-pc mask, and violating lanes suppressed *)
   }
 
 type block_ctx =
@@ -46,6 +49,8 @@ val popcount : int -> int
 val read_reg_values : warp -> Ptx.Reg.t -> Value.t array
 val reg_key : Ptx.Reg.t -> int
 
-val run : Launch.t -> unit
+val run : ?sanitize:Sancheck.runtime -> Launch.t -> unit
 (** Emulator-style whole-launch execution through the reference
-    semantics, mutating the launch's global memory in place. *)
+    semantics, mutating the launch's global memory in place.
+    [sanitize] arms the hybrid sanitizer; its counters are the
+    caller's to inspect afterwards. *)

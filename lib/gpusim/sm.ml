@@ -249,6 +249,7 @@ let create ?(scheduler = `Gto) ?(dynamic_tlp = false) ?(bypass_global = false)
     ; params = l.Launch.params
     ; block_size = l.Launch.block_size
     ; num_blocks = l.Launch.num_blocks
+    ; san = None
     }
   in
   let l1_next ~cycle ~addr =

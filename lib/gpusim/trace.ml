@@ -13,6 +13,7 @@ let warp_trace ?(max_steps = 10_000) ~ctaid ~warp (l : Launch.t) =
     ; params = l.Launch.params
     ; block_size = l.Launch.block_size
     ; num_blocks = l.Launch.num_blocks
+    ; san = None
     }
   in
   let _block, warps =

@@ -12,6 +12,7 @@ type launch_ctx =
   ; params : (string * V.t) list
   ; block_size : int
   ; num_blocks : int
+  ; san : Gpusim.Sancheck.runtime option
   }
 
 type block_ctx =
@@ -151,6 +152,30 @@ type exec =
   | E_barrier
   | E_exit
 
+(* Sanitizer probes, mirroring {!Gpusim.Refinterp}. Lowering preserves
+   flat instruction indices 1:1, so the PTX-derived mask applies to the
+   machine code unchanged. A violating load yields zero instead of
+   reading; a violating store is dropped. *)
+
+let san_shared w ~pc ~lane ~width a =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    Gpusim.Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel:a
+
+let san_local w ~pc ~lane ~width naive =
+  match w.block.launch.san with
+  | None -> true
+  | Some rt ->
+    let image = w.block.launch.prog.Lower.image in
+    let rel =
+      Int64.sub naive
+        (Int64.add Gpusim.Image.local_base
+           (Int64.of_int
+              (global_tid w lane * image.Gpusim.Image.local_frame_bytes)))
+    in
+    Gpusim.Sancheck.check rt ~pc ~lane ~tid:(w.base_tid + lane) ~width ~rel
+
 let iter_active mask nlanes f =
   for lane = 0 to nlanes - 1 do
     if mask land (1 lsl lane) <> 0 then f lane
@@ -235,43 +260,56 @@ let step w =
           Gpusim.Memory.read w.block.launch.global (addr_of w l a) ty);
         E_op
       | Isa.Ld (Ptx.Types.Shared, ty, d, a) ->
-        exec_op w mask d (fun l ->
-          Gpusim.Memory.read w.block.shared (addr_of w l a) ty);
-        E_op
-      | Isa.Ld (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, d, a) ->
+        let width = Ptx.Types.width_bytes ty in
         exec_op w mask d (fun l ->
           let ad = addr_of w l a in
-          let ad =
-            match sp with
-            | Ptx.Types.Local ->
-              Gpusim.Image.remap_local prog.Lower.image
-                ~global_tid:(global_tid w l) ad
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> ad
-          in
-          Gpusim.Memory.read w.block.launch.global ad ty);
+          if san_shared w ~pc:this_pc ~lane:l ~width ad then
+            Gpusim.Memory.read w.block.shared ad ty
+          else V.truncate ty V.zero);
+        E_op
+      | Isa.Ld (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, d, a) ->
+        let width = Ptx.Types.width_bytes ty in
+        exec_op w mask d (fun l ->
+          let ad = addr_of w l a in
+          match sp with
+          | Ptx.Types.Local ->
+            if san_local w ~pc:this_pc ~lane:l ~width ad then
+              let ad =
+                Gpusim.Image.remap_local prog.Lower.image
+                  ~global_tid:(global_tid w l) ad
+              in
+              Gpusim.Memory.read w.block.launch.global ad ty
+            else V.truncate ty V.zero
+          | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
+          | Ptx.Types.Param | Ptx.Types.Const ->
+            Gpusim.Memory.read w.block.launch.global ad ty);
         E_op
       | Isa.Ld ((Ptx.Types.Reg as sp), _, _, _) ->
         invalid_arg
           (Printf.sprintf "Machine.Exec: ld.%s unsupported"
              (Ptx.Types.space_to_string sp))
       | Isa.St (Ptx.Types.Shared, ty, a, v) ->
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let ad = addr_of w l a in
-          Gpusim.Memory.write w.block.shared ad ty (eval w l v));
+          if san_shared w ~pc:this_pc ~lane:l ~width ad then
+            Gpusim.Memory.write w.block.shared ad ty (eval w l v));
         E_op
       | Isa.St (((Ptx.Types.Global | Ptx.Types.Local) as sp), ty, a, v) ->
+        let width = Ptx.Types.width_bytes ty in
         iter_active mask w.nlanes (fun l ->
           let ad = addr_of w l a in
-          let ad =
-            match sp with
-            | Ptx.Types.Local ->
-              Gpusim.Image.remap_local prog.Lower.image
-                ~global_tid:(global_tid w l) ad
-            | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
-            | Ptx.Types.Param | Ptx.Types.Const -> ad
-          in
-          Gpusim.Memory.write w.block.launch.global ad ty (eval w l v));
+          match sp with
+          | Ptx.Types.Local ->
+            if san_local w ~pc:this_pc ~lane:l ~width ad then
+              let ad =
+                Gpusim.Image.remap_local prog.Lower.image
+                  ~global_tid:(global_tid w l) ad
+              in
+              Gpusim.Memory.write w.block.launch.global ad ty (eval w l v)
+          | Ptx.Types.Global | Ptx.Types.Shared | Ptx.Types.Reg
+          | Ptx.Types.Param | Ptx.Types.Const ->
+            Gpusim.Memory.write w.block.launch.global ad ty (eval w l v));
         E_op
       | Isa.St ((Ptx.Types.Reg | Ptx.Types.Param | Ptx.Types.Const), _, _, _)
         -> invalid_arg "Machine.Exec: unsupported store space"
@@ -340,13 +378,14 @@ let run_block lctx ~ctaid ~warp_size =
   done;
   if not (all_done ()) then failwith "Machine.Exec: barrier deadlock"
 
-let run (prog : Lower.t) (l : Gpusim.Launch.t) =
+let run ?sanitize (prog : Lower.t) (l : Gpusim.Launch.t) =
   let lctx =
     { prog
     ; global = l.Gpusim.Launch.memory
     ; params = l.Gpusim.Launch.params
     ; block_size = l.Gpusim.Launch.block_size
     ; num_blocks = l.Gpusim.Launch.num_blocks
+    ; san = sanitize
     }
   in
   for ctaid = 0 to l.Gpusim.Launch.num_blocks - 1 do

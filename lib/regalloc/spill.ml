@@ -66,6 +66,26 @@ type stats =
 let local_stack_sym = "SpillStack"
 let shared_stack_sym = "SpillShm"
 
+(* Recover the per-thread byte stride of the shared spill sub-stacks
+   from an allocated kernel: the decl was emitted as
+   [bytes_per_thread * block_size] B8 elements. *)
+let shared_stride_of_kernel ~block_size (k : Ptx.Kernel.t) =
+  if block_size <= 0 then None
+  else
+    List.find_map
+      (fun (d : Ptx.Kernel.decl) ->
+         if
+           d.Ptx.Kernel.dname = shared_stack_sym
+           && d.Ptx.Kernel.dspace = Ptx.Types.Shared
+         then begin
+           let bytes = Ptx.Kernel.decl_bytes d in
+           if bytes mod block_size = 0 && bytes / block_size > 0 then
+             Some (shared_stack_sym, bytes / block_size)
+           else None
+         end
+         else None)
+      k.Ptx.Kernel.decls
+
 let apply ~block_size (k : Ptx.Kernel.t) (spec : spec) =
   let placements = spec.placements in
   if placements = [] && spec.remat = [] then

@@ -51,6 +51,13 @@ val shared_stack_sym : string
     address analyses (lib/verify) recognise the per-thread sub-stack
     addressing pattern through it. *)
 
+val shared_stride_of_kernel :
+  block_size:int -> Ptx.Kernel.t -> (string * int) option
+(** [(shared_stack_sym, bytes_per_thread)] when the kernel carries an
+    allocator-emitted shared spill stack sized for [block_size] threads;
+    the sanitizer holds accesses through it to the executing thread's
+    own sub-stack. *)
+
 val apply : block_size:int -> Ptx.Kernel.t -> spec -> Ptx.Kernel.t * stats
 (** Rewrite the kernel: every use of a spilled register loads it into a
     fresh temporary first; every def stores it back afterwards.

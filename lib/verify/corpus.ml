@@ -151,6 +151,97 @@ let bad_coloring () =
   ; rounds = 1
   }
 
+(* S401: a uniform shared store 32 bytes past the end of an 8-word array *)
+let oob_shared () =
+  let v = r 0 Types.U32 in
+  { Kernel.name = "bad_oob_shared"
+  ; params = []
+  ; decls =
+      [ { Kernel.dname = "sdata"
+        ; dspace = Types.Shared
+        ; delem = Types.B32
+        ; dcount = 8
+        ; dalign = 4
+        }
+      ]
+  ; body =
+      [| i (Instr.Mov (Types.U32, v, Instr.Oimm 7L))
+       ; i
+           (Instr.St
+              ( Types.Shared, Types.U32
+              , { Instr.base = Instr.Osym "sdata"; offset = 64 }
+              , Instr.Oreg v ))
+       ; i Instr.Ret
+      |]
+  }
+
+(* S402: a local store just past the thread's 16B spill frame *)
+let oob_local () =
+  let v = r 0 Types.U32 in
+  { Kernel.name = "bad_oob_local"
+  ; params = []
+  ; decls =
+      [ { Kernel.dname = "lbuf"
+        ; dspace = Types.Local
+        ; delem = Types.B32
+        ; dcount = 4
+        ; dalign = 4
+        }
+      ]
+  ; body =
+      [| i (Instr.Mov (Types.U32, v, Instr.Oimm 7L))
+       ; i
+           (Instr.St
+              ( Types.Local, Types.U32
+              , { Instr.base = Instr.Osym "lbuf"; offset = 16 }
+              , Instr.Oreg v ))
+       ; i Instr.Ret
+      |]
+  }
+
+(* S403: a shared store indexed by a runtime parameter — unprovable
+   statically, so the dynamic check must stay armed (and catches the
+   write when the launch passes an index past the array) *)
+let unprovable_shared () =
+  let idx = r 0 Types.U32
+  and idx64 = r 1 Types.U64
+  and off = r 2 Types.U64
+  and base = r 3 Types.U64
+  and addr = r 4 Types.U64
+  and v = r 5 Types.U32 in
+  { Kernel.name = "bad_unprovable"
+  ; params = [ ("idx", Types.U32) ]
+  ; decls =
+      [ { Kernel.dname = "sdata"
+        ; dspace = Types.Shared
+        ; delem = Types.B32
+        ; dcount = 8
+        ; dalign = 4
+        }
+      ]
+  ; body =
+      [| i
+           (Instr.Ld
+              ( Types.Param, Types.U32, idx
+              , { Instr.base = Instr.Oparam "idx"; offset = 0 } ))
+       ; i (Instr.Cvt (Types.U64, Types.U32, idx64, Instr.Oreg idx))
+       ; i
+           (Instr.Binop
+              (Instr.Mul_lo, Types.U64, off, Instr.Oreg idx64, Instr.Oimm 4L))
+       ; i (Instr.Mov (Types.U64, base, Instr.Osym "sdata"))
+       ; i
+           (Instr.Binop
+              (Instr.Add, Types.U64, addr, Instr.Oreg base, Instr.Oreg off))
+       ; i (Instr.Mov (Types.U32, v, Instr.Oimm 7L))
+       ; i
+           (Instr.St
+              ( Types.Shared, Types.U32
+              , { Instr.base = Instr.Oreg addr; offset = 0 }
+              , Instr.Oreg v ))
+       ; i Instr.Ret
+      |]
+  }
+
 let cases () =
   [ { label = "type"; expect = "V101"; subject = Kernel (ill_typed ()) }
   ; { label = "uninit"; expect = "V201"; subject = Kernel (uninit ()) }
@@ -163,9 +254,18 @@ let cases () =
     ; expect = "V501"
     ; subject = Allocation (bad_coloring ())
     }
+  ; { label = "oob-shared"; expect = "S401"; subject = Kernel (oob_shared ()) }
+  ; { label = "oob-local"; expect = "S402"; subject = Kernel (oob_local ()) }
+  ; { label = "unprovable"
+    ; expect = "S403"
+    ; subject = Kernel (unprovable_shared ())
+    }
   ]
 
 let diagnostics_of c =
   match c.subject with
-  | Kernel k -> Checker.check_kernel ~block_size:64 k
+  | Kernel k ->
+    if String.length c.expect > 0 && c.expect.[0] = 'S' then
+      Sanitize.check_kernel ~block_size:64 k
+    else Checker.check_kernel ~block_size:64 k
   | Allocation a -> Checker.check_allocation a

@@ -97,6 +97,9 @@ let all_codes =
   ; ("P402", "possibly divergent branch")
   ; ("P501", "loop trip count not statically provable")
   ; ("P502", "loop provably never executes")
+  ; ("S401", "shared access provably outside its segment or per-thread spill sub-stack")
+  ; ("S402", "local-frame or parameter-bank access provably out of bounds")
+  ; ("S403", "access bounds not statically provable: dynamic check retained")
   ]
 
 let describe code =

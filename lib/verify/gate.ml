@@ -32,3 +32,6 @@ let check_allocation ~stage a =
 
 let check_machine ~stage m =
   if enabled () then reject stage (Machine_audit.check m)
+
+let check_sanitize ~stage ?block_size k =
+  if enabled () then reject stage (Sanitize.check_kernel ?block_size k)

@@ -21,3 +21,8 @@ val check_allocation : stage:string -> Regalloc.Allocator.t -> unit
 val check_machine : stage:string -> Machine.Lower.t -> unit
 (** Run the V6xx machine-backend audit ({!Machine_audit.check}) on a
     lowered program when the gate is enabled. *)
+
+val check_sanitize : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
+(** Run the S4xx hybrid-sanitizer bounds check ({!Sanitize.check_kernel})
+    when the gate is enabled; proven-OOB accesses reject, residual
+    (S403) warnings never do. *)

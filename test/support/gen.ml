@@ -10,6 +10,7 @@ type plan =
   { ops : int array
   ; loop : bool
   ; branch : bool
+  ; shared : bool
   }
 
 let build_from_plan plan =
@@ -84,6 +85,36 @@ let build_from_plan plan =
       f32s := r :: !f32s
     | _ -> assert false
   in
+  (* optional shared-memory tile: one provably-safe affine store, one
+     interval-bounded load, and one data-dependent store whose index
+     can really escape the array — the hybrid sanitizer must prove the
+     first two and keep (and, at runtime, trip) a check on the third *)
+  if plan.shared then begin
+    let sdata = B.decl_shared b "sdata" T.B32 256 in
+    let sbase = B.mov b T.U64 sdata in
+    let tidb = B.special b Ptx.Reg.Tid_x in
+    let safe_addr =
+      let bytes = B.mul b T.U32 (B.reg tidb) (B.imm 4) in
+      let o64 = B.cvt b T.U64 T.U32 (B.reg bytes) in
+      B.add b T.U64 (B.reg sbase) (B.reg o64)
+    in
+    B.st b T.Shared T.U32 (B.reg safe_addr) 0 (B.reg tidb);
+    let masked_addr =
+      let idx = B.binop b I.And T.U32 (B.reg (pick !u32s 3)) (B.imm 63) in
+      let bytes = B.mul b T.U32 (B.reg idx) (B.imm 4) in
+      let o64 = B.cvt b T.U64 T.U32 (B.reg bytes) in
+      B.add b T.U64 (B.reg sbase) (B.reg o64)
+    in
+    u32s := B.ld b T.Shared T.U32 (B.reg masked_addr) 0 :: !u32s;
+    let wild_addr =
+      (* & 2047 bounds the offset to 8188B — well past the 1024B array *)
+      let idx = B.binop b I.And T.U32 (B.reg (pick !u32s 1)) (B.imm 2047) in
+      let bytes = B.mul b T.U32 (B.reg idx) (B.imm 4) in
+      let o64 = B.cvt b T.U64 T.U32 (B.reg bytes) in
+      B.add b T.U64 (B.reg sbase) (B.reg o64)
+    in
+    B.st b T.Shared T.U32 (B.reg wild_addr) 0 (B.reg (pick !u32s 0))
+  end;
   let third = max 1 (Array.length plan.ops / 3) in
   Array.iteri (fun i c -> if i < third then apply_op c) plan.ops;
   (* optional counted loop accumulating into a fixed register *)
@@ -125,13 +156,15 @@ let build_from_plan plan =
   B.st b T.Global T.F32 (B.reg addr) 0 (B.reg result);
   B.finish b
 
-let kernel ?(max_ops = 40) ?(with_loop = true) ?(with_branch = true) () =
+let kernel ?(max_ops = 40) ?(with_loop = true) ?(with_branch = true)
+    ?(with_shared = false) () =
   let open QCheck.Gen in
   int_range 3 max_ops >>= fun len ->
   array_size (return len) (int_bound 100_000) >>= fun ops ->
   (if with_loop then bool else return false) >>= fun loop ->
   (if with_branch then bool else return false) >>= fun branch ->
-  return (build_from_plan { ops; loop; branch })
+  (if with_shared then bool else return false) >>= fun shared ->
+  return (build_from_plan { ops; loop; branch; shared })
 
 let arbitrary_kernel =
   QCheck.make ~print:Ptx.Printer.kernel_to_string (kernel ())

@@ -1,12 +1,17 @@
 (** QCheck generators for random-but-valid PTX kernels, plus shared
     helpers for differential testing. *)
 
-val kernel : ?max_ops:int -> ?with_loop:bool -> ?with_branch:bool -> unit -> Ptx.Kernel.t QCheck.Gen.t
+val kernel :
+  ?max_ops:int -> ?with_loop:bool -> ?with_branch:bool -> ?with_shared:bool ->
+  unit -> Ptx.Kernel.t QCheck.Gen.t
 (** Random kernels over parameters [inp]/[out] (u64 pointers) and [n]
     (u32): u32/f32 arithmetic chains over previously defined registers,
     global loads from bounded indices, conditional accumulation and an
     optional counted loop; always ends storing a result to
-    [out[gtid]]. Every generated kernel passes {!Ptx.Kernel.validate}. *)
+    [out[gtid]]. Every generated kernel passes {!Ptx.Kernel.validate}.
+    [with_shared] (default off) adds a shared tile with a provably-safe
+    affine store, an interval-bounded load, and a data-dependent store
+    whose index can really escape the array — sanitizer fodder. *)
 
 val arbitrary_kernel : Ptx.Kernel.t QCheck.arbitrary
 (** With a printer attached (PTX text). *)

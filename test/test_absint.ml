@@ -266,7 +266,7 @@ let run_checked k =
         ; ("n", Gpusim.Value.of_int 1024)
         ]
     ; block_size
-    ; num_blocks
+    ; num_blocks; san = None
     }
   in
   for ctaid = 0 to num_blocks - 1 do
@@ -288,6 +288,62 @@ let prop_absint_sound =
     Testsupport.Gen.arbitrary_kernel
     (fun k ->
        run_checked k;
+       true)
+
+(* ---------- QCheck: hybrid-sanitizer soundness ---------- *)
+
+(* Force-arm every claim (including Proven_safe) on random kernels with
+   shared traffic: a violation recorded at a proven-safe pc disproves
+   the static bounds analysis. Residual pcs may trip — the generator's
+   data-dependent shared store really does escape its array — and the
+   boxed and predecoded interpreters must agree on what they saw. *)
+let run_sanitized k =
+  let block_size = 64 and num_blocks = 2 in
+  let an =
+    A.run ~block_size ~num_blocks ~warp_size:32 ~params:soundness_params
+      (Cfg.Flow.of_kernel k)
+  in
+  let mask = Absint.Bounds.mask ~force:true (Absint.Bounds.analyze an) in
+  let launch () =
+    let mem = Gpusim.Memory.create () in
+    Gpusim.Memory.write_f32_array mem ~base:inp_base
+      (Workloads.Data.uniform_f32 ~seed:5 1024);
+    Gpusim.Launch.make ~warp_size:32 ~kernel:k ~block_size ~num_blocks
+      ~params:
+        [ ("inp", Gpusim.Value.I inp_base)
+        ; ("out", Gpusim.Value.I out_base)
+        ; ("n", Gpusim.Value.of_int 1024)
+        ]
+      mem
+  in
+  let ref_rt = Gpusim.Sancheck.runtime mask in
+  Gpusim.Refinterp.run ~sanitize:ref_rt (launch ());
+  let fast_rt = Gpusim.Sancheck.runtime mask in
+  Gpusim.Emulator.run ~sanitize:fast_rt (launch ());
+  List.iter
+    (fun (pc, (s : Gpusim.Sancheck.stat)) ->
+       if s.Gpusim.Sancheck.violations > 0 then
+         match Gpusim.Sancheck.claim_at mask pc with
+         | Some (Gpusim.Sancheck.Proven_safe _) ->
+           Alcotest.failf "pc %d: proven safe but %d dynamic violation(s)" pc
+             s.Gpusim.Sancheck.violations
+         | Some (Gpusim.Sancheck.Residual _ | Gpusim.Sancheck.Proven_oob _) ->
+           ()
+         | None -> Alcotest.failf "pc %d: violation with no static claim" pc)
+    (Gpusim.Sancheck.stats ref_rt.Gpusim.Sancheck.counters);
+  let vr = Gpusim.Sancheck.violations ref_rt.Gpusim.Sancheck.counters in
+  let vf = Gpusim.Sancheck.violations fast_rt.Gpusim.Sancheck.counters in
+  if vr <> vf then
+    Alcotest.failf
+      "interpreters disagree on violations: Refinterp saw %d, Interp %d" vr vf
+
+let prop_sanitizer_sound =
+  QCheck.Test.make ~count:60
+    ~name:"forced sanitizer checks never fire on proven-safe accesses"
+    (QCheck.make ~print:Ptx.Printer.kernel_to_string
+       (Testsupport.Gen.kernel ~with_shared:true ()))
+    (fun k ->
+       run_sanitized k;
        true)
 
 (* ---------- interval-driven constant folding ---------- *)
@@ -454,7 +510,8 @@ let () =
             `Quick test_proven_weight_flips_spill_choice
         ] )
     ; ( "soundness"
-      , List.map QCheck_alcotest.to_alcotest [ prop_absint_sound ] )
+      , List.map QCheck_alcotest.to_alcotest
+          [ prop_absint_sound; prop_sanitizer_sound ] )
     ; ( "intfold"
       , [ Alcotest.test_case "folds interval singletons" `Quick test_intfold ] )
     ; ( "advisor"

@@ -68,11 +68,11 @@ let prop_lockstep =
       in
       let image = G.Image.prepare k in
       let lctx_f =
-        { G.Interp.image; global = mem_f; params; block_size = 64; num_blocks = 2 }
+        { G.Interp.image; global = mem_f; params; block_size = 64; num_blocks = 2 ; san = None}
       in
       let lctx_r =
         { G.Refinterp.image; global = mem_r; params; block_size = 64
-        ; num_blocks = 2 }
+        ; num_blocks = 2 ; san = None}
       in
       let regs = kernel_regs k in
       for ctaid = 0 to 1 do
@@ -258,6 +258,7 @@ let mk_report ~descr n =
       ; max_queue_depth = 1
       ; batches = n
       }
+  ; sanitizer = None
   ; experiments =
       List.init n (fun i ->
         { Crat.Report.id = Printf.sprintf "exp%d" i

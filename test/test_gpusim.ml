@@ -343,7 +343,7 @@ let test_divergence_stack_mechanics () =
     ; global = G.Memory.create ()
     ; params = [ ("out", G.Value.I 0L) ]
     ; block_size = 32
-    ; num_blocks = 1
+    ; num_blocks = 1; san = None
     }
   in
   let _, warps = G.Interp.make_block lctx ~ctaid:0 ~warp_size:32 in
