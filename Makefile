@@ -1,4 +1,4 @@
-.PHONY: all build test verify lint sanitize bench bench-smoke bench-perf bench-backend clean
+.PHONY: all build test verify lint sanitize equiv bench bench-smoke bench-perf bench-backend clean
 
 all: build
 
@@ -29,6 +29,15 @@ sanitize:
 	dune exec bin/crat_cli.exe -- sanitize --all --validate > sanitize-report.txt \
 	  || { cat sanitize-report.txt; exit 1; }
 	cat sanitize-report.txt
+
+# translation-validation sweep: symbolically prove every workload's three
+# transformation edges (optimization, allocation, machine lowering), plus
+# the seeded miscompile corpus, each refutation replayed on the reference
+# interpreter; the E-code report lands in equiv-report.txt
+equiv:
+	dune exec bin/crat_cli.exe -- equiv --all --corpus > equiv-report.txt \
+	  || { cat equiv-report.txt; exit 1; }
+	cat equiv-report.txt
 
 bench:
 	dune exec bench/main.exe

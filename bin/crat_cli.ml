@@ -286,7 +286,9 @@ let passes_cmd =
     arm_gate gate;
     let app = find_app abbr in
     let k = Workloads.App.kernel app in
-    let k', report = Ptxopt.Pipeline.run k in
+    let k', report =
+      Ptxopt.Pipeline.run ~block_size:app.Workloads.App.block_size k
+    in
     Format.printf "%s: %d -> %d instructions (%a)@." abbr
       (Ptx.Kernel.instr_count k) (Ptx.Kernel.instr_count k')
       Ptxopt.Pipeline.pp_report report;
@@ -399,7 +401,7 @@ let verify_app ~regs ~linear_scan ~spare (app : Workloads.App.t) =
   let shared_policy = if spare > 0 then `Spare spare else `Off in
   let k = Workloads.App.kernel app in
   let pre = verify_stage abbr "pre-opt" (Verify.Checker.check_kernel ~block_size k) in
-  let k', _ = Ptxopt.Pipeline.run k in
+  let k', _ = Ptxopt.Pipeline.run ~block_size k in
   let post =
     verify_stage abbr "post-opt" (Verify.Checker.check_kernel ~block_size k')
   in
@@ -640,6 +642,120 @@ let sanitize_cmd =
     Term.(const run $ kepler_arg $ app_opt $ all_arg $ validate_arg
           $ codes_arg $ regs_arg $ spare_arg)
 
+(* ---------- equiv ---------- *)
+
+(* Translation-validate the three transformation edges of one app:
+   pre-opt vs post-opt, post-opt input vs allocated kernel, allocated
+   PTX vs lowered machine code. Returns (refuted, unproved). *)
+let equiv_app ~regs ~linear_scan ~spare (app : Workloads.App.t) =
+  let abbr = app.Workloads.App.abbr in
+  let block_size = app.Workloads.App.block_size in
+  let regs = Option.value ~default:app.Workloads.App.default_regs regs in
+  let strategy =
+    if linear_scan then Regalloc.Allocator.Linear_scan
+    else Regalloc.Allocator.Chaitin_briggs
+  in
+  let shared_policy = if spare > 0 then `Spare spare else `Off in
+  let refuted = ref false and unproved = ref false in
+  let report (o : Equiv.Check.outcome) =
+    (match o.Equiv.Check.verdict with
+     | Equiv.Check.Proved -> ()
+     | Equiv.Check.Refuted _ -> refuted := true
+     | Equiv.Check.Unknown _ -> unproved := true);
+    Format.printf "%-5s %a@." abbr Equiv.Check.pp_outcome o
+  in
+  let k = Workloads.App.kernel app in
+  let k', _ = Ptxopt.Pipeline.run ~block_size k in
+  report (Equiv.Check.check_opt ~block_size ~left:k ~right:k' ());
+  let a =
+    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
+      ~reg_limit:regs k
+  in
+  report (Equiv.Check.check_alloc a);
+  report (Equiv.Check.check_lower (Machine.Lower.run a));
+  (!refuted, !unproved)
+
+let equiv_corpus () =
+  List.fold_left
+    (fun bad (c : Equiv.Corpus.case) ->
+       let o = Equiv.Corpus.outcome_of c in
+       let diags = Verify.Equiv_check.diagnostics_of o in
+       let hit =
+         List.exists
+           (fun d -> d.Verify.Diagnostic.code = c.Equiv.Corpus.expect)
+           diags
+       in
+       let replayed =
+         match o.Equiv.Check.verdict with
+         | Equiv.Check.Refuted w ->
+           let left, right = Equiv.Corpus.runners c in
+           Equiv.Witness.replay ~left ~right w <> None
+         | _ -> false
+       in
+       Format.printf "corpus %-17s expecting %s: %s@." c.Equiv.Corpus.label
+         c.Equiv.Corpus.expect
+         (if hit && replayed then "refuted, witness replays"
+          else if hit then "refuted, but witness does NOT replay"
+          else "NOT REFUTED");
+       print_diags diags;
+       bad || not (hit && replayed))
+    false
+    (Equiv.Corpus.cases ())
+
+let equiv_cmd =
+  let doc =
+    "Translation validation: symbolically prove each compiler edge      (optimization, register allocation, machine lowering) equivalent,      refute miscompiles with a concrete replayed counterexample, and      report everything else as unknown."
+  in
+  let app_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
+           ~doc:"Application abbreviation; omit with $(b,--all).")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Sweep every suite kernel; exit 1 unless every edge of every \
+                 kernel is proved.")
+  in
+  let corpus_arg =
+    Arg.(value & flag & info [ "corpus" ]
+           ~doc:"Also run the seeded miscompile corpus; each case must be \
+                 refuted (E201) with a witness that replays as a genuine \
+                 divergence.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ]
+           ~doc:"List the documented E-codes and exit.")
+  in
+  let run abbr all corpus codes regs linear_scan spare =
+    if codes then
+      print_endline (Verify.Diagnostic.codes_listing ~prefix:"E" ())
+    else begin
+      let apps =
+        if all then Workloads.Suite.all
+        else
+          match abbr with
+          | Some a -> [ find_app a ]
+          | None ->
+            if corpus then []
+            else begin
+              Format.eprintf "equiv: name an APP or pass --all@.";
+              exit 2
+            end
+      in
+      let refuted, unproved =
+        List.fold_left
+          (fun (r, u) app ->
+             let r', u' = equiv_app ~regs ~linear_scan ~spare app in
+             (r || r', u || u'))
+          (false, false) apps
+      in
+      let bad = if corpus then equiv_corpus () else false in
+      if refuted || bad || (all && unproved) then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "equiv" ~doc)
+    Term.(const run $ app_opt $ all_arg $ corpus_arg $ codes_arg $ regs_arg
+          $ ls_arg $ spare_arg)
+
 let () =
   let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in
   let info = Cmd.info "crat" ~version:"1.0.0" ~doc in
@@ -647,6 +763,6 @@ let () =
     Cmd.group info
       [ apps_cmd; config_cmd; analyze_cmd; allocate_cmd; allocate_file_cmd
       ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd; verify_cmd
-      ; lint_cmd; sanitize_cmd ]
+      ; lint_cmd; sanitize_cmd; equiv_cmd ]
   in
   exit (Cmd.eval group)

@@ -213,6 +213,10 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
     in
     Verify.Gate.check_allocation
       ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
+    (* translation-validate the allocation edge: original vs allocated
+       kernel, matched modulo the recorded assignment and spills *)
+    Verify.Gate.check_equiv_alloc
+      ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
     (* hybrid-sanitizer bounds proof over the allocated kernel: spill
        code must stay inside its frame and per-thread sub-stacks *)
     Verify.Gate.check_sanitize
@@ -220,10 +224,15 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
       ~block_size a.Regalloc.Allocator.kernel;
     (* under the machine backend, also lower and run the V6xx audit
        (a no-op unless the gate is on) *)
-    if backend = Machine.Backend.Machine && Verify.Gate.enabled () then
+    if backend = Machine.Backend.Machine && Verify.Gate.enabled () then begin
+      let m = Machine.Lower.run a in
       Verify.Gate.check_machine
         ~stage:(app.Workloads.App.abbr ^ ":post-lower")
-        (Machine.Lower.run a);
+        m;
+      Verify.Gate.check_equiv_lower
+        ~stage:(app.Workloads.App.abbr ^ ":post-lower")
+        m
+    end;
     let dt = now () -. t0 in
     locked t (fun () ->
       t.alloc_runs <- t.alloc_runs + 1;

@@ -14,7 +14,7 @@ let stages ?regs ?(spare = 0) (app : App.t) =
   let regs = Option.value ~default:app.App.default_regs regs in
   let shared_policy = if spare > 0 then `Spare spare else `Off in
   let k = App.kernel app in
-  let k', _ = Ptxopt.Pipeline.run k in
+  let k', _ = Ptxopt.Pipeline.run ~block_size k in
   let a =
     Regalloc.Allocator.allocate ~shared_policy ~block_size ~reg_limit:regs k
   in

@@ -1,0 +1,48 @@
+(** Symbolic translation validation of the three transformation edges.
+
+    Each check co-executes the two sides of an edge in lockstep over the
+    {!Term} language, cutting at loop headers ({!Sym.side.headers}) with
+    havoc'd symbolic stores tied together by the edge's register
+    correspondence — identity on live ranges for the optimisation edge,
+    the allocator's recorded [assignment] plus spill-slot environment for
+    the allocation edge, and the machine register map (per-pc, no
+    cutpoints needed: lowering is 1:1) for the lowering edge.
+
+    A static match proves the edge ([Proved]); any static failure falls
+    back to path-constraint-seeded differential fuzzing, and only a
+    concretely replayed divergence refutes ([Refuted]) — everything else
+    is [Unknown], never a false refutation. *)
+
+type verdict =
+  | Proved
+  | Refuted of Witness.t
+  | Unknown of string
+
+type outcome =
+  { edge : string  (** ["opt"], ["alloc"] or ["lower"] *)
+  ; kernel : string
+  ; verdict : verdict
+  ; cuts : int  (** cutpoints processed (entry included) *)
+  ; paths : int  (** symbolic paths explored *)
+  ; obligations : int  (** term-equality obligations discharged *)
+  ; detail : string  (** static failure description, [""] when proved *)
+  }
+
+val check_opt :
+  block_size:int ->
+  ?num_blocks:int ->
+  left:Ptx.Kernel.t ->
+  right:Ptx.Kernel.t ->
+  unit ->
+  outcome
+(** Pre-opt vs post-opt kernel (the {!Ptxopt.Pipeline} edge). *)
+
+val check_alloc : Regalloc.Allocator.t -> outcome
+(** [original] vs [kernel]: colouring renames and spill code, matched
+    modulo [assignment] and the recorded spill placements. *)
+
+val check_lower : Machine.Lower.t -> outcome
+(** Allocated PTX vs lowered machine code, matched per-pc through the
+    inverse of {!Machine.Lower.map_reg}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,195 @@
+open Ptx
+
+type subject =
+  | Opt_pair of
+      { block_size : int
+      ; left : Kernel.t
+      ; right : Kernel.t
+      }
+  | Allocation of Regalloc.Allocator.t
+
+type case =
+  { label : string
+  ; expect : string
+  ; subject : subject
+  }
+
+let r id ty = Reg.make id ty
+let i x = Kernel.I x
+
+(* E201 on the optimisation edge: a copy of [a] is propagated into the
+   store even though [a] is redefined between the copy and the use. The
+   correct kernel writes the pre-clobber value 1; the miscompile writes
+   the clobbering value 2. *)
+let copyprop_clobber () =
+  let a = r 0 Types.U32
+  and b = r 1 Types.U32
+  and out = r 2 Types.U64 in
+  let body store_src =
+    [| i (Instr.Mov (Types.U32, a, Instr.Oimm 1L))
+     ; i (Instr.Mov (Types.U32, b, Instr.Oreg a))
+     ; i (Instr.Mov (Types.U32, a, Instr.Oimm 2L))
+     ; i
+         (Instr.Ld
+            ( Types.Param, Types.U64, out
+            , { Instr.base = Instr.Oparam "out"; offset = 0 } ))
+     ; i
+         (Instr.St
+            ( Types.Global, Types.U32
+            , { Instr.base = Instr.Oreg out; offset = 0 }
+            , Instr.Oreg store_src ))
+     ; i Instr.Ret
+    |]
+  in
+  let mk name store_src =
+    { Kernel.name; params = [ ("out", Types.U64) ]; decls = []
+    ; body = body store_src
+    }
+  in
+  Opt_pair
+    { block_size = 64
+    ; left = mk "copyprop_clobber" b
+    ; right = mk "copyprop_clobber" a
+    }
+
+(* E201 on the allocation edge: two spilled 32-bit ranges are placed on
+   the same local stack slot while both are live, so the reload of the
+   first spilled value observes the second. The forged record claims
+   the allocation is the identity plus those two spills. *)
+let spill_clash () =
+  let v0 = r 0 Types.U32
+  and v1 = r 1 Types.U32
+  and out = r 3 Types.U64 in
+  let original =
+    { Kernel.name = "spill_clash"
+    ; params = [ ("out", Types.U64) ]
+    ; decls = []
+    ; body =
+        [| i (Instr.Mov (Types.U32, v0, Instr.Oimm 11L))
+         ; i (Instr.Mov (Types.U32, v1, Instr.Oimm 22L))
+         ; i
+             (Instr.Ld
+                ( Types.Param, Types.U64, out
+                , { Instr.base = Instr.Oparam "out"; offset = 0 } ))
+         ; i
+             (Instr.St
+                ( Types.Global, Types.U32
+                , { Instr.base = Instr.Oreg out; offset = 0 }
+                , Instr.Oreg v0 ))
+         ; i
+             (Instr.St
+                ( Types.Global, Types.U32
+                , { Instr.base = Instr.Oreg out; offset = 4 }
+                , Instr.Oreg v1 ))
+         ; i Instr.Ret
+        |]
+    }
+  in
+  let rb = r 10 Types.U64
+  and t0 = r 11 Types.U32
+  and t1 = r 12 Types.U32
+  and u0 = r 13 Types.U32
+  and u1 = r 14 Types.U32 in
+  let sym = Regalloc.Spill.local_stack_sym in
+  let allocated =
+    { Kernel.name = "spill_clash"
+    ; params = [ ("out", Types.U64) ]
+    ; decls =
+        [ { Kernel.dname = sym
+          ; dspace = Types.Local
+          ; delem = Types.B8
+          ; dcount = 8
+          ; dalign = 8
+          }
+        ]
+    ; body =
+        [| i (Instr.Mov (Types.U64, rb, Instr.Osym sym))
+         ; i (Instr.Mov (Types.U32, t0, Instr.Oimm 11L))
+         ; i
+             (Instr.St
+                ( Types.Local, Types.U32
+                , { Instr.base = Instr.Oreg rb; offset = 0 }
+                , Instr.Oreg t0 ))
+         ; i (Instr.Mov (Types.U32, t1, Instr.Oimm 22L))
+         ; i
+             (* the clash: v1 spills onto v0's still-live slot *)
+             (Instr.St
+                ( Types.Local, Types.U32
+                , { Instr.base = Instr.Oreg rb; offset = 0 }
+                , Instr.Oreg t1 ))
+         ; i
+             (Instr.Ld
+                ( Types.Param, Types.U64, out
+                , { Instr.base = Instr.Oparam "out"; offset = 0 } ))
+         ; i
+             (Instr.Ld
+                ( Types.Local, Types.U32, u0
+                , { Instr.base = Instr.Oreg rb; offset = 0 } ))
+         ; i
+             (Instr.St
+                ( Types.Global, Types.U32
+                , { Instr.base = Instr.Oreg out; offset = 0 }
+                , Instr.Oreg u0 ))
+         ; i
+             (Instr.Ld
+                ( Types.Local, Types.U32, u1
+                , { Instr.base = Instr.Oreg rb; offset = 0 } ))
+         ; i
+             (Instr.St
+                ( Types.Global, Types.U32
+                , { Instr.base = Instr.Oreg out; offset = 4 }
+                , Instr.Oreg u1 ))
+         ; i Instr.Ret
+        |]
+    }
+  in
+  let assignment =
+    List.fold_left
+      (fun acc v -> Reg.Map.add v v acc)
+      Reg.Map.empty [ out ]
+  in
+  Allocation
+    { Regalloc.Allocator.kernel = allocated
+    ; original
+    ; virtual_kernel = allocated
+    ; assignment
+    ; block_size = 64
+    ; reg_limit = 4
+    ; units_used = 4
+    ; pred_used = 0
+    ; scalar_limit = 0
+    ; scalar_units_used = 0
+    ; scalarized = 0
+    ; spilled =
+        [ { Regalloc.Spill.reg = v0; space = Types.Local; offset = 0 }
+        ; { Regalloc.Spill.reg = v1; space = Types.Local; offset = 0 }
+        ]
+    ; stats = { num_local = 2; num_shared = 0; num_other = 0; num_remat = 0 }
+    ; weighted_local = 2.
+    ; weighted_shared = 0.
+    ; spill_local_bytes = 8
+    ; spill_shared_bytes_per_block = 0
+    ; rounds = 1
+    }
+
+let cases () =
+  [ { label = "copyprop-clobber"
+    ; expect = "E201"
+    ; subject = copyprop_clobber ()
+    }
+  ; { label = "spill-clash"; expect = "E201"; subject = spill_clash () }
+  ]
+
+let outcome_of c =
+  match c.subject with
+  | Opt_pair { block_size; left; right } ->
+    Check.check_opt ~block_size ~left ~right ()
+  | Allocation a -> Check.check_alloc a
+
+let runners c =
+  match c.subject with
+  | Opt_pair { left; right; _ } ->
+    (Witness.Run_kernel left, Witness.Run_kernel right)
+  | Allocation a ->
+    ( Witness.Run_kernel a.Regalloc.Allocator.original
+    , Witness.Run_kernel a.Regalloc.Allocator.kernel )

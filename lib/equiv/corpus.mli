@@ -1,0 +1,28 @@
+(** Deliberate miscompilations that the validator must refute.
+
+    Each case is a transformation edge whose right side is wrong in a
+    way real pipeline bugs are wrong — a copy propagated across a
+    clobber of its source, two spilled ranges folded onto one stack
+    slot — and each must come back [Refuted] with a concrete witness
+    that replays as a genuine divergence. *)
+
+type subject =
+  | Opt_pair of
+      { block_size : int
+      ; left : Ptx.Kernel.t
+      ; right : Ptx.Kernel.t
+      }
+  | Allocation of Regalloc.Allocator.t
+
+type case =
+  { label : string
+  ; expect : string  (** E-code the validator must report, e.g. ["E201"] *)
+  ; subject : subject
+  }
+
+val cases : unit -> case list
+
+val outcome_of : case -> Check.outcome
+
+val runners : case -> Witness.runner * Witness.runner
+(** The two concrete executables of the case's edge, for replay. *)

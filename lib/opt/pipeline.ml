@@ -11,12 +11,16 @@ type report =
    instead of as a silently wrong simulation. *)
 let gate stage k = Verify.Gate.check_kernel ~stage k
 
-let run ?(intfold = false) ?block_size k =
+let run ?(intfold = true) ?block_size k =
   gate "opt:input" k;
+  let input = k in
   (* the interval-driven fold is a whole-kernel fixpoint analysis, so it
-     runs once up front; the cheap peephole loop below cleans up after it *)
+     runs once up front; the cheap peephole loop below cleans up after
+     it. It bakes launch geometry (ntid, tid ranges) into constants, so
+     it only fires when the caller states the real [block_size] — the
+     analysis default would be unsound for any other launch. *)
   let k, intfolded =
-    if intfold then begin
+    if intfold && block_size <> None then begin
       let k, n = Intfold.run ?block_size k in
       gate "opt:intfold" k;
       (k, n)
@@ -39,7 +43,17 @@ let run ?(intfold = false) ?block_size k =
     in
     if f + p + e = 0 || iters >= 8 then (k, acc) else loop k acc (iters + 1)
   in
-  loop k { folded = intfolded; propagated = 0; eliminated = 0; iterations = 1 } 1
+  let k, acc =
+    loop k
+      { folded = intfolded; propagated = 0; eliminated = 0; iterations = 1 }
+      1
+  in
+  (* translation-validate the whole edge: symbolic co-execution of the
+     input against the fixpoint output (E201 refutations reject) *)
+  Verify.Gate.check_equiv ~stage:"opt:equiv"
+    ~block_size:(Option.value block_size ~default:128)
+    ~left:input ~right:k ();
+  (k, acc)
 
 let pp_report fmt r =
   Format.fprintf fmt "%d folded, %d propagated, %d eliminated (%d iterations)"

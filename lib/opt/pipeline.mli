@@ -14,8 +14,13 @@ type report =
   ; iterations : int
   }
 
-(** [intfold] (default false) arms the abstract-interpretation-backed
-    {!Intfold} pass as a pre-step; its folded operands are counted in
-    [report.folded]. [block_size] sharpens that analysis. *)
+(** [intfold] (default true) arms the abstract-interpretation-backed
+    {!Intfold} pass as a pre-step; pass [~intfold:false] to opt out. The
+    pass folds launch-geometry facts into constants, so it only fires
+    when [block_size] is given — without it the analysis would assume a
+    default geometry and miscompile other launches. Folded operands are
+    counted in [report.folded]. When the gate is enabled the whole edge
+    (input vs fixpoint output) is additionally translation-validated at
+    stage ["opt:equiv"]. *)
 val run : ?intfold:bool -> ?block_size:int -> Ptx.Kernel.t -> Ptx.Kernel.t * report
 val pp_report : Format.formatter -> report -> unit

@@ -126,6 +126,9 @@ type op_class =
 
 val classify : t -> op_class
 val equal : t -> t -> bool
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val cmp_to_string : cmp -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val pp_operand : Format.formatter -> operand -> unit

@@ -1,6 +1,7 @@
 type severity =
   | Error
   | Warning
+  | Info
 
 type t =
   { code : string
@@ -19,6 +20,9 @@ let error ?instr ?block ~kernel ~code message =
 
 let warning ?instr ?block ~kernel ~code message =
   make Warning ?instr ?block ~kernel ~code message
+
+let info ?instr ?block ~kernel ~code message =
+  make Info ?instr ?block ~kernel ~code message
 
 let is_error d = d.severity = Error
 let has_errors ds = List.exists is_error ds
@@ -40,6 +44,7 @@ let sort ds = List.sort_uniq compare ds
 let severity_to_string = function
   | Error -> "error"
   | Warning -> "warning"
+  | Info -> "info"
 
 let pp fmt d =
   let loc =
@@ -100,6 +105,9 @@ let all_codes =
   ; ("S401", "shared access provably outside its segment or per-thread spill sub-stack")
   ; ("S402", "local-frame or parameter-bank access provably out of bounds")
   ; ("S403", "access bounds not statically provable: dynamic check retained")
+  ; ("E101", "transformation edge proved equivalent by symbolic co-execution")
+  ; ("E201", "transformation edge refuted: concrete replayed counterexample")
+  ; ("E301", "equivalence unknown: static proof failed, no divergence found")
   ]
 
 let describe code =

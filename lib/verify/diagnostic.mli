@@ -6,6 +6,7 @@
 type severity =
   | Error  (** the kernel is wrong: miscompiles, races or deadlocks *)
   | Warning  (** suspicious but not provably wrong *)
+  | Info  (** a positive result worth surfacing, e.g. a proved edge *)
 
 type t =
   { code : string  (** stable code, e.g. ["V101"] *)
@@ -20,6 +21,9 @@ val error :
   ?instr:int -> ?block:int -> kernel:string -> code:string -> string -> t
 
 val warning :
+  ?instr:int -> ?block:int -> kernel:string -> code:string -> string -> t
+
+val info :
   ?instr:int -> ?block:int -> kernel:string -> code:string -> string -> t
 
 val is_error : t -> bool

@@ -1,0 +1,28 @@
+module Check = Equiv.Check
+module Witness = Equiv.Witness
+
+let diagnostics_of (o : Check.outcome) =
+  match o.Check.verdict with
+  | Check.Proved ->
+    [ Diagnostic.info ~kernel:o.Check.kernel ~code:"E101"
+        (Printf.sprintf
+           "%s edge proved (%d cutpoints, %d paths, %d obligations)"
+           o.Check.edge o.Check.cuts o.Check.paths o.Check.obligations)
+    ]
+  | Check.Refuted w ->
+    [ Diagnostic.error ~kernel:o.Check.kernel ~code:"E201"
+        (Format.asprintf
+           "%s edge refuted: %s; witness block_size=%d %a; %s" o.Check.edge
+           o.Check.detail w.Witness.block_size Witness.pp_params
+           w.Witness.params w.Witness.descr)
+    ]
+  | Check.Unknown reason ->
+    [ Diagnostic.warning ~kernel:o.Check.kernel ~code:"E301"
+        (Printf.sprintf "%s edge unproved: %s" o.Check.edge reason)
+    ]
+
+let check_opt ~block_size ?num_blocks ~left ~right () =
+  diagnostics_of (Check.check_opt ~block_size ?num_blocks ~left ~right ())
+
+let check_alloc a = diagnostics_of (Check.check_alloc a)
+let check_lower m = diagnostics_of (Check.check_lower m)

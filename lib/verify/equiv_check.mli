@@ -1,0 +1,19 @@
+(** Bridge from {!Equiv.Check} verdicts to E-code diagnostics.
+
+    E101 (info) — the edge is proved equivalent; the message carries the
+    proof statistics. E201 (error) — refuted, with the replayable
+    witness input in the message. E301 (warning) — the static proof
+    failed and differential fuzzing found no divergence. *)
+
+val diagnostics_of : Equiv.Check.outcome -> Diagnostic.t list
+
+val check_opt :
+  block_size:int ->
+  ?num_blocks:int ->
+  left:Ptx.Kernel.t ->
+  right:Ptx.Kernel.t ->
+  unit ->
+  Diagnostic.t list
+
+val check_alloc : Regalloc.Allocator.t -> Diagnostic.t list
+val check_lower : Machine.Lower.t -> Diagnostic.t list

@@ -35,3 +35,14 @@ let check_machine ~stage m =
 
 let check_sanitize ~stage ?block_size k =
   if enabled () then reject stage (Sanitize.check_kernel ?block_size k)
+
+let check_equiv ~stage ~block_size ?num_blocks ~left ~right () =
+  if enabled () then
+    reject stage
+      (Equiv_check.check_opt ~block_size ?num_blocks ~left ~right ())
+
+let check_equiv_alloc ~stage a =
+  if enabled () then reject stage (Equiv_check.check_alloc a)
+
+let check_equiv_lower ~stage m =
+  if enabled () then reject stage (Equiv_check.check_lower m)

@@ -26,3 +26,21 @@ val check_sanitize : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
 (** Run the S4xx hybrid-sanitizer bounds check ({!Sanitize.check_kernel})
     when the gate is enabled; proven-OOB accesses reject, residual
     (S403) warnings never do. *)
+
+val check_equiv :
+  stage:string ->
+  block_size:int ->
+  ?num_blocks:int ->
+  left:Ptx.Kernel.t ->
+  right:Ptx.Kernel.t ->
+  unit ->
+  unit
+(** Translation-validate a transformation edge ({!Equiv_check.check_opt})
+    when the gate is enabled. Only a refuted edge (E201, a concretely
+    replayed counterexample) rejects; unknown verdicts (E301) never do. *)
+
+val check_equiv_alloc : stage:string -> Regalloc.Allocator.t -> unit
+(** Likewise for the allocation edge: [original] vs allocated [kernel]. *)
+
+val check_equiv_lower : stage:string -> Machine.Lower.t -> unit
+(** Likewise for the machine-lowering edge. *)
