@@ -1,4 +1,4 @@
-.PHONY: all build test verify lint sanitize equiv bench bench-smoke bench-perf bench-backend clean
+.PHONY: all build test verify lint sanitize equiv bench bench-smoke bench-perf bench-backend bench-serve serve-smoke clean
 
 all: build
 
@@ -17,27 +17,21 @@ verify:
 # claim cross-checked against the reference interpreter's dynamic counters;
 # the P-code report lands in lint-report.txt
 lint:
-	dune exec bin/crat_cli.exe -- lint --all --validate > lint-report.txt \
-	  || { cat lint-report.txt; exit 1; }
-	cat lint-report.txt
+	dune exec bin/crat_cli.exe -- lint --all --validate --out lint-report.txt
 
 # hybrid memory-safety sweep: every workload at pre-opt/post-opt/post-alloc,
 # then a sanitized replay of each default launch (static proofs discharge the
 # dynamic checks; only the residue pays a bounds test); the S-code +
 # discharge-table report lands in sanitize-report.txt
 sanitize:
-	dune exec bin/crat_cli.exe -- sanitize --all --validate > sanitize-report.txt \
-	  || { cat sanitize-report.txt; exit 1; }
-	cat sanitize-report.txt
+	dune exec bin/crat_cli.exe -- sanitize --all --validate --out sanitize-report.txt
 
 # translation-validation sweep: symbolically prove every workload's three
 # transformation edges (optimization, allocation, machine lowering), plus
 # the seeded miscompile corpus, each refutation replayed on the reference
 # interpreter; the E-code report lands in equiv-report.txt
 equiv:
-	dune exec bin/crat_cli.exe -- equiv --all --corpus > equiv-report.txt \
-	  || { cat equiv-report.txt; exit 1; }
-	cat equiv-report.txt
+	dune exec bin/crat_cli.exe -- equiv --all --corpus --out equiv-report.txt
 
 bench:
 	dune exec bench/main.exe
@@ -57,6 +51,18 @@ bench-perf:
 # fig13 per register-file backend + scalarization statistics
 bench-backend:
 	dune exec bench/backendbench.exe -- BENCH_PR6.json
+
+# daemon + persistent store under N forked clients, full suite, cold vs
+# warm store (see BENCH_PR10.json)
+bench-serve:
+	dune exec bench/servebench.exe -- BENCH_PR10.json
+
+# CI gate for the daemon: 4 concurrent clients over a workload subset,
+# cold store then warm restart; fails unless the warm run answers >= 90%
+# of points without functional execution and every Stats fingerprint is
+# bit-identical across clients and store temperatures
+serve-smoke:
+	dune exec bench/servebench.exe -- --smoke BENCH_PR10.json
 
 clean:
 	dune clean

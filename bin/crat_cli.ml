@@ -13,21 +13,18 @@
      verify APP | --all [...]     static verifier / allocation auditor
      lint APP | --all [...]       static performance advisor (P-codes)
      sanitize APP | --all [...]   hybrid memory-safety sanitizer (S-codes)
+     equiv APP | --all [...]      translation validation (E-codes)
+     serve [--socket --store]     the crat daemon (persistent store, dedup)
+     client [APP...]              talk to a running daemon
 
-   The allocate/simulate/optimize/passes commands also take [--verify],
+   The four report sweeps share one driver (see sweep.ml); the
+   allocate/simulate/optimize/passes commands also take [--verify],
    which arms the in-pipeline verifier gate (same as CRAT_VERIFY=1). *)
 
 open Cmdliner
 
-let config_of_kepler kepler =
-  if kepler then Gpusim.Config.kepler else Gpusim.Config.fermi
-
-let find_app abbr =
-  try Workloads.Suite.find abbr
-  with Not_found ->
-    Format.eprintf "unknown application %S; known: %s@." abbr
-      (String.concat " " Workloads.Suite.abbrs);
-    exit 2
+let config_of_kepler = Sweep.config_of_kepler
+let find_app = Sweep.find_app
 
 (* ---------- shared args ---------- *)
 
@@ -156,13 +153,15 @@ let do_allocate ?(backend = Machine.Backend.Ptx) kernel ~block_size ~regs
       ( Machine.Scalarize.predicate ~block_size kernel
       , Machine.Backend.default_scalar_limit )
   in
-  Verify.Gate.check_kernel ~stage:"cli:pre-alloc" ~block_size kernel;
-  Verify.Gate.check_sanitize ~stage:"cli:pre-alloc" ~block_size kernel;
+  Verify.Gate.run ~stage:"cli:pre-alloc"
+    [ Verify.Gate.Kernel { block_size = Some block_size; kernel }
+    ; Verify.Gate.Sanitize { block_size = Some block_size; kernel }
+    ];
   let a =
     Regalloc.Allocator.allocate ~strategy ~shared_policy ~scalar ~scalar_limit
       ~block_size ~reg_limit:regs kernel
   in
-  Verify.Gate.check_allocation ~stage:"cli:post-alloc" a;
+  Verify.Gate.run ~stage:"cli:post-alloc" [ Verify.Gate.Allocation a ];
   Format.printf
     "allocated at limit %d: %d vector units used, %d predicates, %d spilled@."
     regs a.Regalloc.Allocator.units_used a.Regalloc.Allocator.pred_used
@@ -182,7 +181,7 @@ let do_allocate ?(backend = Machine.Backend.Ptx) kernel ~block_size ~regs
     Format.printf "scalar file: %d units/warp (%d registers scalarized)@."
       a.Regalloc.Allocator.scalar_units_used a.Regalloc.Allocator.scalarized;
     let m = Machine.Lower.run a in
-    Verify.Gate.check_machine ~stage:"cli:post-lower" m;
+    Verify.Gate.run ~stage:"cli:post-lower" [ Verify.Gate.Machine m ];
     Format.printf
       "machine code: %d insns (%d bytes), V=%d S=%d P=%d@."
       (Array.length m.Machine.Lower.code)
@@ -261,8 +260,8 @@ let simulate_cmd =
       Regalloc.Allocator.allocate ~block_size:app.Workloads.App.block_size
         ~reg_limit:regs (Workloads.App.kernel app)
     in
-    Verify.Gate.check_allocation
-      ~stage:(abbr ^ ":post-alloc") a;
+    Verify.Gate.run ~stage:(abbr ^ ":post-alloc")
+      [ Verify.Gate.Allocation a ];
     let r = Crat.Resource.analyze cfg app in
     let occ = Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at r ~regs) in
     let tlp = Option.value ~default:occ tlp in
@@ -370,391 +369,226 @@ let optimize_cmd =
     Term.(const run $ kepler_arg $ app_arg $ backend_arg $ static_arg
           $ no_shared_arg $ jobs_arg $ report_arg $ gate_arg $ replay_arg)
 
-(* ---------- verify ---------- *)
+(* ---------- report sweeps (shared driver, see sweep.ml) ---------- *)
 
-let print_diags diags =
-  List.iter
-    (fun d -> Format.printf "    %s@." (Verify.Diagnostic.to_string d))
-    (Verify.Diagnostic.sort diags)
-
-(* Verify one stage; prints a one-line summary (plus the diagnostics when
-   there are any) and returns whether an error-severity one fired. *)
-let verify_stage abbr stage diags =
-  let errs = List.length (Verify.Diagnostic.errors diags) in
-  let warns = List.length (Verify.Diagnostic.warnings diags) in
-  if diags = [] then Format.printf "%-5s %-10s ok@." abbr stage
-  else begin
-    Format.printf "%-5s %-10s %d error(s), %d warning(s)@." abbr stage errs
-      warns;
-    print_diags diags
-  end;
-  errs > 0
-
-let verify_app ~regs ~linear_scan ~spare (app : Workloads.App.t) =
-  let abbr = app.Workloads.App.abbr in
-  let block_size = app.Workloads.App.block_size in
-  let regs = Option.value ~default:app.Workloads.App.default_regs regs in
-  let strategy =
-    if linear_scan then Regalloc.Allocator.Linear_scan
-    else Regalloc.Allocator.Chaitin_briggs
+let verify_options =
+  let mk regs linear_scan spare =
+    { Sweep.default_options with Sweep.regs; linear_scan; spare }
   in
-  let shared_policy = if spare > 0 then `Spare spare else `Off in
-  let k = Workloads.App.kernel app in
-  let pre = verify_stage abbr "pre-opt" (Verify.Checker.check_kernel ~block_size k) in
-  let k', _ = Ptxopt.Pipeline.run ~block_size k in
-  let post =
-    verify_stage abbr "post-opt" (Verify.Checker.check_kernel ~block_size k')
-  in
-  let a =
-    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
-      ~reg_limit:regs k
-  in
-  let alloc =
-    verify_stage abbr "post-alloc" (Verify.Checker.check_allocation a)
-  in
-  pre || post || alloc
-
-let verify_corpus () =
-  List.fold_left
-    (fun bad (c : Verify.Corpus.case) ->
-       let diags = Verify.Corpus.diagnostics_of c in
-       let hit =
-         List.exists
-           (fun d -> d.Verify.Diagnostic.code = c.Verify.Corpus.expect)
-           diags
-       in
-       Format.printf "corpus %-9s expecting %s: %s@." c.Verify.Corpus.label
-         c.Verify.Corpus.expect
-         (if hit then "caught as expected" else "NOT CAUGHT");
-       print_diags diags;
-       bad || not hit)
-    false
-    (Verify.Corpus.cases ())
+  Term.(const mk $ regs_arg $ ls_arg $ spare_arg)
 
 let verify_cmd =
-  let doc =
-    "Statically verify a kernel at every compiler stage (pre-opt, post-opt, \
-     post-allocation) and audit the register allocation."
-  in
-  let app_opt =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
-           ~doc:"Application abbreviation; omit with $(b,--all).")
-  in
-  let all_arg =
-    Arg.(value & flag & info [ "all" ]
-           ~doc:"Sweep every suite kernel; exit 1 on any error diagnostic.")
-  in
-  let corpus_arg =
-    Arg.(value & flag & info [ "corpus" ]
-           ~doc:"Also run the seeded known-bad corpus; each case must be \
-                 rejected with its documented code.")
-  in
-  let codes_arg =
-    Arg.(value & flag & info [ "codes" ]
-           ~doc:"List the documented diagnostic codes and exit.")
-  in
-  let run abbr all corpus codes regs linear_scan spare =
-    if codes then
-      print_endline (Verify.Diagnostic.codes_listing ())
-    else begin
-      let apps =
-        if all then Workloads.Suite.all
-        else
-          match abbr with
-          | Some a -> [ find_app a ]
-          | None ->
-            if corpus then []
-            else begin
-              Format.eprintf "verify: name an APP or pass --all@.";
-              exit 2
-            end
-      in
-      let bad =
-        List.fold_left
-          (fun acc app -> verify_app ~regs ~linear_scan ~spare app || acc)
-          false apps
-      in
-      let bad = if corpus then verify_corpus () || bad else bad in
-      if bad then exit 1
-    end
-  in
-  Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ app_opt $ all_arg $ corpus_arg $ codes_arg $ regs_arg
-          $ ls_arg $ spare_arg)
+  Sweep.command Sweep.Verify
+    ~doc:
+      "Statically verify a kernel at every compiler stage (pre-opt, post-opt, \
+       post-allocation) and audit the register allocation."
+    ~all_doc:"Sweep every suite kernel; exit 1 on any error diagnostic."
+    ~corpus_doc:
+      "Also run the seeded known-bad corpus; each case must be rejected with \
+       its documented code."
+    verify_options
 
-(* ---------- lint ---------- *)
-
-let lint_app ~kepler ~regs ~validate (app : Workloads.App.t) =
-  let abbr = app.Workloads.App.abbr in
-  let cfg = config_of_kepler kepler in
-  let report, failures =
-    if validate then Crat.Lint.validate ~cfg app
-    else (Crat.Lint.lint ~cfg ?regs app, [])
-  in
-  let n = List.length report.Verify.Advisor.diags in
-  Format.printf "%-5s %d advisory(s), MAXLIVE %d%s@." abbr n
-    report.Verify.Advisor.pressure.Absint.Pressure.maxlive
-    (if validate then
-       if failures = [] then ", claims validated" else ", CLAIMS VIOLATED"
-     else "");
-  print_diags report.Verify.Advisor.diags;
-  List.iter (fun f -> Format.printf "    validation: %s@." f) failures;
-  failures <> []
-
-let lint_cmd =
-  let doc =
-    "Static performance advisor: abstract interpretation over the kernel \
-     emits P-code advisories (pressure, coalescing, bank conflicts, \
-     divergence, loops); $(b,--validate) cross-checks every static claim \
-     against the reference interpreter's dynamic counters."
-  in
-  let app_opt =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
-           ~doc:"Application abbreviation; omit with $(b,--all).")
-  in
-  let all_arg =
-    Arg.(value & flag & info [ "all" ]
-           ~doc:"Sweep every suite kernel; exit 1 on any violated claim.")
-  in
+let lint_options =
   let validate_arg =
     Arg.(value & flag & info [ "validate" ]
            ~doc:"Run the default input through the reference interpreter and \
                  check every static claim against the dynamic counters.")
   in
-  let codes_arg =
-    Arg.(value & flag & info [ "codes" ]
-           ~doc:"List the advisory P-codes and exit.")
+  let mk kepler regs validate =
+    { Sweep.default_options with Sweep.kepler; regs; validate }
   in
-  let run kepler abbr all validate codes regs =
-    if codes then
-      print_endline (Verify.Diagnostic.codes_listing ~prefix:"P" ())
-    else begin
-      let apps =
-        if all then Workloads.Suite.all
-        else
-          match abbr with
-          | Some a -> [ find_app a ]
-          | None ->
-            Format.eprintf "lint: name an APP or pass --all@.";
-            exit 2
-      in
-      let bad =
-        List.fold_left
-          (fun acc app -> lint_app ~kepler ~regs ~validate app || acc)
-          false apps
-      in
-      if bad then exit 1
-    end
-  in
-  Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ kepler_arg $ app_opt $ all_arg $ validate_arg $ codes_arg
-          $ regs_arg)
+  Term.(const mk $ kepler_arg $ regs_arg $ validate_arg)
 
-(* ---------- sanitize ---------- *)
+let lint_cmd =
+  Sweep.command Sweep.Lint
+    ~doc:
+      "Static performance advisor: abstract interpretation over the kernel \
+       emits P-code advisories (pressure, coalescing, bank conflicts, \
+       divergence, loops); $(b,--validate) cross-checks every static claim \
+       against the reference interpreter's dynamic counters."
+    ~all_doc:"Sweep every suite kernel; exit 1 on any violated claim."
+    ~corpus_doc:"" lint_options
 
-let sanitize_app ~kepler ~regs ~spare ~validate (app : Workloads.App.t) =
-  let abbr = app.Workloads.App.abbr in
-  let bad = ref false in
-  let total = ref 0 and safe = ref 0 in
-  List.iter
-    (fun (sr : Crat.Sanitize.stage_report) ->
-       let r = sr.Crat.Sanitize.report in
-       let d = r.Verify.Sanitize.discharge in
-       total := !total + d.Verify.Sanitize.total;
-       safe := !safe + d.Verify.Sanitize.safe;
-       Format.printf
-         "%-5s %-10s %3d access(es): %3d safe, %d oob, %d residual (%.1f%% proven)@."
-         abbr sr.Crat.Sanitize.stage d.Verify.Sanitize.total
-         d.Verify.Sanitize.safe d.Verify.Sanitize.oob
-         d.Verify.Sanitize.residual
-         (Verify.Sanitize.proven_pct d);
-       print_diags r.Verify.Sanitize.diags;
-       if Verify.Diagnostic.has_errors r.Verify.Sanitize.diags then bad := true)
-    (Crat.Sanitize.stages ?regs ~spare app);
-  if validate then begin
-    let dyn = Crat.Sanitize.validate ~cfg:(config_of_kepler kepler) app in
-    let c = dyn.Crat.Sanitize.counters in
-    let seen = Gpusim.Sancheck.seen c in
-    let checked = Gpusim.Sancheck.checked c in
-    let discharged =
-      if seen = 0 then 100.0
-      else 100.0 *. float_of_int (seen - checked) /. float_of_int seen
-    in
-    Format.printf
-      "%-5s %-10s %d lane access(es) monitored, %d checked (%.1f%% discharged), %d violation(s)@."
-      abbr "dynamic" seen checked discharged
-      (Gpusim.Sancheck.violations c);
-    List.iter
-      (fun f -> Format.printf "    sanitize: %s@." f)
-      dyn.Crat.Sanitize.failures;
-    if dyn.Crat.Sanitize.failures <> [] then bad := true
-  end;
-  (!bad, (!total, !safe))
-
-let sanitize_cmd =
-  let doc =
-    "Hybrid memory-safety sanitizer: static bounds proofs over every      shared/local/param access (S-codes), a per-stage discharge table, and      with $(b,--validate) a sanitized run of the default input where only      the unproven accesses pay a dynamic bounds check."
-  in
-  let app_opt =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
-           ~doc:"Application abbreviation; omit with $(b,--all).")
-  in
-  let all_arg =
-    Arg.(value & flag & info [ "all" ]
-           ~doc:"Sweep every suite kernel; exit 1 on any proven-OOB access                  or dynamic violation.")
-  in
+let sanitize_options =
   let validate_arg =
     Arg.(value & flag & info [ "validate" ]
-           ~doc:"Run the default input through the reference interpreter                  with the residual checks armed; report what fraction of                  dynamic lane accesses the static proofs discharged.")
+           ~doc:"Run the default input through the reference interpreter \
+                 with the residual checks armed; report what fraction of \
+                 dynamic lane accesses the static proofs discharged.")
   in
-  let codes_arg =
-    Arg.(value & flag & info [ "codes" ]
-           ~doc:"List the sanitizer S-codes and exit.")
+  let mk kepler regs spare validate =
+    { Sweep.default_options with Sweep.kepler; regs; spare; validate }
   in
-  let run kepler abbr all validate codes regs spare =
-    if codes then
-      print_endline (Verify.Diagnostic.codes_listing ~prefix:"S" ())
-    else begin
-      let apps =
-        if all then Workloads.Suite.all
-        else
-          match abbr with
-          | Some a -> [ find_app a ]
-          | None ->
-            Format.eprintf "sanitize: name an APP or pass --all@.";
-            exit 2
-      in
-      let bad, total, safe =
-        List.fold_left
-          (fun (acc, t, sf) app ->
-             let b, (t', sf') = sanitize_app ~kepler ~regs ~spare ~validate app in
-             (b || acc, t + t', sf + sf'))
-          (false, 0, 0) apps
-      in
-      if all && total > 0 then
-        Format.printf "suite: %d static access(es), %d proven safe (%.1f%%)@."
-          total safe
-          (100.0 *. float_of_int safe /. float_of_int total);
-      if bad then exit 1
-    end
-  in
-  Cmd.v (Cmd.info "sanitize" ~doc)
-    Term.(const run $ kepler_arg $ app_opt $ all_arg $ validate_arg
-          $ codes_arg $ regs_arg $ spare_arg)
+  Term.(const mk $ kepler_arg $ regs_arg $ spare_arg $ validate_arg)
 
-(* ---------- equiv ---------- *)
-
-(* Translation-validate the three transformation edges of one app:
-   pre-opt vs post-opt, post-opt input vs allocated kernel, allocated
-   PTX vs lowered machine code. Returns (refuted, unproved). *)
-let equiv_app ~regs ~linear_scan ~spare (app : Workloads.App.t) =
-  let abbr = app.Workloads.App.abbr in
-  let block_size = app.Workloads.App.block_size in
-  let regs = Option.value ~default:app.Workloads.App.default_regs regs in
-  let strategy =
-    if linear_scan then Regalloc.Allocator.Linear_scan
-    else Regalloc.Allocator.Chaitin_briggs
-  in
-  let shared_policy = if spare > 0 then `Spare spare else `Off in
-  let refuted = ref false and unproved = ref false in
-  let report (o : Equiv.Check.outcome) =
-    (match o.Equiv.Check.verdict with
-     | Equiv.Check.Proved -> ()
-     | Equiv.Check.Refuted _ -> refuted := true
-     | Equiv.Check.Unknown _ -> unproved := true);
-    Format.printf "%-5s %a@." abbr Equiv.Check.pp_outcome o
-  in
-  let k = Workloads.App.kernel app in
-  let k', _ = Ptxopt.Pipeline.run ~block_size k in
-  report (Equiv.Check.check_opt ~block_size ~left:k ~right:k' ());
-  let a =
-    Regalloc.Allocator.allocate ~strategy ~shared_policy ~block_size
-      ~reg_limit:regs k
-  in
-  report (Equiv.Check.check_alloc a);
-  report (Equiv.Check.check_lower (Machine.Lower.run a));
-  (!refuted, !unproved)
-
-let equiv_corpus () =
-  List.fold_left
-    (fun bad (c : Equiv.Corpus.case) ->
-       let o = Equiv.Corpus.outcome_of c in
-       let diags = Verify.Equiv_check.diagnostics_of o in
-       let hit =
-         List.exists
-           (fun d -> d.Verify.Diagnostic.code = c.Equiv.Corpus.expect)
-           diags
-       in
-       let replayed =
-         match o.Equiv.Check.verdict with
-         | Equiv.Check.Refuted w ->
-           let left, right = Equiv.Corpus.runners c in
-           Equiv.Witness.replay ~left ~right w <> None
-         | _ -> false
-       in
-       Format.printf "corpus %-17s expecting %s: %s@." c.Equiv.Corpus.label
-         c.Equiv.Corpus.expect
-         (if hit && replayed then "refuted, witness replays"
-          else if hit then "refuted, but witness does NOT replay"
-          else "NOT REFUTED");
-       print_diags diags;
-       bad || not (hit && replayed))
-    false
-    (Equiv.Corpus.cases ())
+let sanitize_cmd =
+  Sweep.command Sweep.Sanitize
+    ~doc:
+      "Hybrid memory-safety sanitizer: static bounds proofs over every \
+       shared/local/param access (S-codes), a per-stage discharge table, and \
+       with $(b,--validate) a sanitized run of the default input where only \
+       the unproven accesses pay a dynamic bounds check."
+    ~all_doc:
+      "Sweep every suite kernel; exit 1 on any proven-OOB access or dynamic \
+       violation."
+    ~corpus_doc:"" sanitize_options
 
 let equiv_cmd =
+  Sweep.command Sweep.Equiv
+    ~doc:
+      "Translation validation: symbolically prove each compiler edge \
+       (optimization, register allocation, machine lowering) equivalent, \
+       refute miscompiles with a concrete replayed counterexample, and \
+       report everything else as unknown."
+    ~all_doc:
+      "Sweep every suite kernel; exit 1 unless every edge of every kernel is \
+       proved."
+    ~corpus_doc:
+      "Also run the seeded miscompile corpus; each case must be refuted \
+       (E201) with a witness that replays as a genuine divergence."
+    verify_options
+
+(* ---------- serve ---------- *)
+
+let socket_arg =
+  Arg.(value & opt string Serve.Protocol.default_socket
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
   let doc =
-    "Translation validation: symbolically prove each compiler edge      (optimization, register allocation, machine lowering) equivalent,      refute miscompiles with a concrete replayed counterexample, and      report everything else as unknown."
+    "Run the crat daemon: a long-lived engine behind a Unix-domain socket \
+     with a persistent content-addressed store. Concurrent clients share \
+     in-flight work (identical requests are computed once) and every \
+     recorded launch trace, allocation and statistic survives restarts in \
+     $(b,--store)."
   in
-  let app_opt =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP"
-           ~doc:"Application abbreviation; omit with $(b,--all).")
+  let store_arg =
+    Arg.(value & opt string Serve.Protocol.default_store
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Persistent store directory (created on demand).")
+  in
+  let no_store_arg =
+    Arg.(value & flag & info [ "no-store" ]
+           ~doc:"Serve from memory only; nothing survives a restart.")
+  in
+  let budget_arg =
+    Arg.(value & opt int Store.default_budget
+         & info [ "budget" ] ~docv:"BYTES"
+             ~doc:"Store byte budget; least-recently-used entries are \
+                   evicted past it.")
+  in
+  let run socket store no_store budget jobs replay =
+    let store_dir = if no_store then None else Some store in
+    Format.printf "crat daemon listening on %s (store: %s)@." socket
+      (match store_dir with None -> "none" | Some d -> d);
+    Serve.Daemon.run ~socket ?store_dir ~budget ~jobs ~replay
+      ~sweep:Sweep.serve_sweep ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ store_arg $ no_store_arg $ budget_arg
+          $ jobs_arg $ replay_arg)
+
+(* ---------- client ---------- *)
+
+let client_cmd =
+  let doc =
+    "Talk to a running crat daemon: simulate suite points ($(i,APP)... or \
+     $(b,--all)), run a server-side report sweep ($(b,--sweep)), print \
+     daemon statistics ($(b,--stats)) or stop it ($(b,--shutdown))."
+  in
+  let apps_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"APP"
+           ~doc:"Applications to simulate (default: none).")
   in
   let all_arg =
-    Arg.(value & flag & info [ "all" ]
-           ~doc:"Sweep every suite kernel; exit 1 unless every edge of every \
-                 kernel is proved.")
+    Arg.(value & flag & info [ "all" ] ~doc:"Simulate the whole suite.")
   in
-  let corpus_arg =
-    Arg.(value & flag & info [ "corpus" ]
-           ~doc:"Also run the seeded miscompile corpus; each case must be \
-                 refuted (E201) with a witness that replays as a genuine \
-                 divergence.")
+  let tlp_arg =
+    Arg.(value & opt (some int) None & info [ "t"; "tlp" ] ~docv:"N"
+           ~doc:"Concurrent thread blocks (default: occupancy maximum).")
   in
-  let codes_arg =
-    Arg.(value & flag & info [ "codes" ]
-           ~doc:"List the documented E-codes and exit.")
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's counters.")
   in
-  let run abbr all corpus codes regs linear_scan spare =
-    if codes then
-      print_endline (Verify.Diagnostic.codes_listing ~prefix:"E" ())
-    else begin
-      let apps =
-        if all then Workloads.Suite.all
-        else
-          match abbr with
-          | Some a -> [ find_app a ]
-          | None ->
-            if corpus then []
-            else begin
-              Format.eprintf "equiv: name an APP or pass --all@.";
-              exit 2
-            end
-      in
-      let refuted, unproved =
-        List.fold_left
-          (fun (r, u) app ->
-             let r', u' = equiv_app ~regs ~linear_scan ~spare app in
-             (r || r', u || u'))
-          (false, false) apps
-      in
-      let bad = if corpus then equiv_corpus () else false in
-      if refuted || bad || (all && unproved) then exit 1
-    end
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to exit.")
   in
-  Cmd.v (Cmd.info "equiv" ~doc)
-    Term.(const run $ app_opt $ all_arg $ corpus_arg $ codes_arg $ regs_arg
-          $ ls_arg $ spare_arg)
+  let sweep_arg =
+    Arg.(value & opt (some string) None & info [ "sweep" ] ~docv:"KIND"
+           ~doc:"Run a server-side report sweep: $(b,verify), $(b,lint), \
+                 $(b,sanitize) or $(b,equiv) (over $(i,APP)... or the whole \
+                 suite).")
+  in
+  let fail msg = Format.eprintf "client: %s@." msg; exit 1 in
+  let print_stats (s : Serve.Protocol.server_stats) =
+    Format.printf
+      "uptime %.1fs, %d connection(s), %d request(s), %d point(s), %d dedup \
+       hit(s)@."
+      s.Serve.Protocol.uptime_s s.Serve.Protocol.connections
+      s.Serve.Protocol.requests s.Serve.Protocol.points
+      s.Serve.Protocol.dedup_hits;
+    Format.printf
+      "engine: %d sim run(s), %d sim hit(s), %d trace record(s), %d trace \
+       replay(s), %d alloc run(s), %d alloc hit(s)@."
+      s.Serve.Protocol.sim_runs s.Serve.Protocol.sim_hits
+      s.Serve.Protocol.trace_records s.Serve.Protocol.trace_replays
+      s.Serve.Protocol.alloc_runs s.Serve.Protocol.alloc_hits;
+    Format.printf
+      "store: %d entry(ies), %d / %d bytes, %d hit(s), %d miss(es), %d \
+       eviction(s)@."
+      s.Serve.Protocol.store_entries s.Serve.Protocol.store_bytes
+      s.Serve.Protocol.store_budget s.Serve.Protocol.store_hits
+      s.Serve.Protocol.store_misses s.Serve.Protocol.store_evictions;
+    Format.printf "hit rate: %.3f@." (Serve.Protocol.hit_rate s)
+  in
+  let run socket apps all kepler regs tlp stats shutdown sweep =
+    match Serve.Client.connect ~socket () with
+    | Error e -> fail e
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (match sweep with
+       | Some kind ->
+         (match Serve.Client.sweep c ~kind ~apps with
+          | Error e -> fail e
+          | Ok (text, failed) ->
+            print_string text;
+            if failed then exit 1)
+       | None ->
+         let abbrs =
+           if all then Workloads.Suite.abbrs
+           else (List.iter (fun a -> ignore (find_app a)) apps; apps)
+         in
+         if abbrs <> [] then begin
+           let points =
+             List.map
+               (fun abbr -> Serve.Protocol.point ~regs ~tlp ~kepler abbr)
+               abbrs
+           in
+           let names = Array.of_list abbrs in
+           match
+             Serve.Client.simulate_iter c points ~f:(fun i st ->
+               Format.printf "%-5s %9d cycles, IPC %.3f@." names.(i)
+                 st.Gpusim.Stats.cycles (Gpusim.Stats.ipc st))
+           with
+           | Error e -> fail e
+           | Ok _ -> ()
+         end;
+         if stats then
+           (match Serve.Client.server_stats c with
+            | Error e -> fail e
+            | Ok s -> print_stats s);
+         if shutdown then
+           (match Serve.Client.shutdown c with
+            | Error e -> fail e
+            | Ok () -> Format.printf "daemon stopped@.");
+         if abbrs = [] && not stats && not shutdown then
+           fail "nothing to do: name APPs or pass --all, --stats, --sweep or --shutdown")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ apps_arg $ all_arg $ kepler_arg $ regs_arg
+          $ tlp_arg $ stats_arg $ shutdown_arg $ sweep_arg)
+
 
 let () =
   let doc = "CRAT: coordinated register allocation and TLP optimization for GPUs" in
@@ -763,6 +597,6 @@ let () =
     Cmd.group info
       [ apps_cmd; config_cmd; analyze_cmd; allocate_cmd; allocate_file_cmd
       ; simulate_cmd; optimize_cmd; trace_cmd; passes_cmd; verify_cmd
-      ; lint_cmd; sanitize_cmd; equiv_cmd ]
+      ; lint_cmd; sanitize_cmd; equiv_cmd; serve_cmd; client_cmd ]
   in
   exit (Cmd.eval group)

@@ -15,6 +15,9 @@ type t =
   { n_jobs : int
   ; replay : bool
   ; lock : Mutex.t
+  ; disk : Store.t option
+      (** persistent write-through layer under all three in-memory
+          stores; answers are bit-identical (Marshal round-trips) *)
   ; sim_store : (string, Gpusim.Stats.t) Hashtbl.t
   ; traces : Gpusim.Replay.Store.t
   ; alloc_store : (string, Regalloc.Allocator.t) Hashtbl.t
@@ -35,13 +38,22 @@ type t =
   ; mutable batches : int
   }
 
-let create ?(jobs = 1) ?(replay = true) ?trace_budget () =
+let create ?(jobs = 1) ?(replay = true) ?trace_budget ?store () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  (* traces evicted from the in-memory event budget spill to the
+     persistent store (put is a no-op when the key is already there) *)
+  let on_evict =
+    Option.map
+      (fun d k tr ->
+         Store.put d ~kind:"trace" ~key:k (Gpusim.Replay.to_bytes tr))
+      store
+  in
   { n_jobs = jobs
   ; replay
   ; lock = Mutex.create ()
+  ; disk = store
   ; sim_store = Hashtbl.create 256
-  ; traces = Gpusim.Replay.Store.create ?max_events:trace_budget ()
+  ; traces = Gpusim.Replay.Store.create ?max_events:trace_budget ?on_evict ()
   ; alloc_store = Hashtbl.create 64
   ; kernel_digests = []
   ; launch_keys = []
@@ -58,6 +70,7 @@ let create ?(jobs = 1) ?(replay = true) ?trace_budget () =
 
 let jobs t = t.n_jobs
 let replay_enabled t = t.replay
+let store t = t.disk
 
 let locked t f =
   Mutex.lock t.lock;
@@ -118,6 +131,41 @@ let alloc_key t ~strategy ~backend ~shared_spare ~block_size ~reg_limit kernel =
     ; string_of_int block_size
     ; string_of_int reg_limit
     ]
+
+(* ---------- persistent store plumbing ---------- *)
+
+let disk_put_value t ~kind ~key v =
+  match t.disk with
+  | None -> ()
+  | Some d -> Store.put_value d ~kind ~key v
+
+let disk_get_stats t key : Gpusim.Stats.t option =
+  match t.disk with
+  | None -> None
+  | Some d -> Store.get_value d ~kind:"stats" ~key
+
+let disk_get_alloc t key : Regalloc.Allocator.t option =
+  match t.disk with
+  | None -> None
+  | Some d -> Store.get_value d ~kind:"alloc" ~key
+
+let disk_put_trace t key tr =
+  match t.disk with
+  | None -> ()
+  | Some d -> Store.put d ~kind:"trace" ~key (Gpusim.Replay.to_bytes tr)
+
+let disk_get_trace t key =
+  match t.disk with
+  | None -> None
+  | Some d ->
+    (match Store.get d ~kind:"trace" ~key with
+     | None -> None
+     | Some s -> Gpusim.Replay.of_bytes s)
+
+let disk_mem_trace t key =
+  match t.disk with
+  | None -> false
+  | Some d -> Store.mem d ~kind:"trace" ~key
 
 (* ---------- domain pool ---------- *)
 
@@ -188,11 +236,26 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
   let key =
     alloc_key t ~strategy ~backend ~shared_spare ~block_size ~reg_limit kernel
   in
-  match locked t (fun () -> Hashtbl.find_opt t.alloc_store key) with
-  | Some a ->
+  (* the alloc key is a readable concat; the on-disk name is its digest *)
+  let dkey = digest key in
+  let memory_hit = locked t (fun () -> Hashtbl.find_opt t.alloc_store key) in
+  (* with the gate armed, never answer allocations from disk: the gate's
+     audits must run on every allocation this process hands out *)
+  let disk_hit =
+    match memory_hit with
+    | Some _ -> None
+    | None -> if Verify.Gate.enabled () then None else disk_get_alloc t dkey
+  in
+  match (memory_hit, disk_hit) with
+  | Some a, _ ->
     locked t (fun () -> t.alloc_hits <- t.alloc_hits + 1);
     a
-  | None ->
+  | None, Some a ->
+    locked t (fun () ->
+      t.alloc_hits <- t.alloc_hits + 1;
+      Hashtbl.replace t.alloc_store key a);
+    a
+  | None, None ->
     let shared_policy = if shared_spare > 0 then `Spare shared_spare else `Off in
     let scalar, scalar_limit =
       match backend with
@@ -201,43 +264,40 @@ let allocate t ?(strategy = Regalloc.Allocator.Chaitin_briggs)
         ( Machine.Scalarize.predicate ~block_size kernel
         , Machine.Backend.default_scalar_limit )
     in
-    (* debug gate: verify the input kernel and audit the allocation; both
-       are no-ops unless CRAT_VERIFY / Verify.Gate.set enables them *)
-    Verify.Gate.check_kernel
+    (* debug gate: verify the input kernel, then audit the allocation,
+       translation-validate the allocation edge (original vs allocated
+       modulo the recorded assignment and spills) and run the
+       hybrid-sanitizer bounds proof over the spill code; all no-ops
+       unless CRAT_VERIFY / Verify.Gate.set enables them *)
+    Verify.Gate.run
       ~stage:(app.Workloads.App.abbr ^ ":pre-alloc")
-      ~block_size kernel;
+      [ Verify.Gate.Kernel { block_size = Some block_size; kernel } ];
     let t0 = now () in
     let a =
       Regalloc.Allocator.allocate ~strategy ~shared_policy ~scalar
         ~scalar_limit ~block_size ~reg_limit kernel
     in
-    Verify.Gate.check_allocation
-      ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
-    (* translation-validate the allocation edge: original vs allocated
-       kernel, matched modulo the recorded assignment and spills *)
-    Verify.Gate.check_equiv_alloc
-      ~stage:(app.Workloads.App.abbr ^ ":post-alloc") a;
-    (* hybrid-sanitizer bounds proof over the allocated kernel: spill
-       code must stay inside its frame and per-thread sub-stacks *)
-    Verify.Gate.check_sanitize
+    Verify.Gate.run
       ~stage:(app.Workloads.App.abbr ^ ":post-alloc")
-      ~block_size a.Regalloc.Allocator.kernel;
+      [ Verify.Gate.Allocation a
+      ; Verify.Gate.Equiv_alloc a
+      ; Verify.Gate.Sanitize
+          { block_size = Some block_size; kernel = a.Regalloc.Allocator.kernel }
+      ];
     (* under the machine backend, also lower and run the V6xx audit
        (a no-op unless the gate is on) *)
     if backend = Machine.Backend.Machine && Verify.Gate.enabled () then begin
       let m = Machine.Lower.run a in
-      Verify.Gate.check_machine
+      Verify.Gate.run
         ~stage:(app.Workloads.App.abbr ^ ":post-lower")
-        m;
-      Verify.Gate.check_equiv_lower
-        ~stage:(app.Workloads.App.abbr ^ ":post-lower")
-        m
+        [ Verify.Gate.Machine m; Verify.Gate.Equiv_lower m ]
     end;
     let dt = now () -. t0 in
     locked t (fun () ->
       t.alloc_runs <- t.alloc_runs + 1;
       t.job_wall <- t.job_wall +. dt;
       Hashtbl.replace t.alloc_store key a);
+    disk_put_value t ~kind:"alloc" ~key:dkey a;
     a
 
 (* ---------- simulation ---------- *)
@@ -263,20 +323,34 @@ let cold_launch (p : point) =
 let exec_cold p = Gpusim.Sm.run p.cfg (cold_launch p)
 
 (* Record while running cold; store the trace only after a successful
-   run (a Cycle_limit abort must not leave a truncated trace behind). *)
+   run (a Cycle_limit abort must not leave a truncated trace behind).
+   The persistent store gets the trace too — that is what makes "record
+   each launch once ever" hold across processes. *)
 let exec_record t p =
   let tr = Gpusim.Replay.create p.launch in
   let st = Gpusim.Sm.run ~record:tr p.cfg (cold_launch p) in
   Gpusim.Replay.finish tr;
   Gpusim.Replay.Store.add t.traces p.lkey tr;
+  disk_put_trace t p.lkey tr;
   locked t (fun () -> t.trace_records <- t.trace_records + 1);
   st
 
 (* Replay leaves the launch memory untouched, so no copy is needed; a
-   missing trace (evicted, or its recording wave failed to store it)
-   falls back to a cold run. *)
+   trace missing from the in-memory budget is refetched from the
+   persistent store (re-resident for the rest of the sweep), and only
+   a launch absent from both falls back to a cold run. *)
 let exec_replay t p =
-  match Gpusim.Replay.Store.find t.traces p.lkey with
+  let resident =
+    match Gpusim.Replay.Store.find t.traces p.lkey with
+    | Some _ as tr -> tr
+    | None ->
+      (match disk_get_trace t p.lkey with
+       | Some tr ->
+         Gpusim.Replay.Store.add t.traces p.lkey tr;
+         Some tr
+       | None -> None)
+  in
+  match resident with
   | Some tr ->
     let st =
       Gpusim.Sm.run ~replay:tr p.cfg (Gpusim.Launch.with_tlp p.launch p.tlp)
@@ -303,16 +377,29 @@ let simulate_batch ?(cache = true) t items =
     (fun i k ->
        if not (Hashtbl.mem seen k) then begin
          Hashtbl.add seen k ();
-         let stored = cache && locked t (fun () -> Hashtbl.mem t.sim_store k) in
+         let stored =
+           cache
+           && (locked t (fun () -> Hashtbl.mem t.sim_store k)
+               ||
+               (* persistent layer: statistics computed by an earlier
+                  process answer without any simulation at all *)
+               match disk_get_stats t k with
+               | Some st ->
+                 locked t (fun () -> Hashtbl.replace t.sim_store k st);
+                 true
+               | None -> false)
+         in
          if not stored then begin
            let launch, cfg, tlp = items.(i) in
            let lkey = launch_key t launch in
-           (* first pending point of a launch whose trace is absent
-              records it; later points of the same launch replay *)
+           (* first pending point of a launch whose trace is absent from
+              both the resident and the persistent store records it;
+              later points of the same launch replay *)
            let record =
              cache && t.replay
              && (not (Hashtbl.mem lkeys_recording lkey))
-             && not (Gpusim.Replay.Store.mem t.traces lkey)
+             && (not (Gpusim.Replay.Store.mem t.traces lkey))
+             && not (disk_mem_trace t lkey)
            in
            if record then Hashtbl.add lkeys_recording lkey ();
            pending := { launch; cfg; tlp; skey = k; lkey; record } :: !pending
@@ -348,7 +435,8 @@ let simulate_batch ?(cache = true) t items =
        locked t (fun () ->
          t.sim_runs <- t.sim_runs + 1;
          t.job_wall <- t.job_wall +. dt;
-         if cache then Hashtbl.replace t.sim_store k st))
+         if cache then Hashtbl.replace t.sim_store k st);
+       if cache then disk_put_value t ~kind:"stats" ~key:k st)
     computed;
   locked t (fun () ->
     t.sim_hits <- t.sim_hits + (Array.length items - depth));

@@ -44,7 +44,8 @@ type report =
   ; batches : int  (** batch submissions (single runs count as one) *)
   }
 
-val create : ?jobs:int -> ?replay:bool -> ?trace_budget:int -> unit -> t
+val create :
+  ?jobs:int -> ?replay:bool -> ?trace_budget:int -> ?store:Store.t -> unit -> t
 (** Fresh engine with empty stores. [jobs] (default 1) is the number of
     worker domains batches may fan across; [jobs = 1] never spawns a
     domain, and the effective width is clamped to
@@ -53,10 +54,24 @@ val create : ?jobs:int -> ?replay:bool -> ?trace_budget:int -> unit -> t
     [replay] (default true) enables the trace store;
     [trace_budget] bounds its resident footprint in trace events (see
     {!Gpusim.Replay.Store.create}).
+
+    [store] plugs in a persistent content-addressed {!Store.t}: every
+    recorded trace, allocation and simulation statistic is written
+    through to it (kinds ["trace"]/["alloc"]/["stats"] under the
+    engine's structural keys), in-memory misses fall back to it before
+    paying functional execution, and traces evicted from the in-memory
+    budget spill to it instead of being dropped — so each launch is
+    recorded once ever, across processes. Disk answers are bit-identical
+    to in-process ones (values round-trip through [Marshal]); with the
+    verify gate armed, allocations are recomputed rather than read back,
+    so gate checks always run.
     @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
 val replay_enabled : t -> bool
+
+val store : t -> Store.t option
+(** The persistent store this engine writes through to, if any. *)
 
 val sim_key : t -> Gpusim.Launch.t -> Gpusim.Config.t -> tlp:int -> string
 (** The content-addressed stats-store key (hex digest) — exposed for

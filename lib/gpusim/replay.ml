@@ -158,6 +158,17 @@ let launch_key ?kernel_digest (l : Launch.t) =
   Buffer.add_string b (Memory.digest l.Launch.memory);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* ---------- persistence ---------- *)
+
+(* The whole trace record is pure data (flat arrays, the predecoded
+   image's instruction forms carry no closures), so Marshal gives a
+   faithful on-disk form; replaying a loaded trace reuses its embedded
+   prepared image exactly like a resident one. *)
+let to_bytes (t : t) = Marshal.to_string t []
+
+let of_bytes s : t option =
+  try Some (Marshal.from_string s 0) with Failure _ -> None
+
 (* ---------- trace store ---------- *)
 
 module Store = struct
@@ -170,14 +181,16 @@ module Store = struct
     ; tbl : (string, trace) Hashtbl.t
     ; order : string Queue.t  (* insertion order, for oldest-first eviction *)
     ; max_events : int
+    ; on_evict : (string -> trace -> unit) option
     ; mutable total : int
     }
 
-  let create ?(max_events = 1 lsl 25) () =
+  let create ?(max_events = 1 lsl 25) ?on_evict () =
     { lock = Mutex.create ()
     ; tbl = Hashtbl.create 64
     ; order = Queue.create ()
     ; max_events
+    ; on_evict
     ; total = 0
     }
 
@@ -197,7 +210,9 @@ module Store = struct
       (match Hashtbl.find_opt s.tbl k with
        | Some tr ->
          s.total <- s.total - weight tr;
-         Hashtbl.remove s.tbl k
+         Hashtbl.remove s.tbl k;
+         (* spill hook: give the evictee a chance to survive on disk *)
+         (match s.on_evict with Some f -> f k tr | None -> ())
        | None -> ())
 
   let add s key tr =

@@ -89,15 +89,28 @@ val launch_key : ?kernel_digest:string -> Launch.t -> string
     [tlp_limit] — the trace is schedule-independent for the race-free
     kernels the simulator models. *)
 
+val to_bytes : t -> string
+(** Marshal a finished trace (the whole record, prepared image
+    included — all pure data) for a persistent store. *)
+
+val of_bytes : string -> t option
+(** Unmarshal a {!to_bytes} payload; [None] when the payload does not
+    unmarshal. Only feed this checksummed bytes that {!to_bytes} wrote —
+    unmarshalling is not type-safe. *)
+
 (** Thread-safe bounded trace store, keyed by {!launch_key}. *)
 module Store : sig
   type trace = t
   type t
 
-  val create : ?max_events:int -> unit -> t
+  val create :
+    ?max_events:int -> ?on_evict:(string -> trace -> unit) -> unit -> t
   (** [max_events] (default [1 lsl 25]) bounds the summed {!events} of
       resident traces; inserting past the budget evicts oldest-first. A
-      single trace larger than the whole budget is not stored. *)
+      single trace larger than the whole budget is not stored.
+      [on_evict] observes each eviction (key and trace) before the trace
+      is dropped — the engine uses it to spill evicted traces to the
+      persistent on-disk store instead of losing them. *)
 
   val find : t -> string -> trace option
   val add : t -> string -> trace -> unit

@@ -9,7 +9,8 @@ type report =
    Verify.Gate.set); when enabled, every pass output is re-checked and a
    miscompile surfaces as Verify.Gate.Rejected at the offending stage
    instead of as a silently wrong simulation. *)
-let gate stage k = Verify.Gate.check_kernel ~stage k
+let gate stage k =
+  Verify.Gate.run ~stage [ Verify.Gate.Kernel { block_size = None; kernel = k } ]
 
 let run ?(intfold = true) ?block_size k =
   gate "opt:input" k;
@@ -50,9 +51,14 @@ let run ?(intfold = true) ?block_size k =
   in
   (* translation-validate the whole edge: symbolic co-execution of the
      input against the fixpoint output (E201 refutations reject) *)
-  Verify.Gate.check_equiv ~stage:"opt:equiv"
-    ~block_size:(Option.value block_size ~default:128)
-    ~left:input ~right:k ();
+  Verify.Gate.run ~stage:"opt:equiv"
+    [ Verify.Gate.Equiv
+        { block_size = Option.value block_size ~default:128
+        ; num_blocks = None
+        ; left = input
+        ; right = k
+        }
+    ];
   (k, acc)
 
 let pp_report fmt r =

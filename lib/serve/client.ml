@@ -1,0 +1,115 @@
+(* Client side of the crat daemon protocol: a thin, blocking wrapper
+   over one Unix-domain connection. All calls return [result] rather
+   than raising, so CLI/bench callers can distinguish "daemon said no"
+   from transport death. *)
+
+type t =
+  { fd : Unix.file_descr
+  ; ic : in_channel
+  ; oc : out_channel
+  }
+
+let connect ?(socket = Protocol.default_socket) () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_in ic true;
+    set_binary_mode_out oc true;
+    Ok { fd; ic; oc }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+
+(* Retry [connect] until the daemon comes up — used right after forking
+   a server process. *)
+let rec connect_retry ?(socket = Protocol.default_socket) ?(attempts = 100) () =
+  match connect ~socket () with
+  | Ok c -> Ok c
+  | Error e ->
+    if attempts <= 1 then Error e
+    else begin
+      Unix.sleepf 0.05;
+      connect_retry ~socket ~attempts:(attempts - 1) ()
+    end
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let transport_error = function
+  | End_of_file -> "connection closed by daemon"
+  | Protocol.Protocol_error m -> "protocol error: " ^ m
+  | Sys_error m | Failure m -> m
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | e -> Printexc.to_string e
+
+(* Stream a simulate batch: [f index stats] fires per result frame, in
+   completion order. Returns the number of results delivered. *)
+let simulate_iter t pts ~f =
+  match
+    Protocol.write_request t.oc (Protocol.Simulate pts);
+    let rec loop n =
+      match Protocol.read_response t.ic with
+      | Protocol.Result { index; stats } ->
+        f index stats;
+        loop (n + 1)
+      | Protocol.Done -> Ok n
+      | Protocol.Error m -> Error m
+      | Protocol.Sweep_result _ | Protocol.Stats_result _ ->
+        Error "unexpected frame in simulate stream"
+    in
+    loop 0
+  with
+  | r -> r
+  | exception e -> Error (transport_error e)
+
+(* Convenience: batch in, array of stats out (request order). *)
+let simulate t pts =
+  let out = Array.make (List.length pts) None in
+  match
+    simulate_iter t pts ~f:(fun i st ->
+      if i >= 0 && i < Array.length out then out.(i) <- Some st)
+  with
+  | Error e -> Error e
+  | Ok _ ->
+    (try
+       Ok
+         (Array.map
+            (function
+              | Some st -> st
+              | None -> failwith "daemon omitted a result")
+            out)
+     with Failure m -> Error m)
+
+let server_stats t =
+  match
+    Protocol.write_request t.oc Protocol.Stats;
+    Protocol.read_response t.ic
+  with
+  | Protocol.Stats_result s -> Ok s
+  | Protocol.Error m -> Error m
+  | _ -> Error "unexpected frame for stats request"
+  | exception e -> Error (transport_error e)
+
+let sweep t ~kind ~apps =
+  match
+    Protocol.write_request t.oc (Protocol.Sweep { kind; apps });
+    Protocol.read_response t.ic
+  with
+  | Protocol.Sweep_result { text; failed } -> Ok (text, failed)
+  | Protocol.Error m -> Error m
+  | _ -> Error "unexpected frame for sweep request"
+  | exception e -> Error (transport_error e)
+
+let shutdown t =
+  match
+    Protocol.write_request t.oc Protocol.Shutdown;
+    Protocol.read_response t.ic
+  with
+  | Protocol.Done -> Ok ()
+  | Protocol.Error m -> Error m
+  | _ -> Error "unexpected frame for shutdown request"
+  | exception e -> Error (transport_error e)

@@ -1,0 +1,413 @@
+(* The crat daemon: a long-lived server in front of [Crat.Engine].
+
+   Concurrency model: the listener accepts on the main thread and gives
+   each connection a systhread (cheap, released around blocking IO);
+   every batch of claimed simulation points is executed on a freshly
+   spawned domain, so concurrent clients get real parallelism while the
+   engine — already thread-safe — dedups structurally identical work
+   through its content-addressed stores.
+
+   Cross-client dedup: a connection first partitions its points against
+   the session [results] table and the [inflight] set. Points nobody is
+   computing are claimed (entered into [inflight]) and run as one engine
+   batch; points already in flight on another connection are answered by
+   waiting on the condition variable instead of recomputing — that is
+   the [dedup_hits] counter of the stats endpoint. Combined with the
+   engine's persistent store, each launch is recorded once ever: first
+   contact records the trace to disk, every later point of the same
+   launch — same client, another client, or another daemon process
+   reusing the store directory — replays or reads statistics back. *)
+
+type t =
+  { engine : Crat.Engine.t
+  ; store : Store.t option
+  ; sweep : (kind:string -> apps:string list -> (string * bool) option) option
+  ; lock : Mutex.t
+  ; cond : Condition.t
+  ; inflight : (string, unit) Hashtbl.t  (* sim keys being computed *)
+  ; results : (string, Gpusim.Stats.t) Hashtbl.t  (* published this session *)
+  ; launches : (string * int, Gpusim.Launch.t) Hashtbl.t
+      (* one physical launch record per (app, regs): keeps the engine's
+         physical-identity key memos hot across requests *)
+  ; tlps : (string * int * bool, int) Hashtbl.t  (* occupancy default *)
+  ; mutable suite_digest : string option
+  ; mutable listen_fd : Unix.file_descr option
+  ; socket_path : string
+  ; started : float
+  ; mutable stop : bool
+  ; mutable handlers : int
+  ; mutable connections : int
+  ; mutable requests : int
+  ; mutable points : int
+  ; mutable dedup_hits : int
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---------- point resolution ---------- *)
+
+let config_of_kepler kepler =
+  if kepler then Gpusim.Config.kepler else Gpusim.Config.fermi
+
+exception Bad_request of string
+
+let find_app abbr =
+  try Workloads.Suite.find abbr
+  with Not_found -> raise (Bad_request (Printf.sprintf "unknown app %S" abbr))
+
+(* (launch, config, tlp) of one protocol point. Allocation goes through
+   the engine (memoized + persistent); the launch record is memoized so
+   repeated requests share one physical record. *)
+let resolve t (p : Protocol.point) =
+  let app = find_app p.Protocol.abbr in
+  let regs =
+    Option.value ~default:app.Workloads.App.default_regs p.Protocol.regs
+  in
+  let cfg = config_of_kepler p.Protocol.kepler in
+  let launch =
+    match locked t (fun () -> Hashtbl.find_opt t.launches (p.Protocol.abbr, regs)) with
+    | Some l -> l
+    | None ->
+      let a = Crat.Engine.allocate t.engine app ~reg_limit:regs in
+      let input = Workloads.App.default_input app in
+      let l =
+        Workloads.App.launch app ~kernel:a.Regalloc.Allocator.kernel ~input ()
+      in
+      locked t (fun () ->
+        match Hashtbl.find_opt t.launches (p.Protocol.abbr, regs) with
+        | Some l' -> l'  (* keep the first physical record *)
+        | None ->
+          Hashtbl.replace t.launches (p.Protocol.abbr, regs) l;
+          l)
+  in
+  let tlp =
+    match p.Protocol.tlp with
+    | Some tlp -> tlp
+    | None ->
+      let key = (p.Protocol.abbr, regs, p.Protocol.kepler) in
+      (match locked t (fun () -> Hashtbl.find_opt t.tlps key) with
+       | Some tlp -> tlp
+       | None ->
+         let r = Crat.Resource.analyze cfg app in
+         let tlp =
+           max 1 (Gpusim.Occupancy.max_tlp cfg (Crat.Resource.usage_at r ~regs))
+         in
+         locked t (fun () -> Hashtbl.replace t.tlps key tlp);
+         tlp)
+  in
+  (launch, cfg, tlp)
+
+(* ---------- compute / dedup core ---------- *)
+
+(* Run one engine batch on its own domain so concurrent connections
+   parallelise; publish results and release the claims whatever
+   happens. *)
+let compute t triples skeys =
+  let outcome =
+    try Ok (Domain.join (Domain.spawn (fun () ->
+      Crat.Engine.simulate_batch t.engine triples)))
+    with e -> Error (Printexc.to_string e)
+  in
+  locked t (fun () ->
+    (match outcome with
+     | Ok stats -> List.iter2 (fun k st -> Hashtbl.replace t.results k st) skeys stats
+     | Error _ -> ());
+    List.iter (fun k -> Hashtbl.remove t.inflight k) skeys;
+    Condition.broadcast t.cond);
+  outcome
+
+(* Answer one point whose key somebody else claimed: wait for the
+   publication; if the computing connection died, claim and compute it
+   ourselves. *)
+let rec obtain t triple skey =
+  let action =
+    locked t (fun () ->
+      match Hashtbl.find_opt t.results skey with
+      | Some st -> `Ready st
+      | None ->
+        if Hashtbl.mem t.inflight skey then begin
+          Condition.wait t.cond t.lock;
+          `Retry
+        end
+        else begin
+          Hashtbl.replace t.inflight skey ();
+          `Claimed
+        end)
+  in
+  match action with
+  | `Ready st -> Ok st
+  | `Retry -> obtain t triple skey
+  | `Claimed ->
+    (match compute t [ triple ] [ skey ] with
+     | Ok [ st ] -> Ok st
+     | Ok _ -> Error "engine returned a mismatched batch"
+     | Error e -> Error e)
+
+(* ---------- request handlers ---------- *)
+
+let handle_simulate t oc pts =
+  locked t (fun () -> t.points <- t.points + List.length pts);
+  let resolved = List.map (resolve t) pts in
+  let skeys =
+    List.map (fun (l, cfg, tlp) -> Crat.Engine.sim_key t.engine l cfg ~tlp) resolved
+  in
+  let indexed = List.mapi (fun i (tr, k) -> (i, tr, k))
+      (List.combine resolved skeys) in
+  (* partition: session-ready / in-flight elsewhere / ours to claim *)
+  let ready, waiting, claimed =
+    locked t (fun () ->
+      let ready = ref [] and waiting = ref [] and claimed = ref [] in
+      List.iter
+        (fun (i, tr, k) ->
+           match Hashtbl.find_opt t.results k with
+           | Some st -> ready := (i, st) :: !ready
+           | None ->
+             if
+               Hashtbl.mem t.inflight k
+               || List.exists (fun (_, _, k') -> k' = k) !claimed
+             then begin
+               t.dedup_hits <- t.dedup_hits + 1;
+               waiting := (i, tr, k) :: !waiting
+             end
+             else begin
+               Hashtbl.replace t.inflight k ();
+               claimed := (i, tr, k) :: !claimed
+             end)
+        indexed;
+      (List.rev !ready, List.rev !waiting, List.rev !claimed))
+  in
+  List.iter
+    (fun (i, st) ->
+       Protocol.write_response oc (Protocol.Result { index = i; stats = st }))
+    ready;
+  let batch_error =
+    if claimed = [] then None
+    else
+      let triples = List.map (fun (_, tr, _) -> tr) claimed in
+      let keys = List.map (fun (_, _, k) -> k) claimed in
+      match compute t triples keys with
+      | Ok stats ->
+        List.iter2
+          (fun (i, _, _) st ->
+             Protocol.write_response oc (Protocol.Result { index = i; stats = st }))
+          claimed stats;
+        None
+      | Error e -> Some e
+  in
+  match batch_error with
+  | Some e -> Protocol.write_response oc (Protocol.Error e)
+  | None ->
+    let wait_error =
+      List.fold_left
+        (fun err (i, tr, k) ->
+           match err with
+           | Some _ -> err
+           | None ->
+             (match obtain t tr k with
+              | Ok st ->
+                Protocol.write_response oc
+                  (Protocol.Result { index = i; stats = st });
+                None
+              | Error e -> Some e))
+        None waiting
+    in
+    (match wait_error with
+     | Some e -> Protocol.write_response oc (Protocol.Error e)
+     | None -> Protocol.write_response oc Protocol.Done)
+
+(* Server-side sweeps reuse the CLI's sweep driver (injected by the
+   binary hosting the daemon); results are content-addressed in the
+   persistent store under the suite's kernel fingerprint, so a sweep
+   over unchanged kernels is answered without re-verifying anything. *)
+let handle_sweep t oc ~kind ~apps =
+  match t.sweep with
+  | None ->
+    Protocol.write_response oc
+      (Protocol.Error "this daemon has no sweep driver")
+  | Some sweep ->
+    let suite_digest =
+      match locked t (fun () -> t.suite_digest) with
+      | Some d -> d
+      | None ->
+        let d =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "|"
+                  (List.map
+                     (fun (a : Workloads.App.t) ->
+                        Digest.string
+                          (Ptx.Printer.kernel_to_string (Workloads.App.kernel a)))
+                     Workloads.Suite.all)))
+        in
+        locked t (fun () -> t.suite_digest <- Some d);
+        d
+    in
+    let rkey =
+      Digest.to_hex
+        (Digest.string (String.concat "," (suite_digest :: kind :: apps)))
+    in
+    let cached : (string * bool) option =
+      match t.store with
+      | Some d -> Store.get_value d ~kind:"report" ~key:rkey
+      | None -> None
+    in
+    (match cached with
+     | Some (text, failed) ->
+       Protocol.write_response oc (Protocol.Sweep_result { text; failed })
+     | None ->
+       let outcome =
+         try Ok (Domain.join (Domain.spawn (fun () -> sweep ~kind ~apps)))
+         with e -> Error (Printexc.to_string e)
+       in
+       (match outcome with
+        | Ok (Some (text, failed)) ->
+          (match t.store with
+           | Some d -> Store.put_value d ~kind:"report" ~key:rkey (text, failed)
+           | None -> ());
+          Protocol.write_response oc (Protocol.Sweep_result { text; failed })
+        | Ok None ->
+          Protocol.write_response oc
+            (Protocol.Error (Printf.sprintf "unknown sweep kind %S" kind))
+        | Error e -> Protocol.write_response oc (Protocol.Error e)))
+
+let server_stats t =
+  let r = Crat.Engine.report t.engine in
+  let se, sb, sbud, sh, sm, sev =
+    match t.store with
+    | None -> (0, 0, 0, 0, 0, 0)
+    | Some d ->
+      let s = Store.stats d in
+      ( s.Store.entries, s.Store.bytes, s.Store.budget, s.Store.hits
+      , s.Store.misses, s.Store.evictions )
+  in
+  locked t (fun () ->
+    { Protocol.uptime_s = Unix.gettimeofday () -. t.started
+    ; connections = t.connections
+    ; requests = t.requests
+    ; points = t.points
+    ; dedup_hits = t.dedup_hits
+    ; sim_runs = r.Crat.Engine.sim_runs
+    ; sim_hits = r.Crat.Engine.sim_hits
+    ; trace_records = r.Crat.Engine.trace_records
+    ; trace_replays = r.Crat.Engine.trace_replays
+    ; alloc_runs = r.Crat.Engine.alloc_runs
+    ; alloc_hits = r.Crat.Engine.alloc_hits
+    ; store_entries = se
+    ; store_bytes = sb
+    ; store_budget = sbud
+    ; store_hits = sh
+    ; store_misses = sm
+    ; store_evictions = sev
+    })
+
+let initiate_stop t =
+  locked t (fun () -> t.stop <- true);
+  (* closing a listening socket does not wake a thread blocked in
+     accept(2) on Linux — poke it with a throwaway connection instead *)
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | fd ->
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let handle t oc = function
+  | Protocol.Simulate pts -> handle_simulate t oc pts
+  | Protocol.Sweep { kind; apps } -> handle_sweep t oc ~kind ~apps
+  | Protocol.Stats ->
+    Protocol.write_response oc (Protocol.Stats_result (server_stats t))
+  | Protocol.Shutdown ->
+    Protocol.write_response oc Protocol.Done;
+    initiate_stop t
+
+let handle_conn t fd =
+  locked t (fun () -> t.handlers <- t.handlers + 1);
+  let finish () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    locked t (fun () -> t.handlers <- t.handlers - 1)
+  in
+  Fun.protect ~finally:finish (fun () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    set_binary_mode_in ic true;
+    set_binary_mode_out oc true;
+    let rec loop () =
+      match Protocol.read_request ic with
+      | req ->
+        locked t (fun () -> t.requests <- t.requests + 1);
+        (try handle t oc req
+         with Bad_request msg ->
+           Protocol.write_response oc (Protocol.Error msg));
+        (match req with Protocol.Shutdown -> () | _ -> loop ())
+      | exception (End_of_file | Sys_error _) -> ()
+      | exception Protocol.Protocol_error _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    (* a half-broken peer must never take the daemon down *)
+    try loop () with _ -> ())
+
+(* ---------- lifecycle ---------- *)
+
+let run ?(socket = Protocol.default_socket) ?store_dir ?budget ?(jobs = 1)
+    ?(replay = true) ?trace_budget ?sweep () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let store = Option.map (fun d -> Store.open_ ?budget d) store_dir in
+  let engine = Crat.Engine.create ~jobs ~replay ?trace_budget ?store () in
+  if Sys.file_exists socket then Sys.remove socket;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  let t =
+    { engine
+    ; store
+    ; sweep
+    ; lock = Mutex.create ()
+    ; cond = Condition.create ()
+    ; inflight = Hashtbl.create 64
+    ; results = Hashtbl.create 256
+    ; launches = Hashtbl.create 32
+    ; tlps = Hashtbl.create 32
+    ; suite_digest = None
+    ; listen_fd = Some fd
+    ; socket_path = socket
+    ; started = Unix.gettimeofday ()
+    ; stop = false
+    ; handlers = 0
+    ; connections = 0
+    ; requests = 0
+    ; points = 0
+    ; dedup_hits = 0
+    }
+  in
+  let rec accept_loop () =
+    if not (locked t (fun () -> t.stop)) then
+      match Unix.accept fd with
+      | cfd, _ ->
+        if locked t (fun () -> t.stop) then
+          (try Unix.close cfd with Unix.Unix_error _ -> ())
+        else begin
+          locked t (fun () -> t.connections <- t.connections + 1);
+          ignore (Thread.create (handle_conn t) cfd);
+          accept_loop ()
+        end
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  (* drain: let in-flight connections finish before tearing down *)
+  let rec drain n =
+    if n > 0 && locked t (fun () -> t.handlers > 0) then begin
+      Thread.delay 0.05;
+      drain (n - 1)
+    end
+  in
+  drain 200;
+  (match t.listen_fd with
+   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  (try Sys.remove t.socket_path with Sys_error _ -> ());
+  Option.iter Store.close store

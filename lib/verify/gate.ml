@@ -20,29 +20,34 @@ let enabled () =
      | Some ("1" | "true" | "on" | "yes") -> true
      | Some _ | None -> false)
 
+type check =
+  | Kernel of { block_size : int option; kernel : Ptx.Kernel.t }
+  | Allocation of Regalloc.Allocator.t
+  | Machine of Machine.Lower.t
+  | Sanitize of { block_size : int option; kernel : Ptx.Kernel.t }
+  | Equiv of
+      { block_size : int
+      ; num_blocks : int option
+      ; left : Ptx.Kernel.t
+      ; right : Ptx.Kernel.t
+      }
+  | Equiv_alloc of Regalloc.Allocator.t
+  | Equiv_lower of Machine.Lower.t
+
+let diagnostics_of = function
+  | Kernel { block_size; kernel } -> Checker.check_kernel ?block_size kernel
+  | Allocation a -> Checker.check_allocation a
+  | Machine m -> Machine_audit.check m
+  | Sanitize { block_size; kernel } -> Sanitize.check_kernel ?block_size kernel
+  | Equiv { block_size; num_blocks; left; right } ->
+    Equiv_check.check_opt ~block_size ?num_blocks ~left ~right ()
+  | Equiv_alloc a -> Equiv_check.check_alloc a
+  | Equiv_lower m -> Equiv_check.check_lower m
+
 let reject stage ds =
   if Diagnostic.has_errors ds then
     raise (Rejected (stage, Diagnostic.errors ds))
 
-let check_kernel ~stage ?block_size k =
-  if enabled () then reject stage (Checker.check_kernel ?block_size k)
-
-let check_allocation ~stage a =
-  if enabled () then reject stage (Checker.check_allocation a)
-
-let check_machine ~stage m =
-  if enabled () then reject stage (Machine_audit.check m)
-
-let check_sanitize ~stage ?block_size k =
-  if enabled () then reject stage (Sanitize.check_kernel ?block_size k)
-
-let check_equiv ~stage ~block_size ?num_blocks ~left ~right () =
+let run ~stage checks =
   if enabled () then
-    reject stage
-      (Equiv_check.check_opt ~block_size ?num_blocks ~left ~right ())
-
-let check_equiv_alloc ~stage a =
-  if enabled () then reject stage (Equiv_check.check_alloc a)
-
-let check_equiv_lower ~stage m =
-  if enabled () then reject stage (Equiv_check.check_lower m)
+    List.iter (fun c -> reject stage (diagnostics_of c)) checks

@@ -1,8 +1,8 @@
 (** The optional pipeline gate. Disabled by default; enabled either
     programmatically ({!set}) or by exporting [CRAT_VERIFY=1]. When
-    enabled, {!check_kernel} / {!check_allocation} verify their subject
-    and raise {!Rejected} carrying the error-severity diagnostics; when
-    disabled they are no-ops, so gated code paths cost nothing in
+    enabled, {!run} verifies each requested check in order and raises
+    {!Rejected} at the first one carrying error-severity diagnostics;
+    when disabled it is a no-op, so gated code paths cost nothing in
     production. Warnings never reject. *)
 
 exception Rejected of string * Diagnostic.t list
@@ -15,32 +15,43 @@ val set : bool -> unit
 
 val clear : unit -> unit
 
-val check_kernel : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
-val check_allocation : stage:string -> Regalloc.Allocator.t -> unit
+(** One verification obligation. Each constructor names the checker it
+    dispatches to:
+    - [Kernel]: the five-checker static verifier
+      ({!Checker.check_kernel}, V1xx-V4xx).
+    - [Allocation]: the independent allocation audit
+      ({!Checker.check_allocation}, V5xx).
+    - [Machine]: the machine-backend lowering audit
+      ({!Machine_audit.check}, V6xx).
+    - [Sanitize]: the hybrid-sanitizer bounds proof
+      ({!Sanitize.check_kernel}, S4xx); proven-OOB accesses reject,
+      residual (S403) warnings never do.
+    - [Equiv]: translation validation of a transformation edge
+      ({!Equiv_check.check_opt}); only a refuted edge (E201, a
+      concretely replayed counterexample) rejects, unknown verdicts
+      (E301) never do.
+    - [Equiv_alloc] / [Equiv_lower]: likewise for the allocation edge
+      (original vs allocated modulo the recorded assignment and spill
+      slots) and the machine-lowering edge. *)
+type check =
+  | Kernel of { block_size : int option; kernel : Ptx.Kernel.t }
+  | Allocation of Regalloc.Allocator.t
+  | Machine of Machine.Lower.t
+  | Sanitize of { block_size : int option; kernel : Ptx.Kernel.t }
+  | Equiv of
+      { block_size : int
+      ; num_blocks : int option
+      ; left : Ptx.Kernel.t
+      ; right : Ptx.Kernel.t
+      }
+  | Equiv_alloc of Regalloc.Allocator.t
+  | Equiv_lower of Machine.Lower.t
 
-val check_machine : stage:string -> Machine.Lower.t -> unit
-(** Run the V6xx machine-backend audit ({!Machine_audit.check}) on a
-    lowered program when the gate is enabled. *)
+val run : stage:string -> check list -> unit
+(** Evaluate the checks in order when the gate is enabled; the first
+    check yielding error-severity diagnostics raises [Rejected (stage,
+    errors)] and the rest are skipped. A no-op when disabled. *)
 
-val check_sanitize : stage:string -> ?block_size:int -> Ptx.Kernel.t -> unit
-(** Run the S4xx hybrid-sanitizer bounds check ({!Sanitize.check_kernel})
-    when the gate is enabled; proven-OOB accesses reject, residual
-    (S403) warnings never do. *)
-
-val check_equiv :
-  stage:string ->
-  block_size:int ->
-  ?num_blocks:int ->
-  left:Ptx.Kernel.t ->
-  right:Ptx.Kernel.t ->
-  unit ->
-  unit
-(** Translation-validate a transformation edge ({!Equiv_check.check_opt})
-    when the gate is enabled. Only a refuted edge (E201, a concretely
-    replayed counterexample) rejects; unknown verdicts (E301) never do. *)
-
-val check_equiv_alloc : stage:string -> Regalloc.Allocator.t -> unit
-(** Likewise for the allocation edge: [original] vs allocated [kernel]. *)
-
-val check_equiv_lower : stage:string -> Machine.Lower.t -> unit
-(** Likewise for the machine-lowering edge. *)
+val diagnostics_of : check -> Diagnostic.t list
+(** Run one check unconditionally (gate state ignored) and return its
+    diagnostics — the single dispatch point {!run} is built on. *)

@@ -168,12 +168,15 @@ let test_gate_rejects_refuted_edge () =
       (Corpus.cases ())
   in
   let block_size, left, right = Option.get pair in
+  let checks =
+    [ Verify.Gate.Equiv { block_size; num_blocks = None; left; right } ]
+  in
   (* disabled: a no-op even on a miscompiled edge *)
   Verify.Gate.set false;
-  Verify.Gate.check_equiv ~stage:"test" ~block_size ~left ~right ();
+  Verify.Gate.run ~stage:"test" checks;
   Verify.Gate.set true;
   let rejected =
-    match Verify.Gate.check_equiv ~stage:"test" ~block_size ~left ~right () with
+    match Verify.Gate.run ~stage:"test" checks with
     | () -> false
     | exception Verify.Gate.Rejected ("test", ds) ->
       List.exists (fun d -> d.Verify.Diagnostic.code = "E201") ds

@@ -1,0 +1,207 @@
+(* End-to-end tests for the crat daemon: wire framing, a live daemon
+   serving concurrent clients in-process, session dedup, server-side
+   sweeps, and warm restart from the persistent store. *)
+
+let check = Alcotest.(check bool)
+
+let temp_dir prefix =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.int 100000))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+(* ---------- framing ---------- *)
+
+let test_framing_roundtrip () =
+  let path = Filename.temp_file "frame" ".bin" in
+  let requests =
+    [ Serve.Protocol.Simulate
+        [ Serve.Protocol.point "BFS"
+        ; Serve.Protocol.point ~regs:(Some 12) ~tlp:(Some 3) ~kepler:true "KMN"
+        ]
+    ; Serve.Protocol.Sweep { kind = "verify"; apps = [ "BFS" ] }
+    ; Serve.Protocol.Stats
+    ; Serve.Protocol.Shutdown
+    ]
+  in
+  Out_channel.with_open_bin path (fun oc ->
+    List.iter (Serve.Protocol.write_request oc) requests);
+  In_channel.with_open_bin path (fun ic ->
+    List.iter
+      (fun expected ->
+         check "frame round-trips" true
+           (Serve.Protocol.read_request ic = expected))
+      requests);
+  Sys.remove path
+
+let test_framing_rejects_garbage () =
+  let path = Filename.temp_file "frame" ".bin" in
+  Out_channel.with_open_bin path (fun oc ->
+    (* a plausible length prefix followed by non-marshal bytes *)
+    output_binary_int oc 16;
+    output_string oc "not a marshalled");
+  let rejected =
+    In_channel.with_open_bin path (fun ic ->
+      match (Serve.Protocol.read_request ic : Serve.Protocol.request) with
+      | _ -> false
+      | exception Serve.Protocol.Protocol_error _ -> true)
+  in
+  check "garbage frame rejected" true rejected;
+  Sys.remove path
+
+(* ---------- live daemon ---------- *)
+
+(* Run the daemon on a thread inside the test process; return the
+   socket path and a join function. *)
+let spawn_daemon ?store_dir ?sweep dir name =
+  let socket = Filename.concat dir (name ^ ".sock") in
+  let th =
+    Thread.create
+      (fun () -> Serve.Daemon.run ~socket ?store_dir ?sweep ())
+      ()
+  in
+  (socket, fun () -> Thread.join th)
+
+let with_client socket f =
+  match Serve.Client.connect_retry ~socket () with
+  | Error e -> Alcotest.fail ("connect failed: " ^ e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let shutdown_daemon socket join =
+  with_client socket (fun c ->
+    match Serve.Client.shutdown c with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("shutdown failed: " ^ e));
+  join ()
+
+let test_simulate_and_dedup () =
+  let dir = temp_dir "serve-e2e" in
+  let socket, join = spawn_daemon dir "d" in
+  Fun.protect ~finally:(fun () -> ()) @@ fun () ->
+  let points =
+    [ Serve.Protocol.point "BFS"; Serve.Protocol.point "GAU" ]
+  in
+  let first =
+    with_client socket (fun c ->
+      match Serve.Client.simulate c points with
+      | Error e -> Alcotest.fail e
+      | Ok stats -> stats)
+  in
+  check "two results" true (Array.length first = 2);
+  check "results distinct" true (first.(0) <> first.(1));
+  (* a second client asking the same points must be answered from the
+     session cache: no new simulations *)
+  let second, stats =
+    with_client socket (fun c ->
+      let s =
+        match Serve.Client.simulate c points with
+        | Error e -> Alcotest.fail e
+        | Ok stats -> stats
+      in
+      let st =
+        match Serve.Client.server_stats c with
+        | Error e -> Alcotest.fail e
+        | Ok st -> st
+      in
+      (s, st))
+  in
+  check "identical answers across clients" true (first = second);
+  check "no extra simulations for the repeat" true
+    (stats.Serve.Protocol.sim_runs = 2);
+  check "all four points counted" true (stats.Serve.Protocol.points = 4);
+  (* unknown app: a protocol error, and the connection survives it *)
+  with_client socket (fun c ->
+    (match Serve.Client.simulate c [ Serve.Protocol.point "NOPE" ] with
+     | Ok _ -> Alcotest.fail "unknown app accepted"
+     | Error _ -> ());
+    match Serve.Client.simulate c [ Serve.Protocol.point "BFS" ] with
+    | Ok stats -> check "connection usable after error" true (stats.(0) = first.(0))
+    | Error e -> Alcotest.fail ("connection died after bad request: " ^ e));
+  shutdown_daemon socket join;
+  check "socket removed on shutdown" false (Sys.file_exists socket)
+
+let test_warm_restart_from_store () =
+  let dir = temp_dir "serve-warm" in
+  let store_dir = Filename.concat dir "store" in
+  let points = [ Serve.Protocol.point "BFS" ] in
+  let cold =
+    let socket, join = spawn_daemon ~store_dir dir "cold" in
+    let stats =
+      with_client socket (fun c ->
+        match Serve.Client.simulate c points with
+        | Error e -> Alcotest.fail e
+        | Ok s -> s)
+    in
+    shutdown_daemon socket join;
+    stats
+  in
+  (* fresh daemon, same store: must answer without simulating *)
+  let socket, join = spawn_daemon ~store_dir dir "warm" in
+  let warm, stats =
+    with_client socket (fun c ->
+      let s =
+        match Serve.Client.simulate c points with
+        | Error e -> Alcotest.fail e
+        | Ok s -> s
+      in
+      let st =
+        match Serve.Client.server_stats c with
+        | Error e -> Alcotest.fail e
+        | Ok st -> st
+      in
+      (s, st))
+  in
+  check "warm run simulated nothing" true (stats.Serve.Protocol.sim_runs = 0);
+  check "warm hit rate 1.0" true (Serve.Protocol.hit_rate stats = 1.0);
+  check "warm answer bit-identical to cold" true
+    (Marshal.to_string cold [] = Marshal.to_string warm []);
+  shutdown_daemon socket join
+
+let test_server_side_sweep () =
+  let dir = temp_dir "serve-sweep" in
+  (* a stub sweep driver standing in for the CLI's Sweep.serve_sweep
+     (bin modules are not linkable from the test tree) *)
+  let calls = ref 0 in
+  let sweep ~kind ~apps =
+    match kind with
+    | "verify" ->
+      incr calls;
+      Some (Printf.sprintf "verify ok: %s" (String.concat "," apps), false)
+    | _ -> None
+  in
+  let store_dir = Filename.concat dir "store" in
+  let socket, join = spawn_daemon ~store_dir ~sweep dir "s" in
+  with_client socket (fun c ->
+    (match Serve.Client.sweep c ~kind:"verify" ~apps:[ "BFS" ] with
+     | Ok (text, failed) ->
+       check "sweep text delivered" true (text = "verify ok: BFS");
+       check "sweep passed" false failed
+     | Error e -> Alcotest.fail e);
+    (* identical sweep again: served from the store, driver not re-run *)
+    (match Serve.Client.sweep c ~kind:"verify" ~apps:[ "BFS" ] with
+     | Ok (text, _) -> check "cached sweep identical" true (text = "verify ok: BFS")
+     | Error e -> Alcotest.fail e);
+    check "sweep driver ran once" true (!calls = 1);
+    match Serve.Client.sweep c ~kind:"bogus" ~apps:[] with
+    | Ok _ -> Alcotest.fail "bogus sweep kind accepted"
+    | Error _ -> ());
+  shutdown_daemon socket join
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [ ( "framing"
+      , [ Alcotest.test_case "round-trip" `Quick test_framing_roundtrip
+        ; Alcotest.test_case "garbage rejected" `Quick
+            test_framing_rejects_garbage
+        ] )
+    ; ( "daemon"
+      , [ Alcotest.test_case "simulate + session dedup" `Slow
+            test_simulate_and_dedup
+        ; Alcotest.test_case "warm restart from store" `Slow
+            test_warm_restart_from_store
+        ; Alcotest.test_case "server-side sweep" `Quick test_server_side_sweep
+        ] )
+    ]

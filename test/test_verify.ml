@@ -143,9 +143,12 @@ let test_gate_warnings_never_reject () =
   Fun.protect ~finally:Verify.Gate.clear (fun () ->
     (* DTC carries a V403 warning; the armed gate must still pass it *)
     let app = Workloads.Suite.find "DTC" in
-    Verify.Gate.check_kernel ~stage:"test"
-      ~block_size:app.Workloads.App.block_size
-      (Workloads.App.kernel app))
+    Verify.Gate.run ~stage:"test"
+      [ Verify.Gate.Kernel
+          { block_size = Some app.Workloads.App.block_size
+          ; kernel = Workloads.App.kernel app
+          }
+      ])
 
 let () =
   Alcotest.run "verify"
