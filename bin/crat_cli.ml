@@ -482,8 +482,12 @@ let serve_cmd =
     let store_dir = if no_store then None else Some store in
     Format.printf "crat daemon listening on %s (store: %s)@." socket
       (match store_dir with None -> "none" | Some d -> d);
-    Serve.Daemon.run ~socket ?store_dir ~budget ~jobs ~replay
-      ~sweep:Sweep.serve_sweep ()
+    try
+      Serve.Daemon.run ~socket ?store_dir ~budget ~jobs ~replay
+        ~sweep:Sweep.serve_sweep ()
+    with Failure msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ store_arg $ no_store_arg $ budget_arg

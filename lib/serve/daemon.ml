@@ -103,19 +103,33 @@ let resolve t (p : Protocol.point) =
 
 (* Run one engine batch on its own domain so concurrent connections
    parallelise; publish results and release the claims whatever
-   happens. *)
+   happens. The release + broadcast must run even if publication itself
+   raises — a claim that is never released wedges every other
+   connection waiting on that key in [obtain]. *)
 let compute t triples skeys =
   let outcome =
-    try Ok (Domain.join (Domain.spawn (fun () ->
-      Crat.Engine.simulate_batch t.engine triples)))
-    with e -> Error (Printexc.to_string e)
+    match
+      Domain.join (Domain.spawn (fun () ->
+        Crat.Engine.simulate_batch t.engine triples))
+    with
+    | stats ->
+      if List.length stats = List.length skeys then Ok stats
+      else
+        Error
+          (Printf.sprintf "engine returned %d results for %d points"
+             (List.length stats) (List.length skeys))
+    | exception e -> Error (Printexc.to_string e)
   in
   locked t (fun () ->
-    (match outcome with
-     | Ok stats -> List.iter2 (fun k st -> Hashtbl.replace t.results k st) skeys stats
-     | Error _ -> ());
-    List.iter (fun k -> Hashtbl.remove t.inflight k) skeys;
-    Condition.broadcast t.cond);
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun k -> Hashtbl.remove t.inflight k) skeys;
+        Condition.broadcast t.cond)
+      (fun () ->
+        match outcome with
+        | Ok stats ->
+          List.iter2 (fun k st -> Hashtbl.replace t.results k st) skeys stats
+        | Error _ -> ()));
   outcome
 
 (* Answer one point whose key somebody else claimed: wait for the
@@ -178,16 +192,36 @@ let handle_simulate t oc pts =
         indexed;
       (List.rev !ready, List.rev !waiting, List.rev !claimed))
   in
+  (* The claims are normally released by [compute]; until it runs, an
+     exception here — e.g. the client hanging up so a ready-result write
+     dies with EPIPE — must release them itself, or every other
+     connection waiting on those keys blocks forever in [obtain]. Once
+     [compute] returns the claims are gone (success or failure), so the
+     cleanup is disarmed to avoid racing a re-claim by another
+     connection. *)
+  let claims = ref (List.map (fun (_, _, k) -> k) claimed) in
+  let release_claims () =
+    match !claims with
+    | [] -> ()
+    | keys ->
+      claims := [];
+      locked t (fun () ->
+        List.iter (fun k -> Hashtbl.remove t.inflight k) keys;
+        Condition.broadcast t.cond)
+  in
+  Fun.protect ~finally:release_claims @@ fun () ->
   List.iter
     (fun (i, st) ->
        Protocol.write_response oc (Protocol.Result { index = i; stats = st }))
     ready;
   let batch_error =
     if claimed = [] then None
-    else
+    else begin
       let triples = List.map (fun (_, tr, _) -> tr) claimed in
       let keys = List.map (fun (_, _, k) -> k) claimed in
-      match compute t triples keys with
+      let outcome = compute t triples keys in
+      claims := [];
+      match outcome with
       | Ok stats ->
         List.iter2
           (fun (i, _, _) st ->
@@ -195,6 +229,7 @@ let handle_simulate t oc pts =
           claimed stats;
         None
       | Error e -> Some e
+    end
   in
   match batch_error with
   | Some e -> Protocol.write_response oc (Protocol.Error e)
@@ -354,12 +389,31 @@ let run ?(socket = Protocol.default_socket) ?store_dir ?budget ?(jobs = 1)
     ?(replay = true) ?trace_budget ?sweep () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let store = Option.map (fun d -> Store.open_ ?budget d) store_dir in
-  let engine = Crat.Engine.create ~jobs ~replay ?trace_budget ?store () in
-  if Sys.file_exists socket then Sys.remove socket;
+  (* Never steal the endpoint of a live daemon: probe an existing socket
+     file with a connect, and only sweep it away if nobody answers (a
+     stale socket left by a killed daemon). Two daemons on one path
+     would also end up opening the same store directory, which Store
+     explicitly does not coordinate across processes. The probe runs
+     before the store opens so a refused start leaves it untouched. *)
+  if Sys.file_exists socket then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX socket) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      failwith
+        (Printf.sprintf "crat serve: a daemon is already listening on %s"
+           socket);
+    Sys.remove socket
+  end;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX socket);
   Unix.listen fd 64;
+  let store = Option.map (fun d -> Store.open_ ?budget d) store_dir in
+  let engine = Crat.Engine.create ~jobs ~replay ?trace_budget ?store () in
   let t =
     { engine
     ; store

@@ -26,4 +26,6 @@ val run :
     batch, not from fan-out inside a batch). [sweep] runs server-side
     report sweeps — it returns [(report_text, failed)], or [None] for an
     unknown kind; results are cached in the store under the suite's
-    kernel fingerprint. *)
+    kernel fingerprint.
+    @raise Failure if another daemon already answers on [socket] (a
+    stale socket file left by a killed daemon is swept and reused). *)

@@ -44,6 +44,7 @@ type t =
   ; mutable total : int
   ; mutable clock : int
   ; mutable tmp_seq : int
+  ; mutable dirty : int  (* index changes since the last manifest save *)
   ; mutable closed : bool
   ; mutable hits : int
   ; mutable misses : int
@@ -58,15 +59,16 @@ let locked t f =
 
 let check_open t = if t.closed then invalid_arg "Store: store is closed"
 
-(* keys become file names verbatim, so restrict them to a safe alphabet;
-   the engine's keys are hex digests and always pass *)
+(* keys become file names verbatim, so restrict them to a safe alphabet
+   and ban a leading '.' (which would admit "." and ".." and let a name
+   escape objects/); the engine's keys are hex digests and always pass *)
 let check_name what s =
   let ok c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9')
     || c = '-' || c = '_' || c = '.'
   in
-  if s = "" || not (String.for_all ok s) then
+  if s = "" || s.[0] = '.' || not (String.for_all ok s) then
     invalid_arg (Printf.sprintf "Store: invalid %s %S" what s)
 
 let mkdir_p path =
@@ -105,7 +107,18 @@ let save_manifest t =
   Hashtbl.iter
     (fun _ e -> Printf.bprintf b "%s %s %d %d\n" e.ekind e.ekey e.size e.atime)
     t.index;
-  write_file_atomic t (manifest_path t) (Buffer.contents b)
+  write_file_atomic t (manifest_path t) (Buffer.contents b);
+  t.dirty <- 0
+
+(* The manifest is advisory (sizes + LRU recency; the directory scan at
+   open is the ground truth), so it need not be rewritten — O(entries)
+   of disk I/O — on every put. Persist it every so many index changes;
+   {!sync}, {!gc} and {!close} always save. *)
+let manifest_save_interval = 32
+
+(* caller holds the lock *)
+let save_manifest_debounced t =
+  if t.dirty >= manifest_save_interval then save_manifest t
 
 let load_manifest path =
   let tbl = Hashtbl.create 64 in
@@ -165,6 +178,7 @@ let open_ ?(budget = default_budget) root =
     ; total = 0
     ; clock = 1
     ; tmp_seq = 0
+    ; dirty = 0
     ; closed = false
     ; hits = 0
     ; misses = 0
@@ -315,31 +329,47 @@ let put t ~kind ~key payload =
     let size = String.length header + String.length payload in
     let path = entry_path t ~kind ~key in
     mkdir_p (Filename.dirname path);
+    (* write + fsync + rename outside the lock: the tmp name is unique
+       (pid + per-store sequence), so concurrent puts never collide and
+       readers of other keys are not serialized behind disk I/O. Two
+       racing puts of the same key rename identical content-addressed
+       files over each other, which is harmless. *)
+    let tmp =
+      locked t (fun () ->
+        let n = t.tmp_seq in
+        t.tmp_seq <- t.tmp_seq + 1;
+        tmp_dir t / Printf.sprintf "%d.%d" (Unix.getpid ()) n)
+    in
+    let oc = open_out_bin tmp in
+    output_string oc header;
+    output_string oc payload;
+    flush oc;
+    (* fsync before rename: after a crash the entry either exists
+       whole or not at all, never as an empty or torn file *)
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
+    close_out oc;
+    Sys.rename tmp path;
     locked t (fun () ->
-      let tmp = tmp_dir t / Printf.sprintf "%d.%d" (Unix.getpid ()) t.tmp_seq in
-      t.tmp_seq <- t.tmp_seq + 1;
-      let oc = open_out_bin tmp in
-      output_string oc header;
-      output_string oc payload;
-      flush oc;
-      (* fsync before rename: after a crash the entry either exists
-         whole or not at all, never as an empty or torn file *)
-      (try Unix.fsync (Unix.descr_of_out_channel oc)
-       with Unix.Unix_error _ -> ());
-      close_out oc;
-      Sys.rename tmp path;
-      Hashtbl.replace t.index (kind, key)
-        { ekind = kind
-        ; ekey = key
-        ; size
-        ; atime = t.clock
-        ; pins = 0
-        };
+      (match Hashtbl.find_opt t.index (kind, key) with
+       | Some e ->
+         (* a concurrent put of the same key beat us to the index;
+            count the entry's size once and refresh its recency *)
+         e.atime <- t.clock
+       | None ->
+         Hashtbl.replace t.index (kind, key)
+           { ekind = kind
+           ; ekey = key
+           ; size
+           ; atime = t.clock
+           ; pins = 0
+           };
+         t.total <- t.total + size);
       t.clock <- t.clock + 1;
-      t.total <- t.total + size;
       t.puts <- t.puts + 1;
+      t.dirty <- t.dirty + 1;
       enforce_budget t;
-      save_manifest t)
+      save_manifest_debounced t)
   end
 
 let delete t ~kind ~key =

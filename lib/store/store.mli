@@ -93,7 +93,10 @@ val get_value : t -> kind:string -> key:string -> 'a option
 
 val stats : t -> stats
 val sync : t -> unit
-(** Persist the manifest now (also done by {!put}, {!gc}, {!close}). *)
+(** Persist the manifest now. {!gc} and {!close} always persist it;
+    {!put} persists it every few dozen insertions (it is advisory —
+    sizes and LRU recency — so rewriting it on every put would only
+    serialize the write-through hot path behind O(entries) disk I/O). *)
 
 val close : t -> unit
 (** [sync] and drop the in-memory index; further use raises
